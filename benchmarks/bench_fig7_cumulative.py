@@ -1,0 +1,15 @@
+"""Figure 7 (c) & (f): cumulative speedups (dynmg, dynmg+B, dynmg+MA, dynmg+BMA)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import run_fig7_cumulative
+
+
+def test_fig7_cumulative_panels(benchmark, tier, models):
+    result = run_once(benchmark, run_fig7_cumulative, tier=tier, models=models)
+    print()
+    print(result.render())
+    for model in result.speedups:
+        # The final cumulative policy must not lose to the unoptimized baseline.
+        assert result.geomean(model, "dynmg+BMA") > 0.97

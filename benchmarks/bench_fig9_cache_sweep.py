@@ -1,0 +1,23 @@
+"""Figure 9 (a) & (b): 32K-token sequences against 16/32/64 MB L2 configurations.
+
+All policies (dyncta, lcs, cobrra, dynmg, dynmg+cobrra, dynmg+BMA and the
+unoptimized reference) are normalised against unoptimized @ 32 MB.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_cache_size_sweep(benchmark, tier, models):
+    result = run_once(benchmark, run_fig9, tier=tier, models=models)
+    print()
+    print(result.render())
+    for model, series in result.speedups.items():
+        unopt = series["unoptimized"]
+        # The unoptimized configuration must benefit from growing the cache.
+        assert unopt[-1] >= unopt[0] * 0.98
+        # The paper's final policy never loses badly to unoptimized at any size.
+        paired = zip(series["dynmg+BMA"], unopt)
+        assert all(bma > 0.9 * u for bma, u in paired)

@@ -1,0 +1,20 @@
+"""Section 6.1: area of the added arbitration hardware (arbiter + hit buffer)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.hwcost_exp import (
+    PAPER_ARBITER_UM2,
+    PAPER_HIT_BUFFER_UM2,
+    run_hwcost,
+)
+from repro.experiments.reporting import format_grid
+
+
+def test_hwcost_area_estimates(benchmark):
+    rows = run_once(benchmark, run_hwcost)
+    print()
+    print(format_grid("Section 6.1 -- area estimates (15 nm)", rows))
+    print(f"  paper: arbiter {PAPER_ARBITER_UM2} um^2, hit buffer {PAPER_HIT_BUFFER_UM2} um^2")
+    for row in rows:
+        assert 0.4 < row["ratio"] < 2.5

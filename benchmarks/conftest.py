@@ -1,0 +1,67 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The scale tier
+is selected with the ``REPRO_BENCH_TIER`` environment variable (``ci`` by
+default so the whole suite finishes in tens of minutes; ``paper_scaled`` or
+``full`` reproduce progressively larger versions of the experiments).
+
+Each benchmark prints the regenerated rows/series to stdout (run pytest with
+``-s`` to see them) and reports the wall-clock time of the underlying
+simulations through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config.scale import ScaleTier  # noqa: E402
+from repro.sim.runner import clear_trace_cache  # noqa: E402
+
+
+def bench_tier() -> ScaleTier:
+    name = os.environ.get("REPRO_BENCH_TIER", "ci").upper()
+    return ScaleTier[name]
+
+
+def bench_models(tier: ScaleTier) -> tuple[str, ...]:
+    """Models swept by the Fig 7 / Fig 9 benchmarks.
+
+    The SMOKE tier restricts the sweep to Llama3-70B so a full regeneration of
+    every figure finishes in minutes; every other tier runs both paper models.
+    """
+
+    if tier is ScaleTier.SMOKE:
+        return ("llama3-70b",)
+    return ("llama3-70b", "llama3-405b")
+
+
+@pytest.fixture(scope="session")
+def tier() -> ScaleTier:
+    return bench_tier()
+
+
+@pytest.fixture(scope="session")
+def models(tier) -> tuple[str, ...]:
+    return bench_models(tier)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _announce(tier):
+    print(f"\n[repro benchmarks] scale tier = {tier.name} "
+          f"(set REPRO_BENCH_TIER=ci|paper_scaled|full to change)\n")
+    yield
+    clear_trace_cache()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Cache-capacity study (a mini Fig 9): long contexts against several L2 sizes.
+
+Shows how the unoptimized configuration degrades as the KV working set outgrows
+the LLC, and how the LLaMCAT policy (dynmg+BMA) saturates at much smaller cache
+sizes because throttling limits the in-flight working set.
+
+Usage::
+
+    python examples/cache_capacity_study.py --seq-len 32768 --tier ci
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import config
+from repro.config import ScaleTier, scale_experiment
+from repro.sim import run_policy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seq-len", type=int, default=32768)
+    parser.add_argument("--tier", default="ci", choices=["ci", "paper_scaled", "full"])
+    parser.add_argument("--l2-mib", type=int, nargs="+", default=[16, 32, 64])
+    args = parser.parse_args()
+    tier = ScaleTier[args.tier.upper()]
+
+    policies = {
+        "unoptimized": config.unoptimized(),
+        "dyncta": config.dyncta(),
+        "dynmg+BMA": config.bma(),
+    }
+
+    rows = []
+    for l2_mib in args.l2_mib:
+        system, workload = scale_experiment(
+            config.table5_system_with_l2(l2_mib), config.llama3_70b_logit(args.seq_len), tier
+        )
+        for name, policy in policies.items():
+            result = run_policy(system, workload, policy, label=name)
+            rows.append((l2_mib, name, result))
+
+    print(f"Llama3-70B Logit @ {args.seq_len} tokens (tier={args.tier})")
+    print(f"{'L2 size':>8} {'policy':<12} {'cycles':>10} {'L2 hit':>8} {'DRAM acc':>9} {'BW GB/s':>8}")
+    reference = next(r for size, name, r in rows if name == "unoptimized")
+    for l2_mib, name, result in rows:
+        print(
+            f"{l2_mib:>6}MB {name:<12} {result.cycles:>10} {result.l2_hit_rate:>8.2%} "
+            f"{result.dram_accesses:>9} {result.dram_bandwidth_gbps:>8.1f}"
+        )
+    print()
+    print("speedups vs unoptimized at the smallest cache:")
+    for l2_mib, name, result in rows:
+        print(f"  {l2_mib:>3}MB {name:<12} {reference.cycles / result.cycles:>6.3f}x")
+
+
+if __name__ == "__main__":
+    main()

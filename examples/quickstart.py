@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the Llama3-70B decode Logit operator with and without LLaMCAT.
+
+Runs the unoptimized configuration and the paper's final policy (dynmg + BMA)
+on the Table 5 system at CI scale and prints the headline metrics of Fig 8.
+
+Usage::
+
+    python examples/quickstart.py [--tier ci|paper_scaled|full] [--seq-len 4096]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import config
+from repro.config import ScaleTier, scale_experiment
+from repro.sim import run_policy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tier", default="ci", choices=["ci", "paper_scaled", "full"])
+    parser.add_argument("--seq-len", type=int, default=4096)
+    args = parser.parse_args()
+    tier = ScaleTier[args.tier.upper()]
+
+    system = config.table5_system()
+    workload = config.llama3_70b_logit(seq_len=args.seq_len)
+    system, workload = scale_experiment(system, workload, tier)
+
+    print(f"system : Table 5 (16 cores, {system.l2.size_bytes // 2**20} MiB L2, "
+          f"{system.l2.num_slices} slices, {system.l2.mshr_num_entries} MSHR entries/slice)")
+    print(f"workload: {workload.describe()}")
+    print()
+
+    baseline = run_policy(system, workload, config.unoptimized(), label="unoptimized")
+    best = run_policy(system, workload, config.bma(), label="dynmg+BMA")
+
+    for result in (baseline, best):
+        print(result.summary())
+    print()
+    print(f"speedup of dynmg+BMA over unoptimized: "
+          f"{baseline.cycles / best.cycles:.3f}x")
+    print(f"MSHR hit rate:   {baseline.mshr_hit_rate:.2%} -> {best.mshr_hit_rate:.2%}")
+    print(f"DRAM bandwidth:  {baseline.dram_bandwidth_gbps:.1f} -> "
+          f"{best.dram_bandwidth_gbps:.1f} GB/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in minimal/offline environments where the
+``wheel`` package (needed for PEP 660 editable builds) is unavailable, via
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LLaMCAT reproduction: LLC cache arbitration and throttling for LLM decode, "
+        "with a hybrid dataflow/trace/cycle-level simulation framework"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["llamcat=repro.cli:main"]},
+)

@@ -1,0 +1,64 @@
+"""LLaMCAT reproduction: LLC cache arbitration and throttling for LLM decode.
+
+The package reproduces Zhou, Lai & Zhang, *LLaMCAT: Optimizing Large Language
+Model Inference with Cache Arbitration and Throttling* (ICPP 2025) as a pure
+Python library:
+
+* ``repro.config``    -- Table 5 system, workloads, policy parameters (Tables 1-4)
+* ``repro.workloads`` -- GQA decode operators and tensor layouts
+* ``repro.dataflow``  -- Timeloop-style constrained mapper + analytical model
+* ``repro.trace``     -- mapping -> per-thread-block memory traces
+* ``repro.cores`` / ``repro.noc`` / ``repro.llc`` / ``repro.dram`` -- the
+  cycle-level substrate (vector cores, interconnect, sliced LLC with MSHR,
+  DDR5 channels)
+* ``repro.arbiter``   -- FCFS / B / MA / BMA / COBRRA request arbitration
+* ``repro.throttle``  -- dynmg / DYNCTA / LCS throttling controllers
+* ``repro.sim``       -- simulation engine, results, experiment runner
+* ``repro.experiments`` -- one module per paper figure / table
+* ``repro.hwcost``    -- §6.1 area model
+
+Quick start::
+
+    from repro import config, sim
+
+    system = config.table5_system()
+    workload = config.llama3_70b_logit(seq_len=1024)
+    result = sim.run_policy(system, workload, config.bma())
+    print(result.summary())
+"""
+
+from repro import config
+from repro.config import (
+    PolicyConfig,
+    ScaleTier,
+    SystemConfig,
+    WorkloadConfig,
+    bma,
+    dynmg,
+    llama3_405b_logit,
+    llama3_70b_logit,
+    table5_system,
+    unoptimized,
+)
+from repro.sim import SimResult, Simulator, compare_policies, run_policy, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PolicyConfig",
+    "ScaleTier",
+    "SimResult",
+    "Simulator",
+    "SystemConfig",
+    "WorkloadConfig",
+    "bma",
+    "compare_policies",
+    "config",
+    "dynmg",
+    "llama3_405b_logit",
+    "llama3_70b_logit",
+    "run_policy",
+    "simulate",
+    "table5_system",
+    "unoptimized",
+]

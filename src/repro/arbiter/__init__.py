@@ -1,0 +1,27 @@
+"""LLC-slice arbitration policies (§4.1, §4.3) and the COBRRA baseline.
+
+Each LLC slice owns one arbiter instance.  The arbiter decides which request to
+pop from the slice's request queue each cycle and (for COBRRA) may also
+override the request-vs-response arbitration at the shared storage port.
+"""
+
+from repro.arbiter.balanced import BalancedArbiter
+from repro.arbiter.base import ArbiterStats, BaseArbiter
+from repro.arbiter.cobrra import CobrraArbiter
+from repro.arbiter.factory import make_arbiter
+from repro.arbiter.fcfs import FcfsArbiter
+from repro.arbiter.mshr_aware import BalancedMshrAwareArbiter, MshrAwareArbiter
+from repro.arbiter.speculation import HitBuffer, SentReqs
+
+__all__ = [
+    "ArbiterStats",
+    "BalancedArbiter",
+    "BalancedMshrAwareArbiter",
+    "BaseArbiter",
+    "CobrraArbiter",
+    "FcfsArbiter",
+    "HitBuffer",
+    "MshrAwareArbiter",
+    "SentReqs",
+    "make_arbiter",
+]

@@ -1,0 +1,92 @@
+"""Arbiter interface shared by all request-selection policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.fifo import BoundedFifo
+from repro.common.types import MemRequest
+
+
+@dataclass(slots=True)
+class ArbiterStats:
+    """Bookkeeping common to all arbiters."""
+
+    selections: int = 0
+    predicted_hits: int = 0
+    predicted_mshr_hits: int = 0
+    prediction_correct: int = 0
+    prediction_wrong: int = 0
+    per_core_served: dict[int, int] = field(default_factory=dict)
+
+
+class BaseArbiter:
+    """Base class: FCFS behaviour plus the progress counters of §4.1.
+
+    The progress counters ("cnt0..cnt3" in Fig 4) count requests served per
+    requesting core; they are read both by the balanced arbitration policy and
+    by the global multi-gear throttling controller (to find the fastest cores).
+    """
+
+    #: Paper-facing policy name (overridden by subclasses).
+    name = "fcfs"
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        self.num_cores = num_cores
+        self.progress_counters: list[int] = [0] * num_cores
+        self.stats = ArbiterStats()
+
+    # -- request selection -----------------------------------------------------------
+    def select(
+        self, queue: BoundedFifo[MemRequest], mshr_lines: set[int], cycle: int
+    ) -> int:
+        """Return the index (0 = oldest) of the request to serve this cycle.
+
+        ``queue`` is guaranteed non-empty by the caller.  ``mshr_lines`` is the
+        real-time MSHR snapshot (line addresses with an open entry).
+        """
+
+        return 0
+
+    def notify_selected(self, req: MemRequest, cycle: int) -> None:
+        """Called after a request was popped and sent into the slice pipeline."""
+
+        self.progress_counters[req.core_id] += 1
+        self.stats.selections += 1
+        served = self.stats.per_core_served
+        served[req.core_id] = served.get(req.core_id, 0) + 1
+
+    # -- feedback from the slice pipeline ------------------------------------------------
+    def notify_hit(self, line_addr: int, cycle: int) -> None:
+        """A cache hit was determined for ``line_addr`` (updates hit history)."""
+
+    def notify_fill(self, line_addr: int, cycle: int) -> None:
+        """A line was filled into the cache storage (used by reuse predictors)."""
+
+    def notify_outcome(self, req: MemRequest, was_hit: bool, was_mshr_hit: bool) -> None:
+        """Actual outcome of a previously selected request (prediction accounting)."""
+
+    # -- request-vs-response arbitration hook ----------------------------------------------
+    def wants_response_priority(
+        self, resp_queue_len: int, resp_queue_capacity: int
+    ) -> bool | None:
+        """Override the slice's request/response arbitration.
+
+        Return ``True`` to force serving a response this cycle, ``False`` to
+        force serving a request, or ``None`` to use the slice's configured
+        default (response-queue-first in the paper's experiments).
+        """
+
+        return None
+
+    # -- control ------------------------------------------------------------------------------
+    def reset_progress(self) -> None:
+        """Reset the progress counters (done at the start of each operator)."""
+
+        for i in range(self.num_cores):
+            self.progress_counters[i] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_cores={self.num_cores})"

@@ -1,0 +1,39 @@
+"""Construct the arbiter instance requested by a :class:`PolicyConfig`."""
+
+from __future__ import annotations
+
+from repro.arbiter.balanced import BalancedArbiter
+from repro.arbiter.base import BaseArbiter
+from repro.arbiter.cobrra import CobrraArbiter
+from repro.arbiter.fcfs import FcfsArbiter
+from repro.arbiter.mshr_aware import BalancedMshrAwareArbiter, MshrAwareArbiter
+from repro.common.errors import ConfigError
+from repro.config.policies import ArbitrationKind, PolicyConfig
+from repro.config.system import L2Config
+
+
+def make_arbiter(policy: PolicyConfig, l2: L2Config, num_cores: int) -> BaseArbiter:
+    """Build one arbiter (per LLC slice) for the configured arbitration policy."""
+
+    kind = policy.arbitration
+    if kind == ArbitrationKind.FCFS:
+        return FcfsArbiter(num_cores)
+    if kind == ArbitrationKind.BALANCED:
+        return BalancedArbiter(num_cores)
+    if kind == ArbitrationKind.MSHR_AWARE:
+        return MshrAwareArbiter(
+            num_cores,
+            policy.mshr_aware,
+            hit_latency=l2.hit_latency,
+            mshr_latency=l2.mshr_latency,
+        )
+    if kind == ArbitrationKind.BALANCED_MSHR_AWARE:
+        return BalancedMshrAwareArbiter(
+            num_cores,
+            policy.mshr_aware,
+            hit_latency=l2.hit_latency,
+            mshr_latency=l2.mshr_latency,
+        )
+    if kind == ArbitrationKind.COBRRA:
+        return CobrraArbiter(num_cores, policy.cobrra)
+    raise ConfigError(f"unsupported arbitration kind {kind}")

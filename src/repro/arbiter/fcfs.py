@@ -1,0 +1,14 @@
+"""Default first-come first-served arbitration (the unoptimized baseline)."""
+
+from __future__ import annotations
+
+from repro.arbiter.base import BaseArbiter
+
+
+class FcfsArbiter(BaseArbiter):
+    """Serve the oldest queued request; no reordering at all."""
+
+    name = "fcfs"
+
+    # ``BaseArbiter.select`` already returns index 0; this class exists so the
+    # policy has an explicit name and can be extended independently.

@@ -1,0 +1,103 @@
+"""Speculation hardware of the MSHR-aware arbiter (§4.3.1).
+
+Two small structures let the arbiter *predict* the fate of a queued request
+before the actual cache / MSHR lookup:
+
+* :class:`HitBuffer` -- a FIFO of recently determined cache hits.  A queued
+  request whose line appears here is speculated to be a cache hit.
+* :class:`SentReqs` -- a FIFO of requests recently sent into the slice
+  pipeline.  A cache-missing request only becomes visible in the MSHR after
+  ``hit_latency + mshr_latency`` cycles; until then the MSHR snapshot is stale,
+  so sent_reqs supplies the missing information.  Each entry carries the
+  speculated-hit bit of the request, which masks it out of the MSHR view
+  (speculated hits never allocate MSHR entries).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+
+class HitBuffer:
+    """FIFO of line addresses of recent cache hits, with O(1) membership."""
+
+    __slots__ = ("capacity", "_fifo", "_counts", "insertions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("HitBuffer capacity must be positive")
+        self.capacity = capacity
+        self._fifo: deque[int] = deque()
+        self._counts: Counter[int] = Counter()
+        self.insertions = 0
+
+    def record_hit(self, line_addr: int) -> None:
+        """Record a newly determined cache hit, evicting the oldest if full."""
+
+        if len(self._fifo) >= self.capacity:
+            old = self._fifo.popleft()
+            self._counts[old] -= 1
+            if self._counts[old] <= 0:
+                del self._counts[old]
+        self._fifo.append(line_addr)
+        self._counts[line_addr] += 1
+        self.insertions += 1
+
+    def contains(self, line_addr: int) -> bool:
+        return self._counts.get(line_addr, 0) > 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+
+@dataclass(slots=True)
+class _SentEntry:
+    line_addr: int
+    speculated_hit: bool
+    expiry_cycle: int
+
+
+class SentReqs:
+    """FIFO of recently selected requests, visible until the MSHR catches up."""
+
+    __slots__ = ("capacity", "lifetime", "_fifo")
+
+    def __init__(self, capacity: int, lifetime: int) -> None:
+        if capacity <= 0:
+            raise ValueError("SentReqs capacity must be positive")
+        if lifetime <= 0:
+            raise ValueError("SentReqs lifetime must be positive")
+        self.capacity = capacity
+        self.lifetime = lifetime
+        self._fifo: deque[_SentEntry] = deque()
+
+    def record(self, line_addr: int, speculated_hit: bool, cycle: int) -> None:
+        """Record a selected request; it stays visible for ``lifetime`` cycles."""
+
+        self.expire(cycle)
+        if len(self._fifo) >= self.capacity:
+            self._fifo.popleft()
+        self._fifo.append(
+            _SentEntry(line_addr, speculated_hit, cycle + self.lifetime)
+        )
+
+    def expire(self, cycle: int) -> None:
+        """Drop entries whose MSHR-visibility window has elapsed."""
+
+        fifo = self._fifo
+        while fifo and fifo[0].expiry_cycle <= cycle:
+            fifo.popleft()
+
+    def pending_mshr_lines(self, cycle: int) -> set[int]:
+        """Lines of in-flight requests that will occupy MSHR entries.
+
+        Entries whose speculated-hit bit is set are masked out (step 1 of
+        Fig 5): a cache hit never reaches the MSHR.
+        """
+
+        self.expire(cycle)
+        return {e.line_addr for e in self._fifo if not e.speculated_hit}
+
+    def __len__(self) -> int:
+        return len(self._fifo)

@@ -1,0 +1,124 @@
+"""Command-line interface: ``llamcat <subcommand>``.
+
+Subcommands
+
+* ``run``   -- simulate one policy on one workload and print the summary
+* ``fig7``  -- regenerate the Fig 7 speedup panels
+* ``fig8``  -- regenerate the Fig 8 mechanism statistics
+* ``fig9``  -- regenerate the Fig 9 cache-size sweep
+* ``hwcost``-- print the §6.1 area estimates
+* ``info``  -- describe a workload and its analytical bounds
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config.policies import PolicyConfig
+from repro.config.presets import (
+    llama3_405b_logit,
+    llama3_70b_logit,
+    policy_by_label,
+    table5_system,
+)
+from repro.config.scale import ScaleTier, scale_experiment
+from repro.dataflow.analytical import analyze
+from repro.experiments.fig7 import run_fig7_cumulative, run_fig7_throttling
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.hwcost_exp import run_hwcost
+from repro.experiments.reporting import format_grid
+from repro.sim.runner import run_policy
+
+
+def _workload(model: str, seq_len: int):
+    if model == "llama3-70b":
+        return llama3_70b_logit(seq_len)
+    if model == "llama3-405b":
+        return llama3_405b_logit(seq_len)
+    raise SystemExit(f"unknown model {model!r} (choose llama3-70b or llama3-405b)")
+
+
+def _tier(name: str) -> ScaleTier:
+    try:
+        return ScaleTier[name.upper().replace("-", "_")]
+    except KeyError as exc:
+        raise SystemExit(f"unknown scale tier {name!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="llamcat", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one policy")
+    run_p.add_argument("--model", default="llama3-70b")
+    run_p.add_argument("--seq-len", type=int, default=4096)
+    run_p.add_argument("--policy", default="dynmg+BMA", help='e.g. "unopt", "dynmg", "dynmg+BMA"')
+    run_p.add_argument("--tier", default="ci")
+
+    for name in ("fig7", "fig8", "fig9"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--tier", default="ci")
+
+    sub.add_parser("hwcost", help="print the area estimates of Section 6.1")
+
+    info_p = sub.add_parser("info", help="describe a workload and its analytical bounds")
+    info_p.add_argument("--model", default="llama3-70b")
+    info_p.add_argument("--seq-len", type=int, default=4096)
+    info_p.add_argument("--tier", default="full")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "run":
+        system, workload = scale_experiment(
+            table5_system(), _workload(args.model, args.seq_len), _tier(args.tier)
+        )
+        policy = policy_by_label(args.policy)
+        baseline = run_policy(system, workload, PolicyConfig(), label="unoptimized")
+        result = run_policy(system, workload, policy, label=args.policy)
+        print(baseline.summary())
+        print(result.summary())
+        print(f"speedup over unoptimized: {baseline.cycles / result.cycles:.3f}x")
+        return 0
+
+    if args.command == "fig7":
+        tier = _tier(args.tier)
+        print(run_fig7_throttling(tier=tier).render())
+        print()
+        print(run_fig7_cumulative(tier=tier).render())
+        return 0
+
+    if args.command == "fig8":
+        print(run_fig8(tier=_tier(args.tier)).render())
+        return 0
+
+    if args.command == "fig9":
+        print(run_fig9(tier=_tier(args.tier)).render())
+        return 0
+
+    if args.command == "hwcost":
+        print(format_grid("Section 6.1 -- area estimates", run_hwcost()))
+        return 0
+
+    if args.command == "info":
+        system, workload = scale_experiment(
+            table5_system(), _workload(args.model, args.seq_len), _tier(args.tier)
+        )
+        estimate = analyze(workload, system)
+        print(workload.describe())
+        print(f"thread blocks:        {estimate.thread_blocks}")
+        print(f"L2 line requests:     {estimate.total_l2_accesses}")
+        print(f"unique DRAM traffic:  {estimate.total_dram_bytes / 2**20:.1f} MiB")
+        print(f"stall-free cycles:    {estimate.stall_free_cycles}")
+        print(f"bottleneck:           {estimate.bottleneck}")
+        return 0
+
+    raise SystemExit(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

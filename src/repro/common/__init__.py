@@ -1,0 +1,34 @@
+"""Common infrastructure shared by every subsystem of the LLaMCAT reproduction.
+
+This package intentionally has no dependency on any other ``repro`` subpackage so
+that the cache, DRAM, core and policy models can all build on the same primitive
+vocabulary (requests, FIFOs, address math, statistics helpers) without import
+cycles.
+"""
+
+from repro.common.errors import ConfigError, SimulationError, TraceError
+from repro.common.fifo import BoundedFifo
+from repro.common.mathutils import geomean, harmonic_mean, safe_div, speedup
+from repro.common.types import (
+    AccessType,
+    MemRequest,
+    MemResponse,
+    RequestKind,
+    line_address,
+)
+
+__all__ = [
+    "AccessType",
+    "BoundedFifo",
+    "ConfigError",
+    "MemRequest",
+    "MemResponse",
+    "RequestKind",
+    "SimulationError",
+    "TraceError",
+    "geomean",
+    "harmonic_mean",
+    "line_address",
+    "safe_div",
+    "speedup",
+]

@@ -1,0 +1,21 @@
+"""Exception hierarchy used across the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific exceptions."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an impossible state.
+
+    Any occurrence of this exception indicates a bug in the model (for
+    example, freeing an MSHR entry twice), never a property of the workload.
+    """
+
+
+class TraceError(ReproError):
+    """Raised when a memory trace is malformed or inconsistent."""

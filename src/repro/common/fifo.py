@@ -1,0 +1,121 @@
+"""A bounded FIFO used for every hardware queue in the model.
+
+The request queue, response queue, ``hit_buffer`` and ``sent_reqs`` structures
+of the paper are all bounded FIFOs; modelling them with one class keeps
+capacity accounting and occupancy statistics uniform.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedFifo(Generic[T]):
+    """A FIFO with a fixed capacity.
+
+    ``push`` returns ``False`` instead of raising when the queue is full so
+    hardware back-pressure can be modelled without exceptions in the hot path.
+    """
+
+    __slots__ = ("_capacity", "_items", "peak_occupancy", "total_pushes")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"FIFO capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._items: deque[T] = deque()
+        self.peak_occupancy = 0
+        self.total_pushes = 0
+
+    # -- capacity -----------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self._capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def free_slots(self) -> int:
+        return self._capacity - len(self._items)
+
+    # -- mutation -----------------------------------------------------------------
+    def push(self, item: T) -> bool:
+        """Append ``item``; returns ``False`` (and drops nothing) when full."""
+
+        if self.full:
+            return False
+        self._items.append(item)
+        self.total_pushes += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the oldest element."""
+
+        return self._items.popleft()
+
+    def pop_index(self, index: int) -> T:
+        """Remove and return the element at ``index`` (0 = oldest).
+
+        Arbiters that reorder requests (balanced / MSHR-aware policies) select
+        an arbitrary queue element; a ``deque`` rotation keeps this O(n) with a
+        very small constant, which is fine for the 12-entry request queues of
+        the paper's configuration.
+        """
+
+        items = self._items
+        if index < 0 or index >= len(items):
+            raise IndexError(f"pop_index({index}) on FIFO of length {len(items)}")
+        if index == 0:
+            return items.popleft()
+        items.rotate(-index)
+        item = items.popleft()
+        items.rotate(index)
+        return item
+
+    def peek(self, index: int = 0) -> T:
+        return self._items[index]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def extend(self, items: Iterable[T]) -> int:
+        """Push items until the queue fills; returns how many were accepted."""
+
+        accepted = 0
+        for item in items:
+            if not self.push(item):
+                break
+            accepted += 1
+        return accepted
+
+    # -- inspection ---------------------------------------------------------------
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def find(self, predicate) -> Optional[int]:
+        """Return the index of the first element satisfying ``predicate``."""
+
+        for i, item in enumerate(self._items):
+            if predicate(item):
+                return i
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundedFifo({list(self._items)!r}, capacity={self._capacity})"

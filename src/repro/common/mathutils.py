@@ -1,0 +1,91 @@
+"""Small numeric helpers used by the statistics and experiment layers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def safe_div(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Return ``numerator / denominator`` or ``default`` when the denominator is 0."""
+
+    if denominator == 0:
+        return default
+    return numerator / denominator
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper reports geomean speedups)."""
+
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError(f"geomean requires positive values, got {vals}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values."""
+
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("harmonic_mean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError(f"harmonic_mean requires positive values, got {vals}")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def speedup(baseline_cycles: float, optimized_cycles: float) -> float:
+    """Speedup of ``optimized`` over ``baseline`` (``>1`` means faster)."""
+
+    if optimized_cycles <= 0:
+        raise ValueError(f"optimized_cycles must be positive, got {optimized_cycles}")
+    if baseline_cycles <= 0:
+        raise ValueError(f"baseline_cycles must be positive, got {baseline_cycles}")
+    return baseline_cycles / optimized_cycles
+
+
+def percentiles(values: Sequence[float], points: Sequence[float]) -> list[float]:
+    """Linear-interpolation percentiles of ``values`` at each point in [0, 100]."""
+
+    if not values:
+        raise ValueError("percentiles of an empty sequence")
+    data = sorted(float(v) for v in values)
+    out: list[float] = []
+    for p in points:
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile point out of range: {p}")
+        if len(data) == 1:
+            out.append(data[0])
+            continue
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        frac = rank - lo
+        out.append(data[lo] * (1 - frac) + data[hi] * frac)
+    return out
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` to the inclusive range [lo, hi]."""
+
+    if lo > hi:
+        raise ValueError(f"invalid clamp range [{lo}, {hi}]")
+    return max(lo, min(hi, value))
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for positive ``b``."""
+
+    if b <= 0:
+        raise ValueError(f"ceil_div requires positive divisor, got {b}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the next multiple of ``multiple``."""
+
+    if multiple <= 0:
+        raise ValueError(f"round_up requires positive multiple, got {multiple}")
+    return ceil_div(value, multiple) * multiple

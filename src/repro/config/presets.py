@@ -1,0 +1,153 @@
+"""Named presets matching the paper's experimental setup (Table 5, §6.2)."""
+
+from __future__ import annotations
+
+from repro.config.policies import ArbitrationKind, PolicyConfig, ThrottleKind
+from repro.config.system import MIB, SystemConfig
+from repro.config.workload import GQAShape, OperatorKind, WorkloadConfig
+
+# ---------------------------------------------------------------------------------
+# Hardware presets
+# ---------------------------------------------------------------------------------
+
+
+def table5_system() -> SystemConfig:
+    """The simulated system of Table 5 (1.96 GHz, 16 cores, 16 MB sliced L2)."""
+
+    return SystemConfig().validate()
+
+
+def table5_system_with_l2(l2_mib: int) -> SystemConfig:
+    """Table 5 system with a different L2 capacity (Fig 9 sweeps 16/32/64 MB)."""
+
+    return table5_system().with_l2_size(l2_mib * MIB)
+
+
+# ---------------------------------------------------------------------------------
+# Workload presets (§6.2.2)
+# ---------------------------------------------------------------------------------
+
+
+def llama3_70b_logit(seq_len: int = 8192) -> WorkloadConfig:
+    """Logit operator of Llama3-70B decode: H=8, G=8, D=128."""
+
+    return WorkloadConfig(
+        name="llama3-70b",
+        shape=GQAShape(num_kv_heads=8, group_size=8, head_dim=128, seq_len=seq_len),
+        operator=OperatorKind.LOGIT,
+    ).validate()
+
+
+def llama3_405b_logit(seq_len: int = 8192) -> WorkloadConfig:
+    """Logit operator of Llama3-405B decode: H=8, G=16, D=128."""
+
+    return WorkloadConfig(
+        name="llama3-405b",
+        shape=GQAShape(num_kv_heads=8, group_size=16, head_dim=128, seq_len=seq_len),
+        operator=OperatorKind.LOGIT,
+    ).validate()
+
+
+def llama3_70b_attend(seq_len: int = 8192) -> WorkloadConfig:
+    """Attend operator (AttScore @ V) of Llama3-70B decode."""
+
+    return WorkloadConfig(
+        name="llama3-70b-attend",
+        shape=GQAShape(num_kv_heads=8, group_size=8, head_dim=128, seq_len=seq_len),
+        operator=OperatorKind.ATTEND,
+    ).validate()
+
+
+PAPER_WORKLOADS = {
+    "llama3-70b": llama3_70b_logit,
+    "llama3-405b": llama3_405b_logit,
+}
+
+#: Sequence lengths of Fig 7 (the miss-handling-throughput-bound regime).
+FIG7_SEQ_LENS = (4096, 8192, 16384)
+
+#: Sequence length and L2 sizes of Fig 9 (the cache-capacity-bound regime).
+FIG9_SEQ_LEN = 32768
+FIG9_L2_MIB = (16, 32, 64)
+
+
+# ---------------------------------------------------------------------------------
+# Policy presets
+# ---------------------------------------------------------------------------------
+
+
+def unoptimized() -> PolicyConfig:
+    """No throttling, FCFS arbitration -- the paper's normalisation baseline."""
+
+    return PolicyConfig().validate()
+
+
+def dyncta() -> PolicyConfig:
+    return PolicyConfig(throttle=ThrottleKind.DYNCTA).validate()
+
+
+def lcs() -> PolicyConfig:
+    return PolicyConfig(throttle=ThrottleKind.LCS).validate()
+
+
+def dynmg() -> PolicyConfig:
+    """Two-level dynamic multi-gear throttling (the paper's throttling policy)."""
+
+    return PolicyConfig(throttle=ThrottleKind.DYNMG).validate()
+
+
+def cobrra(throttle: ThrottleKind = ThrottleKind.NONE) -> PolicyConfig:
+    return PolicyConfig(throttle=throttle, arbitration=ArbitrationKind.COBRRA).validate()
+
+
+def balanced(throttle: ThrottleKind = ThrottleKind.DYNMG) -> PolicyConfig:
+    """"B" arbitration; by default on top of dynmg as in Fig 7(b)&(e)."""
+
+    return PolicyConfig(throttle=throttle, arbitration=ArbitrationKind.BALANCED).validate()
+
+
+def mshr_aware(throttle: ThrottleKind = ThrottleKind.DYNMG) -> PolicyConfig:
+    """"MA" arbitration on top of dynmg."""
+
+    return PolicyConfig(
+        throttle=throttle, arbitration=ArbitrationKind.MSHR_AWARE
+    ).validate()
+
+
+def bma(throttle: ThrottleKind = ThrottleKind.DYNMG) -> PolicyConfig:
+    """"BMA" -- the paper's final policy (dynmg + balanced MSHR-aware arbitration)."""
+
+    return PolicyConfig(
+        throttle=throttle, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
+    ).validate()
+
+
+def policy_by_label(label: str) -> PolicyConfig:
+    """Build a policy from a paper-style label, e.g. ``"dynmg+BMA"``."""
+
+    throttle_map = {
+        "unopt": ThrottleKind.NONE,
+        "unoptimized": ThrottleKind.NONE,
+        "dyncta": ThrottleKind.DYNCTA,
+        "lcs": ThrottleKind.LCS,
+        "dynmg": ThrottleKind.DYNMG,
+    }
+    arb_map = {
+        "": ArbitrationKind.FCFS,
+        "fcfs": ArbitrationKind.FCFS,
+        "b": ArbitrationKind.BALANCED,
+        "ma": ArbitrationKind.MSHR_AWARE,
+        "bma": ArbitrationKind.BALANCED_MSHR_AWARE,
+        "cobrra": ArbitrationKind.COBRRA,
+    }
+    parts = [p.strip().lower() for p in label.split("+")]
+    throttle = ThrottleKind.NONE
+    arbitration = ArbitrationKind.FCFS
+    for part in parts:
+        if part in throttle_map:
+            throttle = throttle_map[part]
+        elif part in arb_map:
+            arbitration = arb_map[part]
+        else:
+            raise ValueError(f"unknown policy component {part!r} in label {label!r}")
+    return PolicyConfig(throttle=throttle, arbitration=arbitration).validate()

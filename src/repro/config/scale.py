@@ -1,0 +1,74 @@
+"""Scale tiers: run paper experiments at reduced size with preserved ratios.
+
+A pure-Python cycle-level simulator cannot sweep the paper's full 16K-32K
+sequence lengths dozens of times inside a benchmark session, so every
+experiment accepts a :class:`ScaleTier`.  Scaling divides the sequence length
+and the L2 capacity by the same factor which keeps the two ratios that actually
+determine policy behaviour invariant:
+
+* working-set bytes : L2 capacity (drives capacity misses, Fig 9), and
+* outstanding misses : MSHR entries (drives miss-handling contention, Fig 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from repro.common.errors import ConfigError
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+
+#: Minimum L2 capacity after scaling; below this the set count degenerates.
+_MIN_L2_BYTES = 64 * 1024
+
+
+class ScaleTier(enum.Enum):
+    """How much to shrink paper-sized experiments."""
+
+    FULL = 1
+    PAPER_SCALED = 8
+    CI = 32
+    #: Smallest tier: for quick regeneration of every figure on a laptop / CI box.
+    SMOKE = 64
+
+    @property
+    def divisor(self) -> int:
+        return self.value
+
+
+def scale_seq_len(seq_len: int, tier: ScaleTier) -> int:
+    """Scale a sequence length down, keeping at least 64 tokens."""
+
+    scaled = max(64, seq_len // tier.divisor)
+    return scaled
+
+
+def scale_workload(workload: WorkloadConfig, tier: ScaleTier) -> WorkloadConfig:
+    """Return the workload with its sequence length scaled for ``tier``."""
+
+    return workload.with_seq_len(scale_seq_len(workload.shape.seq_len, tier))
+
+
+def scale_l2_bytes(size_bytes: int, tier: ScaleTier) -> int:
+    """Scale an L2 capacity down, keeping it a usable power-of-two-set cache."""
+
+    scaled = max(_MIN_L2_BYTES, size_bytes // tier.divisor)
+    return scaled
+
+
+def scale_system(system: SystemConfig, tier: ScaleTier) -> SystemConfig:
+    """Return the system with its L2 capacity scaled for ``tier``."""
+
+    new_l2 = replace(system.l2, size_bytes=scale_l2_bytes(system.l2.size_bytes, tier))
+    return replace(system, l2=new_l2).validate()
+
+
+def scale_experiment(
+    system: SystemConfig, workload: WorkloadConfig, tier: ScaleTier
+) -> tuple[SystemConfig, WorkloadConfig]:
+    """Scale a (system, workload) pair coherently."""
+
+    if not isinstance(tier, ScaleTier):
+        raise ConfigError(f"tier must be a ScaleTier, got {tier!r}")
+    return scale_system(system, tier), scale_workload(workload, tier)

@@ -1,0 +1,127 @@
+"""Workload configuration: GQA attention shapes and decode operators.
+
+The paper evaluates the Logit operator (Q @ K^T) of the decode stage for
+Llama3-70B (H=8 KV head groups, G=8 query heads per group, D=128) and
+Llama3-405B (H=8, G=16, D=128) at several sequence lengths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigError
+
+
+class OperatorKind(enum.Enum):
+    """Decode-stage attention operators."""
+
+    LOGIT = "logit"      # AttScore[h, g, l] = sum_d Q[h, g, d] * K[h, l, d]
+    ATTEND = "attend"    # Out[h, g, d]      = sum_l AttScore[h, g, l] * V[h, l, d]
+
+
+@dataclass(frozen=True, slots=True)
+class GQAShape:
+    """Shape of a grouped-query attention operator in the decode stage.
+
+    Attributes
+    ----------
+    num_kv_heads:
+        ``H`` -- number of KV head groups (each holds one K/V head).
+    group_size:
+        ``G`` -- query heads sharing one KV head.
+    head_dim:
+        ``D`` -- per-head embedding dimension.
+    seq_len:
+        ``L`` -- context length (KV-cache length) at this decode step.
+    """
+
+    num_kv_heads: int
+    group_size: int
+    head_dim: int
+    seq_len: int
+
+    def validate(self) -> "GQAShape":
+        for name in ("num_kv_heads", "group_size", "head_dim", "seq_len"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"GQAShape.{name} must be positive")
+        return self
+
+    @property
+    def num_q_heads(self) -> int:
+        return self.num_kv_heads * self.group_size
+
+    def with_seq_len(self, seq_len: int) -> "GQAShape":
+        return replace(self, seq_len=seq_len).validate()
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """A decode-stage operator instance to simulate."""
+
+    name: str
+    shape: GQAShape
+    operator: OperatorKind = OperatorKind.LOGIT
+    element_bytes: int = 2          # fp16 / bf16 KV cache
+    batch_size: int = 1
+
+    def validate(self) -> "WorkloadConfig":
+        self.shape.validate()
+        if self.element_bytes not in (1, 2, 4):
+            raise ConfigError(f"element_bytes must be 1, 2 or 4, got {self.element_bytes}")
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        return self
+
+    # ---- derived tensor sizes (bytes) -------------------------------------------
+    @property
+    def kv_tensor_bytes(self) -> int:
+        """Size of one K (or V) tensor: H x L x D elements."""
+
+        s = self.shape
+        return s.num_kv_heads * s.seq_len * s.head_dim * self.element_bytes * self.batch_size
+
+    @property
+    def query_bytes(self) -> int:
+        s = self.shape
+        return s.num_q_heads * s.head_dim * self.element_bytes * self.batch_size
+
+    @property
+    def output_bytes(self) -> int:
+        s = self.shape
+        if self.operator == OperatorKind.LOGIT:
+            return s.num_q_heads * s.seq_len * self.element_bytes * self.batch_size
+        return s.num_q_heads * s.head_dim * self.element_bytes * self.batch_size
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Total bytes touched once by the operator (K or V + Q + output)."""
+
+        return self.kv_tensor_bytes + self.query_bytes + self.output_bytes
+
+    @property
+    def flops(self) -> int:
+        """Multiply-accumulate count (2 ops per MAC)."""
+
+        s = self.shape
+        if self.operator == OperatorKind.LOGIT:
+            macs = s.num_q_heads * s.seq_len * s.head_dim
+        else:
+            macs = s.num_q_heads * s.head_dim * s.seq_len
+        return 2 * macs * self.batch_size
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of unique traffic -- well below 1 for decode."""
+
+        return self.flops / self.working_set_bytes
+
+    def with_seq_len(self, seq_len: int) -> "WorkloadConfig":
+        return replace(self, shape=self.shape.with_seq_len(seq_len)).validate()
+
+    def describe(self) -> str:
+        s = self.shape
+        return (
+            f"{self.name}: {self.operator.value} H={s.num_kv_heads} G={s.group_size} "
+            f"D={s.head_dim} L={s.seq_len} ({self.kv_tensor_bytes / 2**20:.1f} MiB KV)"
+        )

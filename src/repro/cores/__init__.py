@@ -1,0 +1,8 @@
+"""Vector cores, private L1 caches and the thread-block scheduler."""
+
+from repro.cores.core import VectorCore
+from repro.cores.l1 import L1Cache
+from repro.cores.scheduler import ThreadBlockScheduler
+from repro.cores.window import InstructionWindow
+
+__all__ = ["InstructionWindow", "L1Cache", "ThreadBlockScheduler", "VectorCore"]

@@ -1,0 +1,254 @@
+"""The vector core model (§3.1 and the extended SimpleO3 front-end of §5).
+
+Each core is a 128-element vector unit with a private streaming L1 and
+``num_inst_windows`` instruction windows.  A thread block is assigned to a
+window; when the window cannot issue (its next entry is still computing, its
+data has not returned, or the interconnect back-pressures), the core switches
+to another window -- the runtime scheduling mechanism the paper models.
+
+Throttling controllers limit ``max_running_blocks``: windows beyond that count
+keep their in-flight requests but may not issue new work, which shrinks the
+core's active working set and its memory-request rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.types import AccessType, MemRequest, MemResponse
+from repro.config.system import CoreConfig
+from repro.cores.l1 import L1Cache
+from repro.cores.scheduler import ThreadBlockScheduler
+from repro.cores.window import InstructionWindow
+
+RequestSink = Callable[[MemRequest, int], bool]
+
+
+class VectorCore:
+    """One vector core with instruction windows and a private L1."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        l1: L1Cache,
+        request_sink: RequestSink,
+        scheduler: ThreadBlockScheduler,
+    ) -> None:
+        config.validate()
+        self.core_id = core_id
+        self.config = config
+        self.l1 = l1
+        self.request_sink = request_sink
+        self.scheduler = scheduler
+
+        self.windows = [
+            InstructionWindow(window_id=i, depth=config.inst_window_depth)
+            for i in range(config.num_inst_windows)
+        ]
+        #: Maximum number of windows allowed to issue (set by throttling).
+        self.max_running_blocks = config.num_inst_windows
+        #: Set by the global multi-gear controller; read by the in-core controller.
+        self.throttled = False
+        self._rr_pointer = 0
+        self._req_window: dict[int, int] = {}
+
+        # -- statistics (cumulative; controllers take period deltas) --------------------
+        self.stat_issued_requests = 0
+        self.stat_l1_hits = 0
+        self.stat_mem_stall_cycles = 0     # C_mem: all running blocks wait on memory
+        self.stat_compute_cycles = 0       # cycles blocked only by compute
+        self.stat_idle_cycles = 0          # C_idle: no thread block available to run
+        self.stat_active_cycles = 0        # cycles with at least one issue
+        self.stat_completed_blocks = 0
+        self.stat_backpressure_stalls = 0
+        self.stat_first_block_cycles = -1  # duration of the first completed block (LCS)
+        self._first_block_start = -1
+
+    # ------------------------------------------------------------------------------
+    # throttling interface
+    # ------------------------------------------------------------------------------
+    def set_max_running_blocks(self, value: int) -> None:
+        self.max_running_blocks = max(1, min(self.config.num_inst_windows, value))
+
+    def adjust_max_running_blocks(self, delta: int) -> None:
+        self.set_max_running_blocks(self.max_running_blocks + delta)
+
+    # ------------------------------------------------------------------------------
+    # response delivery (from the interconnect)
+    # ------------------------------------------------------------------------------
+    def receive(self, resp: MemResponse, cycle: int) -> None:
+        window_id = self._req_window.pop(resp.req_id, None)
+        if window_id is not None:
+            window = self.windows[window_id]
+            if window.outstanding > 0:
+                window.outstanding -= 1
+        if resp.rw == AccessType.READ:
+            self.l1.fill(self.l1.line_addr(resp.line_addr))
+
+    # ------------------------------------------------------------------------------
+    # per-cycle execution
+    # ------------------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._retire_and_refill(cycle)
+
+        # Select the running windows inline (the first ``max_running_blocks``
+        # windows that hold a thread block); this is the hottest loop of the
+        # whole simulator, so attribute access is kept to a minimum.
+        windows = self.windows
+        limit = self.max_running_blocks
+        running: list[InstructionWindow] = []
+        for window in windows:
+            if window.tb is not None:
+                running.append(window)
+                if len(running) >= limit:
+                    break
+        if not running:
+            self.stat_idle_cycles += 1
+            return
+
+        issued = 0
+        blocked_on_compute = False
+        n = len(running)
+        rr = self._rr_pointer
+        for k in range(n):
+            window = running[(rr + k) % n]
+            result = self._try_issue(window, cycle)
+            if result == "issued":
+                issued += 1
+                self._rr_pointer = (rr + k) % n
+                if issued >= self.config.issue_width:
+                    break
+            elif result == "compute":
+                blocked_on_compute = True
+
+        if issued:
+            self.stat_active_cycles += 1
+            self.stat_issued_requests += issued
+        elif blocked_on_compute:
+            self.stat_compute_cycles += 1
+        else:
+            self.stat_mem_stall_cycles += 1
+
+    # -- helpers ---------------------------------------------------------------------------
+    def _retire_and_refill(self, cycle: int) -> None:
+        busy = 0
+        free_window: InstructionWindow | None = None
+        for window in self.windows:
+            tb = window.tb
+            if tb is None:
+                if free_window is None:
+                    free_window = window
+                continue
+            # Retire a drained thread block (all entries issued, all data back).
+            if window.outstanding == 0 and window.cursor >= len(tb.entries):
+                block = window.release()
+                self.stat_completed_blocks += 1
+                self.scheduler.notify_complete(block)
+                if self.stat_first_block_cycles < 0:
+                    self.stat_first_block_cycles = cycle - self._first_block_start
+                if free_window is None:
+                    free_window = window
+            else:
+                busy += 1
+        if free_window is None or busy >= self.max_running_blocks:
+            return
+        # Refill at most one window per cycle (the global scheduler hands out one
+        # thread block per core per cycle, striping consecutive blocks across
+        # cores the way a GPU CTA dispatcher does).
+        block = self.scheduler.next_block(self.core_id)
+        if block is None:
+            return
+        free_window.assign(block, cycle)
+        if self._first_block_start < 0:
+            self._first_block_start = cycle
+
+    def _try_issue(self, window: InstructionWindow, cycle: int) -> str:
+        """Attempt one issue from ``window``; returns 'issued', 'compute' or 'memory'."""
+
+        tb = window.tb
+        if tb is None or window.cursor >= len(tb.entries):
+            return "memory"  # draining: waiting for outstanding responses
+
+        # A request rejected by interconnect back-pressure on an earlier cycle is
+        # retried as-is (its L1 probe and trace-entry bookkeeping already happened).
+        pending = window.pending_request
+        if pending is not None:
+            if not self.request_sink(pending, cycle):
+                self.stat_backpressure_stalls += 1
+                return "memory"
+            self._complete_send(window, pending)
+            return "issued"
+
+        entry = tb.entries[window.cursor]
+
+        # Charge the entry's compute cost once, before its memory access issues.
+        if not window.compute_charged and entry.compute_cycles > 0:
+            window.compute_ready_cycle = cycle + entry.compute_cycles
+            window.compute_charged = True
+        if window.compute_charged and window.compute_ready_cycle > cycle:
+            return "compute"
+
+        if not entry.has_access:
+            window.cursor += 1
+            window.compute_charged = False
+            return "issued"
+
+        if window.outstanding >= window.depth:
+            return "memory"
+
+        if entry.rw == AccessType.READ and self.l1.access_read(entry.addr):
+            # L1 hit: completes locally within the cycle (latency 1 absorbed).
+            self.stat_l1_hits += 1
+            window.cursor += 1
+            window.compute_charged = False
+            return "issued"
+
+        if entry.rw == AccessType.WRITE:
+            self.l1.access_write(entry.addr)
+
+        req = MemRequest(
+            addr=entry.addr,
+            rw=entry.rw,
+            core_id=self.core_id,
+            tb_id=tb.tb_id,
+            kind=entry.kind,
+            size=entry.size,
+            issue_cycle=cycle,
+        )
+        if not self.request_sink(req, cycle):
+            self.stat_backpressure_stalls += 1
+            window.pending_request = req
+            return "memory"
+        self._complete_send(window, req)
+        return "issued"
+
+    def _complete_send(self, window: InstructionWindow, req: MemRequest) -> None:
+        window.pending_request = None
+        self._req_window[req.req_id] = window.window_id
+        window.outstanding += 1
+        window.cursor += 1
+        window.compute_charged = False
+
+    # ------------------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------------------
+    @property
+    def outstanding_requests(self) -> int:
+        return sum(w.outstanding for w in self.windows)
+
+    @property
+    def busy(self) -> bool:
+        return any(w.busy for w in self.windows)
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative counters used by the throttling controllers."""
+
+        return {
+            "mem_stall": self.stat_mem_stall_cycles,
+            "idle": self.stat_idle_cycles,
+            "active": self.stat_active_cycles,
+            "compute": self.stat_compute_cycles,
+            "issued": self.stat_issued_requests,
+            "completed_blocks": self.stat_completed_blocks,
+        }

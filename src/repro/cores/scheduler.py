@@ -1,0 +1,60 @@
+"""Global thread-block scheduler.
+
+All thread blocks of the operator live in one global dispatch queue in the
+order produced by the dataflow mapping.  Any core with a free (and unthrottled)
+instruction window pulls the next block -- this is the paper's compensation for
+the original Ramulator2 front-end, where every core could only replay its own
+trace file and fast cores had to idle while the slowest finished.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.trace.threadblock import ThreadBlock, Trace
+
+
+class ThreadBlockScheduler:
+    """FIFO dispatch of thread blocks to requesting cores."""
+
+    def __init__(self, trace: Trace) -> None:
+        trace.validate()
+        self.trace = trace
+        self._queue: deque[ThreadBlock] = deque(trace.blocks)
+        self.total_blocks = len(trace.blocks)
+        self.dispatched = 0
+        self.completed = 0
+        self.dispatch_by_core: dict[int, int] = {}
+
+    # -- dispatch -----------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._queue)
+
+    def next_block(self, core_id: int) -> ThreadBlock | None:
+        """Pop the next thread block for ``core_id`` (None when exhausted)."""
+
+        if not self._queue:
+            return None
+        block = self._queue.popleft()
+        self.dispatched += 1
+        self.dispatch_by_core[core_id] = self.dispatch_by_core.get(core_id, 0) + 1
+        return block
+
+    def notify_complete(self, block: ThreadBlock) -> None:
+        self.completed += 1
+        if self.completed > self.total_blocks:
+            raise RuntimeError("more thread blocks completed than were dispatched")
+
+    # -- progress -------------------------------------------------------------------------
+    @property
+    def all_complete(self) -> bool:
+        return self.completed >= self.total_blocks
+
+    @property
+    def progress(self) -> float:
+        return self.completed / self.total_blocks if self.total_blocks else 1.0

@@ -1,0 +1,84 @@
+"""Instruction windows: the per-core structures a thread block executes in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.threadblock import ThreadBlock
+
+
+@dataclass(slots=True)
+class InstructionWindow:
+    """One instruction window holding (at most) one thread block.
+
+    The window walks its thread block's trace entries in order.  Memory
+    accesses may overlap -- up to ``depth`` requests can be outstanding, which
+    models the latency-hiding capacity of the 128-entry window of Table 5 --
+    but the compute attached to an entry must finish before that entry's access
+    is issued.
+    """
+
+    window_id: int
+    depth: int
+    tb: ThreadBlock | None = None
+    cursor: int = 0
+    outstanding: int = 0
+    compute_ready_cycle: int = 0
+    compute_charged: bool = False
+    assigned_cycle: int = 0
+    stat_blocks_completed: int = 0
+    #: A request already prepared (L1 probed, trace entry consumed) that could
+    #: not be injected into the interconnect due to back-pressure; retried on
+    #: later cycles without repeating the L1 probe.
+    pending_request: object | None = None
+
+    def assign(self, tb: ThreadBlock, cycle: int) -> None:
+        self.tb = tb
+        self.cursor = 0
+        self.outstanding = 0
+        self.compute_ready_cycle = cycle
+        self.compute_charged = False
+        self.assigned_cycle = cycle
+        self.pending_request = None
+
+    @property
+    def busy(self) -> bool:
+        """True while a thread block is assigned (running or draining)."""
+
+        return self.tb is not None
+
+    @property
+    def exhausted(self) -> bool:
+        """All entries issued; the window is only draining outstanding requests."""
+
+        return self.tb is not None and self.cursor >= len(self.tb.entries)
+
+    @property
+    def drained(self) -> bool:
+        """The assigned thread block is completely finished."""
+
+        return self.exhausted and self.outstanding == 0
+
+    def release(self) -> ThreadBlock:
+        """Clear the window after its thread block drained."""
+
+        assert self.tb is not None
+        finished = self.tb
+        self.tb = None
+        self.cursor = 0
+        self.outstanding = 0
+        self.compute_charged = False
+        self.pending_request = None
+        self.stat_blocks_completed += 1
+        return finished
+
+
+@dataclass(slots=True)
+class WindowIssueResult:
+    """What happened when the core tried to issue from a window this cycle."""
+
+    issued: bool = False
+    blocked_on_compute: bool = False
+    blocked_on_memory: bool = False
+    completed_block: ThreadBlock | None = None
+    extra: dict = field(default_factory=dict)

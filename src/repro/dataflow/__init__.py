@@ -1,0 +1,26 @@
+"""Analytical dataflow model: the Timeloop substitute of the hybrid framework.
+
+The paper's flow (Fig 6) is ``operator -> Timeloop mapping -> memory trace ->
+Ramulator2``.  This package provides the first arrow: a loop-nest mapping
+representation, a constrained mapper implementing the two hand-written dataflow
+constraints of §6.2.2, and an analytical traffic/latency model used both for
+sanity-checking the cycle-level simulator and for fast design-space sweeps.
+"""
+
+from repro.dataflow.analytical import AnalyticalEstimate, analyze
+from repro.dataflow.constraints import DataflowConstraints
+from repro.dataflow.loopnest import Loop, LoopNest, MappingLevel
+from repro.dataflow.mapper import Mapping, build_mapping
+from repro.dataflow.ordering import ThreadBlockOrdering
+
+__all__ = [
+    "AnalyticalEstimate",
+    "DataflowConstraints",
+    "Loop",
+    "LoopNest",
+    "Mapping",
+    "MappingLevel",
+    "ThreadBlockOrdering",
+    "analyze",
+    "build_mapping",
+]

@@ -1,0 +1,119 @@
+"""Analytical performance model (the fast, stall-free half of the hybrid flow).
+
+This is the kind of estimate a Timeloop-style analytical model produces: unique
+traffic per memory level and a stall-free latency bound assuming perfect
+overlap of compute and memory.  The paper argues such models are insufficient
+for cache research (they ignore MSHR stalls, queueing and DRAM row events) --
+which is exactly how this module is used here: as a *lower bound* the
+cycle-level simulator is validated against, and as a quick estimator for
+examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.mathutils import ceil_div, safe_div
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+from repro.dataflow.constraints import DataflowConstraints
+from repro.dataflow.mapper import Mapping, build_mapping
+from repro.workloads.operators import make_operator
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyticalEstimate:
+    """Stall-free estimate of one decode-operator execution."""
+
+    compute_cycles: int          # vector-unit-bound cycles (all cores busy)
+    dram_bound_cycles: int       # unique DRAM traffic / peak bandwidth
+    l2_bound_cycles: int         # L2 accesses / aggregate slice throughput
+    total_dram_bytes: int        # unique bytes that must come from DRAM
+    total_l2_accesses: int       # line requests reaching the LLC
+    thread_blocks: int
+    requests_per_thread_block: float
+
+    @property
+    def stall_free_cycles(self) -> int:
+        """Roofline-style bound: the slowest of the three resources."""
+
+        return max(self.compute_cycles, self.dram_bound_cycles, self.l2_bound_cycles)
+
+    @property
+    def bottleneck(self) -> str:
+        bounds = {
+            "compute": self.compute_cycles,
+            "dram": self.dram_bound_cycles,
+            "l2": self.l2_bound_cycles,
+        }
+        return max(bounds, key=bounds.get)
+
+    def dram_bandwidth_gbps(self, frequency_ghz: float) -> float:
+        """Average DRAM bandwidth implied by the stall-free estimate."""
+
+        seconds = safe_div(self.stall_free_cycles, frequency_ghz * 1e9)
+        return safe_div(self.total_dram_bytes, seconds) / 1e9
+
+
+def analyze(
+    workload: WorkloadConfig,
+    system: SystemConfig,
+    mapping: Mapping | None = None,
+    constraints: DataflowConstraints | None = None,
+) -> AnalyticalEstimate:
+    """Estimate stall-free execution of ``workload`` on ``system``."""
+
+    workload.validate()
+    system.validate()
+    operator = make_operator(workload)
+    if mapping is None:
+        mapping = build_mapping(operator, system, constraints)
+
+    line = system.l2.line_size
+    space = operator.space
+
+    # --- L2 request counts (line granularity, after vector coalescing) ------------
+    kv_lines_per_row = ceil_div(operator.kv_row_bytes(), line)
+    query_lines_per_block = ceil_div(operator.query_row_bytes(), line)
+    output_lines_per_block = ceil_div(mapping.inner_tile * operator.element_bytes, line)
+
+    kv_rows_per_block = mapping.inner_tile if operator.reduction_axis == "d" else space.l
+    blocks = mapping.num_thread_blocks
+    requests_per_block = (
+        query_lines_per_block
+        + kv_rows_per_block * kv_lines_per_row
+        + output_lines_per_block
+    )
+    total_l2_accesses = blocks * requests_per_block
+
+    # --- unique DRAM traffic -------------------------------------------------------
+    layout = operator.layout
+    unique_bytes = layout.kv.size_bytes + layout.query.size_bytes + layout.output.size_bytes
+    # Output lines are written back (write-allocate: one fill plus one writeback).
+    dram_bytes = unique_bytes + layout.output.size_bytes
+
+    # --- resource bounds -----------------------------------------------------------
+    # Compute: one vector MAC per KV row per output group of vector_elements.
+    macs = blocks * kv_rows_per_block * ceil_div(
+        space.d if operator.reduction_axis == "d" else space.l, mapping.vector_elements
+    )
+    compute_cycles = ceil_div(
+        macs * system.core.compute_cycles_per_vector_mac, system.core.num_cores
+    )
+
+    # DRAM: unique bytes over peak bandwidth, expressed in core cycles.
+    bytes_per_core_cycle = system.dram.peak_bandwidth_gbps * 1e9 / (system.frequency_ghz * 1e9)
+    dram_bound_cycles = ceil_div(dram_bytes, max(1, int(bytes_per_core_cycle)))
+
+    # L2: each slice serves one request per cycle.
+    l2_bound_cycles = ceil_div(total_l2_accesses, system.l2.num_slices)
+
+    return AnalyticalEstimate(
+        compute_cycles=compute_cycles,
+        dram_bound_cycles=dram_bound_cycles,
+        l2_bound_cycles=l2_bound_cycles,
+        total_dram_bytes=dram_bytes,
+        total_l2_accesses=total_l2_accesses,
+        thread_blocks=blocks,
+        requests_per_thread_block=requests_per_block,
+    )

@@ -1,0 +1,57 @@
+"""Dataflow constraints of §6.2.2.
+
+The paper adds two constraints to the Timeloop mapper plus a thread-block-size
+rule that was found empirically:
+
+1. *Cache-line-complete vector access*: the fastest (vectorised) axis assigned
+   to each vector core must cover a whole KV row so that cache-line accesses
+   are complete -- for the Logit operator this is the ``d`` axis.
+2. *No false sharing of AttScore*: at least 64 bytes worth of elements of the
+   ``l`` dimension must be mapped to the innermost L1 temporal level, so one
+   output cache line is produced by exactly one core.
+3. *Thread-block size*: each thread block covers one or two output cache lines
+   (larger blocks were observed to reduce locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class DataflowConstraints:
+    """Constraint knobs for the mapper."""
+
+    vector_axis: str = "d"
+    #: Minimum bytes of the output's innermost dim kept within one thread block.
+    min_inner_bytes: int = 64
+    #: Output cache lines covered by one thread block (paper: 1-2 is best).
+    output_lines_per_block: int = 1
+    line_size: int = 64
+
+    def validate(self) -> "DataflowConstraints":
+        if self.vector_axis not in ("d", "l"):
+            raise ConfigError("vector_axis must be 'd' or 'l'")
+        if self.min_inner_bytes <= 0:
+            raise ConfigError("min_inner_bytes must be positive")
+        if self.output_lines_per_block < 1:
+            raise ConfigError("output_lines_per_block must be at least 1")
+        if self.line_size <= 0:
+            raise ConfigError("line_size must be positive")
+        return self
+
+    def inner_tile_elements(self, element_bytes: int) -> int:
+        """Minimum number of output elements per thread block (constraint 2 & 3).
+
+        A thread block must cover at least ``min_inner_bytes`` of the output's
+        innermost dimension and exactly ``output_lines_per_block`` cache lines.
+        """
+
+        if element_bytes <= 0:
+            raise ConfigError("element_bytes must be positive")
+        per_line = self.line_size // element_bytes
+        minimum = self.min_inner_bytes // element_bytes
+        tile = per_line * self.output_lines_per_block
+        return max(tile, minimum)

@@ -1,0 +1,94 @@
+"""Loop-nest / mapping intermediate representation.
+
+A *mapping* in the Timeloop sense is a hierarchy of tiled loops, each bound to
+either a temporal level (L1, L2, DRAM) or a spatial level (across cores /
+vector lanes).  The representation here is deliberately small: the decode
+operators only have four loop dimensions (h, g, l, d), and the reproduction
+only needs to express the mappings the paper constrains (§6.2.2), plus be
+printable in a human-readable form so hand-written mappings can be reviewed the
+same way Timeloop mapping files are.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+#: Canonical loop-dimension names of the decode operators.
+DIMS = ("h", "g", "l", "d")
+
+
+class MappingLevel(enum.Enum):
+    """Where a tiled loop executes."""
+
+    VECTOR = "vector"        # spatial, across vector lanes inside a core
+    L1_TEMPORAL = "l1"       # temporal, per thread block (innermost core loop)
+    CORE_SPATIAL = "cores"   # spatial, thread blocks across cores
+    GLOBAL_TEMPORAL = "dram" # temporal, outer loop over thread blocks
+
+
+@dataclass(frozen=True, slots=True)
+class Loop:
+    """One tiled loop: dimension name, tile extent and the level it is bound to."""
+
+    dim: str
+    extent: int
+    level: MappingLevel
+
+    def __post_init__(self) -> None:
+        if self.dim not in DIMS:
+            raise ConfigError(f"unknown loop dimension {self.dim!r}; expected one of {DIMS}")
+        if self.extent <= 0:
+            raise ConfigError(f"loop extent must be positive, got {self.extent}")
+
+    def render(self) -> str:
+        return f"for {self.dim} in [0:{self.extent})  @ {self.level.value}"
+
+
+@dataclass(slots=True)
+class LoopNest:
+    """An ordered list of loops, outermost first."""
+
+    loops: list[Loop] = field(default_factory=list)
+
+    def add(self, dim: str, extent: int, level: MappingLevel) -> "LoopNest":
+        self.loops.append(Loop(dim, extent, level))
+        return self
+
+    def extent_product(self, dim: str) -> int:
+        """Product of tile extents of ``dim`` across all levels."""
+
+        product = 1
+        for loop in self.loops:
+            if loop.dim == dim:
+                product *= loop.extent
+        return product
+
+    def loops_at(self, level: MappingLevel) -> list[Loop]:
+        return [loop for loop in self.loops if loop.level == level]
+
+    def validate_against(self, full_extents: dict[str, int]) -> None:
+        """Check that tiling factors multiply back to the full iteration space."""
+
+        for dim, extent in full_extents.items():
+            product = self.extent_product(dim)
+            if product != extent:
+                raise ConfigError(
+                    f"loop nest covers {product} iterations of {dim!r} "
+                    f"but the operator needs {extent}"
+                )
+
+    def render(self) -> str:
+        """Human-readable mapping, in the style of a Timeloop mapping printout."""
+
+        lines = []
+        indent = 0
+        for loop in self.loops:
+            lines.append("  " * indent + loop.render())
+            indent += 1
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.loops)

@@ -1,0 +1,130 @@
+"""Constrained mapper: produce a legal tiled mapping for a decode operator.
+
+This plays the role Timeloop plays in the paper's flow: given the operator
+shape, the architecture and the hand-written constraints of §6.2.2, emit a
+mapping (loop nest + thread-block tiling) that the trace generator can unroll
+into per-core memory traces.  The mapping is deterministic and human-readable
+(``Mapping.render``), mirroring how the paper's flow also accepts hand-written
+mapping files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.mathutils import ceil_div
+from repro.config.system import SystemConfig
+from repro.dataflow.constraints import DataflowConstraints
+from repro.dataflow.loopnest import LoopNest, MappingLevel
+from repro.dataflow.ordering import ThreadBlockOrdering
+from repro.workloads.operators import DecodeOperator
+
+
+@dataclass(frozen=True, slots=True)
+class Mapping:
+    """A complete mapping of a decode operator onto the simulated system."""
+
+    #: Output elements (along the operator's innermost output dim) per thread block.
+    inner_tile: int
+    #: Number of thread blocks along each of (h, g, l_tiles).
+    num_h: int
+    num_g: int
+    num_inner_tiles: int
+    #: Dispatch order of thread blocks.
+    ordering: ThreadBlockOrdering
+    #: The explicit loop nest (for inspection / documentation).
+    nest: LoopNest
+    #: Reduction-axis extent handled by one vector instruction.
+    vector_elements: int
+
+    @property
+    def num_thread_blocks(self) -> int:
+        return self.num_h * self.num_g * self.num_inner_tiles
+
+    def thread_block_coords(self):
+        """Yield (h, g, inner_tile_index) in dispatch order."""
+
+        return self.ordering.iterate(self.num_h, self.num_g, self.num_inner_tiles)
+
+    def render(self) -> str:
+        header = (
+            f"# mapping: {self.num_thread_blocks} thread blocks "
+            f"({self.num_h} h x {self.num_g} g x {self.num_inner_tiles} tiles of "
+            f"{self.inner_tile} outputs), ordering={self.ordering.value}\n"
+        )
+        return header + self.nest.render()
+
+
+def build_mapping(
+    operator: DecodeOperator,
+    system: SystemConfig,
+    constraints: DataflowConstraints | None = None,
+    ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
+) -> Mapping:
+    """Build the constrained mapping used throughout the paper's evaluation.
+
+    The mapping tiles the output's innermost dimension into thread blocks of
+    ``constraints.output_lines_per_block`` cache lines, keeps the reduction axis
+    (``d`` for Logit) fully inside each vector instruction (constraint 1) and
+    dispatches thread blocks in GQA-shared order by default.
+    """
+
+    constraints = (constraints or DataflowConstraints(line_size=system.l2.line_size)).validate()
+    if constraints.line_size != system.l2.line_size:
+        raise ConfigError(
+            "constraints.line_size must match the system cache line size "
+            f"({constraints.line_size} != {system.l2.line_size})"
+        )
+
+    space = operator.space
+    element_bytes = operator.element_bytes
+
+    # Constraint 1: the reduction axis is fully covered by the vector unit.  The
+    # vector core is "128 elements" wide which matches the head dimension of the
+    # evaluated models; wider reduction axes simply take multiple vector steps.
+    vector_elements = min(space.d if operator.reduction_axis == "d" else space.l,
+                          system.core.vector_lanes)
+
+    inner_extent = operator.output_extent()
+    inner_tile = constraints.inner_tile_elements(element_bytes)
+    if inner_tile > inner_extent:
+        inner_tile = inner_extent
+    num_inner_tiles = ceil_div(inner_extent, inner_tile)
+
+    nest = LoopNest()
+    nest.add("h", space.h, MappingLevel.GLOBAL_TEMPORAL)
+    if operator.reduction_axis == "d":
+        # Logit: output inner dim is l; reduction over d sits in the vector unit.
+        nest.add("l", num_inner_tiles, MappingLevel.GLOBAL_TEMPORAL)
+        nest.add("g", space.g, MappingLevel.CORE_SPATIAL)
+        nest.add("l", inner_tile, MappingLevel.L1_TEMPORAL)
+        reduction_steps = ceil_div(space.d, vector_elements)
+        nest.add("d", reduction_steps, MappingLevel.L1_TEMPORAL)
+        nest.add("d", vector_elements, MappingLevel.VECTOR)
+        full = {"h": space.h, "g": space.g, "l": num_inner_tiles * inner_tile,
+                "d": reduction_steps * vector_elements}
+    else:
+        # Attend: output inner dim is d; reduction over l.
+        nest.add("d", num_inner_tiles, MappingLevel.GLOBAL_TEMPORAL)
+        nest.add("g", space.g, MappingLevel.CORE_SPATIAL)
+        nest.add("d", inner_tile, MappingLevel.L1_TEMPORAL)
+        reduction_steps = ceil_div(space.l, vector_elements)
+        nest.add("l", reduction_steps, MappingLevel.L1_TEMPORAL)
+        nest.add("l", vector_elements, MappingLevel.VECTOR)
+        full = {"h": space.h, "g": space.g, "d": num_inner_tiles * inner_tile,
+                "l": reduction_steps * vector_elements}
+
+    # The nest may over-cover the last partial tile; validate against the rounded
+    # extents so the tiling arithmetic itself is checked.
+    nest.validate_against(full)
+
+    return Mapping(
+        inner_tile=inner_tile,
+        num_h=space.h,
+        num_g=space.g,
+        num_inner_tiles=num_inner_tiles,
+        ordering=ordering,
+        nest=nest,
+        vector_elements=vector_elements,
+    )

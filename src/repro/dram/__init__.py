@@ -1,0 +1,15 @@
+"""DRAM subsystem: a light-weight Ramulator2-style DDR5 timing model.
+
+The model keeps the parts of DRAM behaviour that matter to LLC policy research
+(bank-level parallelism, row-buffer hits/misses/conflicts, per-channel data-bus
+bandwidth, FR-FCFS scheduling, bounded controller queues) and drops command-bus
+micro-details.  DRAM-clock timing parameters from :class:`repro.config.DramConfig`
+are converted to core cycles once at construction.
+"""
+
+from repro.dram.bank import BankState
+from repro.dram.channel import DramChannel
+from repro.dram.system import DramStats, DramSystem
+from repro.dram.timing import DramTiming
+
+__all__ = ["BankState", "DramChannel", "DramStats", "DramSystem", "DramTiming"]

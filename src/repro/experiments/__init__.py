@@ -1,0 +1,34 @@
+"""Experiment harnesses: one module per table/figure of the paper's evaluation."""
+
+from repro.experiments.fig7 import (
+    Fig7Result,
+    run_fig7_arbitration,
+    run_fig7_cumulative,
+    run_fig7_throttling,
+)
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.hwcost_exp import run_hwcost
+from repro.experiments.reporting import format_grid, format_series
+from repro.experiments.tables import (
+    run_table2_sampling_sweep,
+    run_table3_contention_sweep,
+    run_table4_incore_sweep,
+)
+
+__all__ = [
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "format_grid",
+    "format_series",
+    "run_fig7_arbitration",
+    "run_fig7_cumulative",
+    "run_fig7_throttling",
+    "run_fig8",
+    "run_fig9",
+    "run_hwcost",
+    "run_table2_sampling_sweep",
+    "run_table3_contention_sweep",
+    "run_table4_incore_sweep",
+]

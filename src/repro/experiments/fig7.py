@@ -1,0 +1,162 @@
+"""Figure 7: speedups of the Logit operator in the miss-handling-bound regime.
+
+Panels (a)&(d): throttling policies (dyncta, lcs, dynmg) normalised against the
+unoptimized run.  Panels (b)&(e): arbitration policies (cobrra, B, MA, BMA),
+each combined with dynmg and normalised against dynmg alone.  Panels (c)&(f):
+cumulative speedups of dynmg / dynmg+B / dynmg+MA / dynmg+BMA against the
+unoptimized run.  Both Llama3-70B and Llama3-405B are evaluated at sequence
+lengths 4K, 8K and 16K (scaled down by the selected tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.mathutils import geomean
+from repro.config.policies import ArbitrationKind, PolicyConfig, ThrottleKind
+from repro.config.presets import (
+    FIG7_SEQ_LENS,
+    llama3_405b_logit,
+    llama3_70b_logit,
+    table5_system,
+)
+from repro.config.scale import ScaleTier, scale_experiment
+from repro.config.workload import WorkloadConfig
+from repro.experiments.reporting import format_series
+from repro.sim.results import SimResult
+from repro.sim.runner import run_policy
+
+#: Throttling policies of panels (a)&(d) (paper legend names).
+THROTTLE_POLICIES = {
+    "dyncta": PolicyConfig(throttle=ThrottleKind.DYNCTA),
+    "lcs": PolicyConfig(throttle=ThrottleKind.LCS),
+    "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
+}
+
+#: Arbitration policies of panels (b)&(e); each rides on top of dynmg.
+ARBITRATION_POLICIES = {
+    "cobrra": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.COBRRA),
+    "B": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED),
+    "MA": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.MSHR_AWARE),
+    "BMA": PolicyConfig(
+        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
+    ),
+}
+
+#: Cumulative policies of panels (c)&(f).
+CUMULATIVE_POLICIES = {
+    "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
+    "dynmg+B": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED),
+    "dynmg+MA": PolicyConfig(
+        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.MSHR_AWARE
+    ),
+    "dynmg+BMA": PolicyConfig(
+        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
+    ),
+}
+
+
+def paper_workload(model: str, seq_len: int) -> WorkloadConfig:
+    if model == "llama3-70b":
+        return llama3_70b_logit(seq_len)
+    if model == "llama3-405b":
+        return llama3_405b_logit(seq_len)
+    raise ValueError(f"unknown model {model!r}")
+
+
+@dataclass(slots=True)
+class Fig7Result:
+    """Speedup series for one panel: model -> seq_len -> policy -> speedup."""
+
+    panel: str
+    tier: ScaleTier
+    seq_lens: tuple[int, ...]
+    #: speedups[model][policy] is a list aligned with ``seq_lens``.
+    speedups: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    raw: dict[tuple[str, int, str], SimResult] = field(default_factory=dict)
+
+    def geomean(self, model: str, policy: str) -> float:
+        return geomean(self.speedups[model][policy])
+
+    def render(self) -> str:
+        blocks = []
+        for model, series in self.speedups.items():
+            blocks.append(
+                format_series(
+                    f"Fig 7 ({self.panel}) -- {model} (tier={self.tier.name})",
+                    "seq len",
+                    [f"{s//1024}K" if s >= 1024 else str(s) for s in self.seq_lens],
+                    series,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def _run_panel(
+    panel: str,
+    policies: dict[str, PolicyConfig],
+    baseline: PolicyConfig,
+    tier: ScaleTier,
+    models: tuple[str, ...],
+    seq_lens: tuple[int, ...],
+    max_cycles: int | None,
+) -> Fig7Result:
+    result = Fig7Result(panel=panel, tier=tier, seq_lens=tuple(seq_lens))
+    base_system = table5_system()
+    for model in models:
+        result.speedups[model] = {name: [] for name in policies}
+        for seq_len in seq_lens:
+            system, workload = scale_experiment(base_system, paper_workload(model, seq_len), tier)
+            base_run = run_policy(system, workload, baseline, label="baseline",
+                                  max_cycles=max_cycles)
+            result.raw[(model, seq_len, "baseline")] = base_run
+            for name, policy in policies.items():
+                run = run_policy(system, workload, policy, label=name, max_cycles=max_cycles)
+                result.raw[(model, seq_len, name)] = run
+                result.speedups[model][name].append(base_run.cycles / run.cycles)
+    return result
+
+
+def run_fig7_throttling(
+    tier: ScaleTier = ScaleTier.CI,
+    models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
+    seq_lens: tuple[int, ...] = FIG7_SEQ_LENS,
+    max_cycles: int | None = None,
+) -> Fig7Result:
+    """Panels (a)&(d): throttling speedups over the unoptimized configuration."""
+
+    return _run_panel(
+        "a,d: throttling", THROTTLE_POLICIES, PolicyConfig(), tier, models, seq_lens, max_cycles
+    )
+
+
+def run_fig7_arbitration(
+    tier: ScaleTier = ScaleTier.CI,
+    models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
+    seq_lens: tuple[int, ...] = FIG7_SEQ_LENS,
+    max_cycles: int | None = None,
+) -> Fig7Result:
+    """Panels (b)&(e): arbitration speedups, each policy + dynmg over dynmg alone."""
+
+    return _run_panel(
+        "b,e: arbitration (+dynmg, vs dynmg)",
+        ARBITRATION_POLICIES,
+        PolicyConfig(throttle=ThrottleKind.DYNMG),
+        tier,
+        models,
+        seq_lens,
+        max_cycles,
+    )
+
+
+def run_fig7_cumulative(
+    tier: ScaleTier = ScaleTier.CI,
+    models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
+    seq_lens: tuple[int, ...] = FIG7_SEQ_LENS,
+    max_cycles: int | None = None,
+) -> Fig7Result:
+    """Panels (c)&(f): cumulative speedups over the unoptimized configuration."""
+
+    return _run_panel(
+        "c,f: cumulative", CUMULATIVE_POLICIES, PolicyConfig(), tier, models, seq_lens, max_cycles
+    )

@@ -1,0 +1,82 @@
+"""Figure 8: the mechanism behind the speedup (Llama3-70B @ 8K).
+
+For the unoptimized, dynmg and dynmg+BMA configurations the figure reports
+normalised performance, MSHR entry utilisation, L2 hit rate, MSHR hit rate and
+average DRAM bandwidth.  This experiment reproduces the same five series for an
+arbitrary list of policies (default: the paper's three-step progression plus
+the intermediate dynmg+B / dynmg+MA points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.policies import ArbitrationKind, PolicyConfig, ThrottleKind
+from repro.config.presets import llama3_70b_logit, table5_system
+from repro.config.scale import ScaleTier, scale_experiment
+from repro.experiments.reporting import format_grid
+from repro.sim.results import SimResult
+from repro.sim.runner import run_policy
+
+DEFAULT_POLICIES = {
+    "unoptimized": PolicyConfig(),
+    "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
+    "dynmg+B": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED),
+    "dynmg+MA": PolicyConfig(
+        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.MSHR_AWARE
+    ),
+    "dynmg+BMA": PolicyConfig(
+        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
+    ),
+}
+
+
+@dataclass(slots=True)
+class Fig8Result:
+    """Per-policy detailed statistics for the mechanism analysis."""
+
+    tier: ScaleTier
+    seq_len: int
+    rows: list[dict] = field(default_factory=list)
+    raw: dict[str, SimResult] = field(default_factory=dict)
+
+    def series(self, metric: str) -> dict[str, float]:
+        return {row["policy"]: row[metric] for row in self.rows}
+
+    def render(self) -> str:
+        return format_grid(
+            f"Fig 8 -- llama3-70b @ {self.seq_len} (tier={self.tier.name})", self.rows
+        )
+
+
+def run_fig8(
+    tier: ScaleTier = ScaleTier.CI,
+    seq_len: int = 8192,
+    policies: dict[str, PolicyConfig] | None = None,
+    max_cycles: int | None = None,
+) -> Fig8Result:
+    """Reproduce the Fig 8 statistics panel."""
+
+    policies = policies if policies is not None else DEFAULT_POLICIES
+    system, workload = scale_experiment(table5_system(), llama3_70b_logit(seq_len), tier)
+    result = Fig8Result(tier=tier, seq_len=workload.shape.seq_len)
+
+    baseline: SimResult | None = None
+    for name, policy in policies.items():
+        run = run_policy(system, workload, policy, label=name, max_cycles=max_cycles)
+        result.raw[name] = run
+        if baseline is None:
+            baseline = run
+        result.rows.append(
+            {
+                "policy": name,
+                "performance": baseline.cycles / run.cycles,
+                "mshr_entry_util": run.mshr_entry_utilization,
+                "l2_hit_rate": run.l2_hit_rate,
+                "mshr_hit_rate": run.mshr_hit_rate,
+                "dram_bw_gbps": run.dram_bandwidth_gbps,
+                "dram_accesses": run.dram_accesses,
+                "stall_ratio": run.cache_stall_ratio,
+            }
+        )
+    return result

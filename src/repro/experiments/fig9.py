@@ -1,0 +1,109 @@
+"""Figure 9: throttling and arbitration when the cache size is also a bottleneck.
+
+32K-token sequences are run against 16, 32 and 64 MB L2 configurations (scaled
+by the selected tier); every policy is normalised against the unoptimized run
+at the 32 MB point, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.policies import ArbitrationKind, PolicyConfig, ThrottleKind
+from repro.config.presets import (
+    FIG9_L2_MIB,
+    FIG9_SEQ_LEN,
+    llama3_405b_logit,
+    llama3_70b_logit,
+    table5_system_with_l2,
+)
+from repro.config.scale import ScaleTier, scale_experiment
+from repro.config.workload import WorkloadConfig
+from repro.experiments.reporting import format_series
+from repro.sim.results import SimResult
+from repro.sim.runner import run_policy
+
+FIG9_POLICIES = {
+    "unoptimized": PolicyConfig(),
+    "dyncta": PolicyConfig(throttle=ThrottleKind.DYNCTA),
+    "lcs": PolicyConfig(throttle=ThrottleKind.LCS),
+    "cobrra": PolicyConfig(arbitration=ArbitrationKind.COBRRA),
+    "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
+    "dynmg+cobrra": PolicyConfig(
+        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.COBRRA
+    ),
+    "dynmg+BMA": PolicyConfig(
+        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
+    ),
+}
+
+#: The L2 capacity the paper normalises against.
+REFERENCE_L2_MIB = 32
+
+
+@dataclass(slots=True)
+class Fig9Result:
+    """Speedup series: model -> policy -> list aligned with ``l2_sizes_mib``."""
+
+    tier: ScaleTier
+    seq_len: int
+    l2_sizes_mib: tuple[int, ...]
+    speedups: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    raw: dict[tuple[str, int, str], SimResult] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = []
+        for model, series in self.speedups.items():
+            blocks.append(
+                format_series(
+                    f"Fig 9 -- {model} @ {self.seq_len} tokens (tier={self.tier.name}, "
+                    f"normalised to unoptimized@{REFERENCE_L2_MIB}MB)",
+                    "L2 size",
+                    [f"{m}MB" for m in self.l2_sizes_mib],
+                    series,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def _workload(model: str, seq_len: int) -> WorkloadConfig:
+    if model == "llama3-70b":
+        return llama3_70b_logit(seq_len)
+    if model == "llama3-405b":
+        return llama3_405b_logit(seq_len)
+    raise ValueError(f"unknown model {model!r}")
+
+
+def run_fig9(
+    tier: ScaleTier = ScaleTier.CI,
+    models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
+    seq_len: int = FIG9_SEQ_LEN,
+    l2_sizes_mib: tuple[int, ...] = FIG9_L2_MIB,
+    policies: dict[str, PolicyConfig] | None = None,
+    max_cycles: int | None = None,
+) -> Fig9Result:
+    """Reproduce the Fig 9 cache-size sweep."""
+
+    policies = policies if policies is not None else FIG9_POLICIES
+    result = Fig9Result(tier=tier, seq_len=seq_len, l2_sizes_mib=tuple(l2_sizes_mib))
+
+    for model in models:
+        result.speedups[model] = {name: [] for name in policies}
+        # Reference: unoptimized at the 32 MB (scaled) configuration.
+        ref_system, workload = scale_experiment(
+            table5_system_with_l2(REFERENCE_L2_MIB), _workload(model, seq_len), tier
+        )
+        reference = run_policy(
+            ref_system, workload, PolicyConfig(), label="reference", max_cycles=max_cycles
+        )
+        result.raw[(model, REFERENCE_L2_MIB, "reference")] = reference
+
+        for l2_mib in l2_sizes_mib:
+            system, workload = scale_experiment(
+                table5_system_with_l2(l2_mib), _workload(model, seq_len), tier
+            )
+            for name, policy in policies.items():
+                run = run_policy(system, workload, policy, label=name, max_cycles=max_cycles)
+                result.raw[(model, l2_mib, name)] = run
+                result.speedups[model][name].append(reference.cycles / run.cycles)
+    return result

@@ -1,0 +1,34 @@
+"""Section 6.1: hardware cost of the added arbitration structures."""
+
+from __future__ import annotations
+
+from repro.config.policies import MshrAwareParams
+from repro.config.system import L2Config
+from repro.hwcost.area import estimate_area
+
+#: Published synthesis results (15 nm, 1.96 GHz), um^2.
+PAPER_ARBITER_UM2 = 7312.93
+PAPER_HIT_BUFFER_UM2 = 3088.61
+
+
+def run_hwcost(
+    l2: L2Config | None = None,
+    mshr_aware: MshrAwareParams | None = None,
+    num_cores: int = 16,
+) -> list[dict]:
+    """Estimate the arbiter / hit-buffer area and compare against the paper."""
+
+    reports = estimate_area(l2=l2, mshr_aware=mshr_aware, num_cores=num_cores)
+    paper = {"arbiter": PAPER_ARBITER_UM2, "hit_buffer": PAPER_HIT_BUFFER_UM2}
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            {
+                "structure": name,
+                "storage_bits": report.storage_bits,
+                "model_um2": report.total_um2,
+                "paper_um2": paper[name],
+                "ratio": report.total_um2 / paper[name],
+            }
+        )
+    return rows

@@ -1,0 +1,47 @@
+"""Plain-text formatting of experiment results (the rows/series the paper plots)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.3f}",
+) -> str:
+    """Format one figure panel: rows are policies, columns are x-axis points."""
+
+    col_width = max(10, max((len(str(x)) for x in x_values), default=10) + 2)
+    name_width = max(14, max((len(name) for name in series), default=14) + 2)
+    lines = [title, "-" * len(title)]
+    header = f"{x_label:<{name_width}}" + "".join(f"{str(x):>{col_width}}" for x in x_values)
+    lines.append(header)
+    for name, values in series.items():
+        cells = "".join(f"{value_format.format(v):>{col_width}}" for v in values)
+        lines.append(f"{name:<{name_width}}{cells}")
+    return "\n".join(lines)
+
+
+def format_grid(title: str, rows: Sequence[Mapping[str, object]]) -> str:
+    """Format a list of dict rows as an aligned table (for Fig 8-style panels)."""
+
+    if not rows:
+        return f"{title}\n(no data)"
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(col), max(len(_fmt(row[col])) for row in rows)) + 2 for col in columns
+    }
+    lines = [title, "-" * len(title)]
+    lines.append("".join(f"{col:>{widths[col]}}" for col in columns))
+    for row in rows:
+        lines.append("".join(f"{_fmt(row[col]):>{widths[col]}}" for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,123 @@
+"""Parameter-sweep experiments behind Tables 2, 3 and 4.
+
+The paper obtains its throttling configuration (sampling period, sub-period,
+contention thresholds, in-core C_mem / C_idle bounds) by sweeping; these
+harnesses re-run compact versions of those sweeps so the chosen values can be
+compared against neighbouring settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config.policies import (
+    ContentionThresholds,
+    InCoreThrottleParams,
+    MultiGearParams,
+    PolicyConfig,
+    ThrottleKind,
+)
+from repro.config.presets import llama3_70b_logit, table5_system
+from repro.config.scale import ScaleTier, scale_experiment
+from repro.sim.runner import run_policy
+
+
+def _base(tier: ScaleTier, seq_len: int):
+    return scale_experiment(table5_system(), llama3_70b_logit(seq_len), tier)
+
+
+def run_table2_sampling_sweep(
+    tier: ScaleTier = ScaleTier.CI,
+    seq_len: int = 8192,
+    sampling_periods: tuple[int, ...] = (500, 1000, 2000, 4000, 8000),
+    sub_period_ratio: int = 5,
+    max_cycles: int | None = None,
+) -> list[dict]:
+    """Sweep the global sampling period (Table 2 picks 2000 / sub-period 400)."""
+
+    system, workload = _base(tier, seq_len)
+    baseline = run_policy(system, workload, PolicyConfig(), label="unopt", max_cycles=max_cycles)
+    rows = []
+    for period in sampling_periods:
+        policy = PolicyConfig(
+            throttle=ThrottleKind.DYNMG,
+            multigear=MultiGearParams(sampling_period=period),
+            incore=InCoreThrottleParams(sub_period=max(50, period // sub_period_ratio)),
+        )
+        run = run_policy(
+            system, workload, policy, label=f"dynmg@{period}", max_cycles=max_cycles
+        )
+        rows.append(
+            {
+                "sampling_period": period,
+                "sub_period": max(50, period // sub_period_ratio),
+                "cycles": run.cycles,
+                "speedup": baseline.cycles / run.cycles,
+            }
+        )
+    return rows
+
+
+def run_table3_contention_sweep(
+    tier: ScaleTier = ScaleTier.CI,
+    seq_len: int = 8192,
+    threshold_sets: dict[str, ContentionThresholds] | None = None,
+    max_cycles: int | None = None,
+) -> list[dict]:
+    """Compare the Table 3 contention thresholds against looser/tighter settings."""
+
+    if threshold_sets is None:
+        threshold_sets = {
+            "paper (0.1/0.2/0.375)": ContentionThresholds(),
+            "loose (0.2/0.4/0.6)": ContentionThresholds(0.2, 0.4, 0.6),
+            "tight (0.05/0.1/0.2)": ContentionThresholds(0.05, 0.1, 0.2),
+        }
+    system, workload = _base(tier, seq_len)
+    baseline = run_policy(system, workload, PolicyConfig(), label="unopt", max_cycles=max_cycles)
+    rows = []
+    for name, thresholds in threshold_sets.items():
+        policy = PolicyConfig(
+            throttle=ThrottleKind.DYNMG,
+            multigear=MultiGearParams(thresholds=thresholds),
+        )
+        run = run_policy(system, workload, policy, label=name, max_cycles=max_cycles)
+        rows.append(
+            {
+                "thresholds": name,
+                "cycles": run.cycles,
+                "speedup": baseline.cycles / run.cycles,
+                "stall_ratio": run.cache_stall_ratio,
+            }
+        )
+    return rows
+
+
+def run_table4_incore_sweep(
+    tier: ScaleTier = ScaleTier.CI,
+    seq_len: int = 8192,
+    c_mem_bounds: tuple[tuple[int, int], ...] = ((250, 180), (350, 250), (150, 100)),
+    max_cycles: int | None = None,
+) -> list[dict]:
+    """Sweep the in-core C_mem bounds around the Table 4 values (250 / 180)."""
+
+    system, workload = _base(tier, seq_len)
+    baseline = run_policy(system, workload, PolicyConfig(), label="unopt", max_cycles=max_cycles)
+    rows = []
+    base_incore = InCoreThrottleParams()
+    for upper, lower in c_mem_bounds:
+        policy = PolicyConfig(
+            throttle=ThrottleKind.DYNMG,
+            incore=replace(base_incore, c_mem_upper=upper, c_mem_lower=lower),
+        )
+        run = run_policy(
+            system, workload, policy, label=f"cmem {upper}/{lower}", max_cycles=max_cycles
+        )
+        rows.append(
+            {
+                "c_mem_upper": upper,
+                "c_mem_lower": lower,
+                "cycles": run.cycles,
+                "speedup": baseline.cycles / run.cycles,
+            }
+        )
+    return rows

@@ -1,0 +1,5 @@
+"""Hardware-cost model for the added arbitration structures (§6.1)."""
+
+from repro.hwcost.area import AreaModel, AreaReport, estimate_area
+
+__all__ = ["AreaModel", "AreaReport", "estimate_area"]

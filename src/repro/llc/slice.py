@@ -1,0 +1,316 @@
+"""One LLC slice: the pipeline of Fig 4.
+
+Per cycle the slice performs
+
+* at most one *request lookup* (steps 1-2): the arbiter selects a request from
+  the request queue, the tag array is probed and the request either completes
+  as a hit or proceeds towards the MSHR;
+* at most one *MSHR action* (step 3): a previously looked-up miss reserves an
+  MSHR entry (merge or allocate).  A failed reservation stalls the whole
+  request path -- even hits can no longer be processed -- until a resource
+  frees, and every such cycle is counted as a cache-stall cycle (the t_cs
+  signal of Table 3);
+* at most one *response dequeue* (step 5): a fill from the response queue is
+  written into the cache storage.  The request lookup and the response dequeue
+  contend for the same storage port, resolved by the request-response
+  arbitration policy of §3.3 (or by COBRRA's override).
+
+DRAM returns (step 4/4') are pushed in by the simulator via
+:meth:`LLCSlice.on_dram_fill`: the MSHR entry is freed, every merged requester
+receives its data directly (it does not wait behind the response queue), and a
+copy enters the response queue for the later storage fill.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.arbiter.base import BaseArbiter
+from repro.common.address import AddressMap
+from repro.common.fifo import BoundedFifo
+from repro.common.types import MemRequest, MemResponse
+from repro.config.system import L2Config, ReqRespArbitration
+from repro.llc.mshr import MshrFile
+from repro.llc.storage import CacheStorage
+
+#: Maximum lookups in flight between tag probe and MSHR action; this bounds how
+#: far the request path can run ahead of a stalled MSHR stage.
+_PIPELINE_DEPTH_SLACK = 2
+
+ResponseSink = Callable[[MemResponse, int, int], None]
+DramSink = Callable[[int, bool, int], bool]
+
+
+class LLCSlice:
+    """One slice of the shared L2 (Fig 4)."""
+
+    def __init__(
+        self,
+        slice_id: int,
+        config: L2Config,
+        address_map: AddressMap,
+        arbiter: BaseArbiter,
+        response_sink: ResponseSink,
+        dram_sink: DramSink,
+    ) -> None:
+        config.validate()
+        self.slice_id = slice_id
+        self.config = config
+        self.address_map = address_map
+        self.arbiter = arbiter
+        self.response_sink = response_sink
+        self.dram_sink = dram_sink
+
+        sets = config.sets_per_slice
+        self.storage = CacheStorage(
+            num_sets=sets,
+            associativity=config.associativity,
+            index_fn=address_map.set_index_fn(sets),
+        )
+        self.mshr = MshrFile(config.mshr_num_entries, config.mshr_num_targets)
+        self.request_queue: BoundedFifo[MemRequest] = BoundedFifo(config.req_q_size)
+        self.response_queue: BoundedFifo[tuple[int, bool]] = BoundedFifo(config.resp_q_size)
+
+        self._mshr_stage: deque[tuple[int, MemRequest]] = deque()
+        self._pending_fills: deque[tuple[int, bool]] = deque()
+        self._dram_backlog: deque[tuple[int, bool]] = deque()   # (line_addr, is_write)
+        self._mshr_pipeline_limit = (
+            config.hit_latency + config.mshr_latency + _PIPELINE_DEPTH_SLACK
+        )
+        self.stalled = False
+
+        # -- statistics ---------------------------------------------------------------
+        self.hits = 0
+        self.misses = 0
+        self.mshr_merges = 0
+        self.mshr_allocations = 0
+        self.stall_cycles = 0
+        self.requests_accepted = 0
+        self.requests_rejected = 0
+        self.dram_reads_issued = 0
+        self.dram_writes_issued = 0
+        self.fills_written = 0
+        self.writebacks = 0
+        self.busy_cycles = 0
+        self.last_activity_cycle = 0
+
+    # ------------------------------------------------------------------------------
+    # external interfaces
+    # ------------------------------------------------------------------------------
+    def accept_request(self, req: MemRequest, cycle: int) -> bool:
+        """NoC sink: push a request into the request queue (False when full)."""
+
+        req.aligned(self.config.line_size)
+        req.arrive_cycle = cycle
+        if self.request_queue.push(req):
+            self.requests_accepted += 1
+            return True
+        self.requests_rejected += 1
+        return False
+
+    def on_dram_fill(self, line_addr: int, cycle: int) -> None:
+        """A DRAM read for ``line_addr`` returned (Fig 4, steps 4 and 4')."""
+
+        entry = self.mshr.free(line_addr, cycle)
+        dirty = False
+        for target in entry.targets:
+            if target.is_write:
+                dirty = True
+            self.response_sink(
+                MemResponse(
+                    req_id=target.req_id,
+                    core_id=target.core_id,
+                    tb_id=target.tb_id,
+                    line_addr=line_addr,
+                    rw=target.rw,
+                    complete_cycle=cycle,
+                    served_by="dram",
+                ),
+                cycle,
+                0,
+            )
+        fill = (line_addr, dirty)
+        if not self.response_queue.push(fill):
+            self._pending_fills.append(fill)
+        self.last_activity_cycle = cycle
+
+    # ------------------------------------------------------------------------------
+    # per-cycle pipeline
+    # ------------------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        if not self._has_cycle_work():
+            return
+        self.busy_cycles += 1
+
+        self._drain_dram_backlog(cycle)
+        self._drain_pending_fills()
+
+        # MSHR action stage runs independently of the storage port.
+        self._mshr_action(cycle)
+
+        serve_response = self._arbitrate_port()
+        if serve_response:
+            self._process_fill(cycle)
+        elif not self.stalled:
+            self._process_request(cycle)
+
+    def _has_cycle_work(self) -> bool:
+        return bool(
+            self.request_queue
+            or self.response_queue
+            or self._mshr_stage
+            or self._pending_fills
+            or self._dram_backlog
+            or self.stalled
+        )
+
+    # -- stage helpers ------------------------------------------------------------------
+    def _arbitrate_port(self) -> bool:
+        """Decide whether the storage port serves a response fill this cycle."""
+
+        has_response = bool(self.response_queue)
+        has_request = bool(self.request_queue) and not self.stalled
+        if not has_response:
+            return False
+        override = self.arbiter.wants_response_priority(
+            len(self.response_queue), self.response_queue.capacity
+        )
+        if override is not None:
+            return override and has_response
+        if self.config.req_resp_arbitration == ReqRespArbitration.RESPONSE_FIRST:
+            return True
+        # REQUEST_FIRST: responses only get the port when the response queue is
+        # full or there is no request to serve.
+        return self.response_queue.full or not has_request
+
+    def _process_request(self, cycle: int) -> None:
+        if not self.request_queue:
+            return
+        if len(self._mshr_stage) >= self._mshr_pipeline_limit:
+            # The miss pipeline is backed up; lookups cannot proceed.
+            return
+        index = self.arbiter.select(
+            self.request_queue, self.mshr.pending_lines(), cycle
+        )
+        req = self.request_queue.pop_index(index)
+        self.arbiter.notify_selected(req, cycle)
+        self.last_activity_cycle = cycle
+
+        hit = self.storage.lookup(req.line_addr)
+        if hit:
+            self.hits += 1
+            self.arbiter.notify_hit(req.line_addr, cycle)
+            self.arbiter.notify_outcome(req, True, False)
+            if req.is_write:
+                self.storage.mark_dirty(req.line_addr)
+            latency = self.config.hit_latency + self.config.data_latency
+            self.response_sink(
+                MemResponse(
+                    req_id=req.req_id,
+                    core_id=req.core_id,
+                    tb_id=req.tb_id,
+                    line_addr=req.line_addr,
+                    rw=req.rw,
+                    complete_cycle=cycle + latency,
+                    served_by="l2",
+                ),
+                cycle,
+                latency,
+            )
+        else:
+            self.misses += 1
+            due = cycle + self.config.hit_latency + self.config.mshr_latency
+            self._mshr_stage.append((due, req))
+
+    def _mshr_action(self, cycle: int) -> None:
+        if not self._mshr_stage:
+            if self.stalled:
+                self.stalled = False
+            return
+        due, req = self._mshr_stage[0]
+        if due > cycle and not self.stalled:
+            return
+        outcome = self.mshr.reserve(req, cycle)
+        if outcome == "stall":
+            self.stalled = True
+            self.stall_cycles += 1
+            return
+        self._mshr_stage.popleft()
+        self.stalled = False
+        self.last_activity_cycle = cycle
+        if outcome == "merged":
+            self.mshr_merges += 1
+            self.arbiter.notify_outcome(req, False, True)
+        else:
+            self.mshr_allocations += 1
+            self.arbiter.notify_outcome(req, False, False)
+            self._send_dram(req.line_addr, is_write=False, cycle=cycle)
+
+    def _process_fill(self, cycle: int) -> None:
+        if not self.response_queue:
+            return
+        line_addr, dirty = self.response_queue.pop()
+        self.fills_written += 1
+        self.last_activity_cycle = cycle
+        victim = self.storage.fill(line_addr, dirty)
+        self.arbiter.notify_fill(line_addr, cycle)
+        if victim is not None and victim.dirty:
+            self.writebacks += 1
+            self._send_dram(victim.line_addr, is_write=True, cycle=cycle)
+
+    # -- DRAM traffic helpers ---------------------------------------------------------------
+    def _send_dram(self, line_addr: int, is_write: bool, cycle: int) -> None:
+        if self._dram_backlog or not self.dram_sink(line_addr, is_write, self.slice_id):
+            self._dram_backlog.append((line_addr, is_write))
+        else:
+            self._count_dram(is_write)
+
+    def _drain_dram_backlog(self, cycle: int) -> None:
+        while self._dram_backlog:
+            line_addr, is_write = self._dram_backlog[0]
+            if not self.dram_sink(line_addr, is_write, self.slice_id):
+                break
+            self._dram_backlog.popleft()
+            self._count_dram(is_write)
+
+    def _count_dram(self, is_write: bool) -> None:
+        if is_write:
+            self.dram_writes_issued += 1
+        else:
+            self.dram_reads_issued += 1
+
+    def _drain_pending_fills(self) -> None:
+        while self._pending_fills and not self.response_queue.full:
+            self.response_queue.push(self._pending_fills.popleft())
+
+    # ------------------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def outstanding_work(self) -> bool:
+        """True while any request is somewhere inside the slice or its MSHR."""
+
+        return bool(
+            self.request_queue
+            or self.response_queue
+            or self._mshr_stage
+            or self._pending_fills
+            or self._dram_backlog
+            or self.mshr.occupancy
+            or self.stalled
+        )
+
+    def hit_rate(self) -> float:
+        total = self.total_requests
+        return self.hits / total if total else 0.0
+
+    def mshr_hit_rate(self) -> float:
+        """Requests merged into an existing entry, per cache miss (§6.3.3)."""
+
+        resolved_misses = self.mshr_merges + self.mshr_allocations
+        return self.mshr_merges / resolved_misses if resolved_misses else 0.0

@@ -1,0 +1,5 @@
+"""Interconnect between cores and LLC slices."""
+
+from repro.noc.interconnect import Interconnect
+
+__all__ = ["Interconnect"]

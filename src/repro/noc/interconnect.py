@@ -1,0 +1,143 @@
+"""Fixed-latency crossbar between cores and LLC slices.
+
+The interconnect models (1) a fixed request latency from any core to any LLC
+slice, (2) a per-slice injection port of limited width with a small staging
+queue in front of the slice's request queue (the source of back-pressure that
+stalls cores), and (3) the response path back to the cores.  Responses are
+delivered with a fixed latency and are never back-pressured, matching the
+paper's assumption that DRAM returns are forwarded straight to the requesting
+cores (Fig 4, step 4').
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable
+
+from repro.common.address import AddressMap
+from repro.common.types import MemRequest, MemResponse
+from repro.config.system import NoCConfig
+
+#: Depth of the per-slice staging queue between the crossbar and the slice's
+#: request queue.  Small by design: once the slice queue and this staging queue
+#: are full, cores see back-pressure.
+STAGING_DEPTH = 4
+
+
+class Interconnect:
+    """Crossbar connecting ``num_cores`` cores to ``num_slices`` LLC slices."""
+
+    def __init__(
+        self,
+        config: NoCConfig,
+        address_map: AddressMap,
+        num_cores: int,
+        num_slices: int,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.address_map = address_map
+        self.num_cores = num_cores
+        self.num_slices = num_slices
+
+        self._req_in_flight: list[tuple[int, int, int, MemRequest]] = []  # (cycle, seq, slice, req)
+        self._resp_in_flight: list[tuple[int, int, MemResponse]] = []     # (cycle, seq, resp)
+        self._staging: list[deque[MemRequest]] = [deque() for _ in range(num_slices)]
+        # Requests in transit or staged per slice, used for O(1) back-pressure checks.
+        self._slice_load: list[int] = [0] * num_slices
+        self._slice_load_limit = STAGING_DEPTH + config.request_latency
+        self._seq = 0
+
+        # statistics
+        self.requests_sent = 0
+        self.responses_sent = 0
+        self.backpressure_rejects = 0
+
+    # -- request path ------------------------------------------------------------------
+    def slice_of(self, addr: int) -> int:
+        return self.address_map.slice_of(addr)
+
+    def can_accept_request(self, addr: int) -> bool:
+        """True when a request to ``addr`` can be injected this cycle."""
+
+        slice_id = self.slice_of(addr)
+        if self._slice_load[slice_id] >= self._slice_load_limit:
+            self.backpressure_rejects += 1
+            return False
+        return True
+
+    def send_request(self, req: MemRequest, cycle: int) -> bool:
+        """Inject a request; returns False under back-pressure."""
+
+        slice_id = self.address_map.slice_of(req.addr)
+        if self._slice_load[slice_id] >= self._slice_load_limit:
+            self.backpressure_rejects += 1
+            return False
+        deliver = cycle + self.config.request_latency
+        heapq.heappush(self._req_in_flight, (deliver, self._seq, slice_id, req))
+        self._slice_load[slice_id] += 1
+        self._seq += 1
+        self.requests_sent += 1
+        return True
+
+    # -- response path ------------------------------------------------------------------
+    def send_response(self, resp: MemResponse, cycle: int, extra_delay: int = 0) -> None:
+        """Send a response back to its core after the NoC response latency."""
+
+        deliver = cycle + self.config.response_latency + extra_delay
+        heapq.heappush(self._resp_in_flight, (deliver, self._seq, resp))
+        self._seq += 1
+        self.responses_sent += 1
+
+    # -- per-cycle advance ----------------------------------------------------------------
+    def tick(
+        self,
+        cycle: int,
+        slice_sinks: list[Callable[[MemRequest, int], bool]],
+        core_sinks: list[Callable[[MemResponse, int], None]],
+    ) -> None:
+        """Deliver due requests into slices and due responses into cores.
+
+        ``slice_sinks[i]`` pushes a request into slice ``i``'s request queue and
+        returns False when that queue is full (the request then waits in the
+        staging queue); ``core_sinks[i]`` delivers a response to core ``i``.
+        """
+
+        # Requests whose transit delay elapsed move into the staging queues.
+        while self._req_in_flight and self._req_in_flight[0][0] <= cycle:
+            _, _, slice_id, req = heapq.heappop(self._req_in_flight)
+            self._staging[slice_id].append(req)
+
+        # Each slice port accepts a limited number of staged requests per cycle.
+        for slice_id, staging in enumerate(self._staging):
+            if not staging:
+                continue
+            accepted = 0
+            sink = slice_sinks[slice_id]
+            while staging and accepted < self.config.slice_port_width:
+                req = staging[0]
+                if not sink(req, cycle):
+                    break
+                staging.popleft()
+                self._slice_load[slice_id] -= 1
+                accepted += 1
+
+        # Responses are never back-pressured.
+        while self._resp_in_flight and self._resp_in_flight[0][0] <= cycle:
+            _, _, resp = heapq.heappop(self._resp_in_flight)
+            core_sinks[resp.core_id](resp, cycle)
+
+    # -- engine support ----------------------------------------------------------------------
+    def has_work(self) -> bool:
+        return bool(self._req_in_flight or self._resp_in_flight) or any(self._staging)
+
+    def next_event_cycle(self) -> int | None:
+        candidates = []
+        if self._req_in_flight:
+            candidates.append(self._req_in_flight[0][0])
+        if self._resp_in_flight:
+            candidates.append(self._resp_in_flight[0][0])
+        if any(self._staging):
+            return None  # staged requests retry every cycle (waiting on queue space)
+        return min(candidates) if candidates else None

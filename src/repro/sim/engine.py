@@ -1,0 +1,54 @@
+"""Cycle-level simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SimulationError
+from repro.sim.system import SimulatedSystem
+
+#: Default safety bound; a decode-operator run at CI scale finishes in well under
+#: a million cycles, so hitting this indicates a model deadlock, not a long run.
+DEFAULT_MAX_CYCLES = 20_000_000
+
+#: How often to re-evaluate the (comparatively expensive) completion predicate.
+_FINISH_CHECK_INTERVAL = 64
+
+
+@dataclass(slots=True)
+class EngineReport:
+    """Outcome of driving one system to completion."""
+
+    cycles: int
+    finished: bool
+    finish_checks: int
+
+
+class SimulationEngine:
+    """Drives a :class:`SimulatedSystem` cycle by cycle until it drains."""
+
+    def __init__(self, system: SimulatedSystem, max_cycles: int = DEFAULT_MAX_CYCLES) -> None:
+        if max_cycles <= 0:
+            raise SimulationError("max_cycles must be positive")
+        self.system = system
+        self.max_cycles = max_cycles
+
+    def run(self) -> EngineReport:
+        system = self.system
+        finish_checks = 0
+        cycle = 0
+        for cycle in range(self.max_cycles):
+            system.step(cycle)
+            # The completion predicate touches every component, so only evaluate
+            # it periodically; the few extra idle cycles this costs are noise.
+            if (cycle & (_FINISH_CHECK_INTERVAL - 1)) == 0:
+                finish_checks += 1
+                if system.finished():
+                    return EngineReport(cycles=cycle + 1, finished=True, finish_checks=finish_checks)
+        if system.finished():
+            return EngineReport(cycles=cycle + 1, finished=True, finish_checks=finish_checks)
+        raise SimulationError(
+            f"simulation did not complete within {self.max_cycles} cycles: "
+            f"{system.scheduler.completed}/{system.scheduler.total_blocks} thread blocks done, "
+            f"{sum(c.outstanding_requests for c in system.cores)} requests outstanding"
+        )

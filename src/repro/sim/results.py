@@ -1,0 +1,113 @@
+"""Simulation results: the statistics reported throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.mathutils import safe_div
+from repro.dram.system import DramStats
+from repro.llc.llc import LLCStats
+
+
+@dataclass(frozen=True, slots=True)
+class CoreResult:
+    """Per-core summary."""
+
+    core_id: int
+    issued_requests: int
+    l1_hits: int
+    mem_stall_cycles: int
+    idle_cycles: int
+    active_cycles: int
+    completed_blocks: int
+    final_max_running_blocks: int
+
+
+@dataclass(frozen=True, slots=True)
+class SimResult:
+    """Complete result of one simulation run.
+
+    The fields mirror the metrics of Fig 8: execution time (cycles), L2 hit
+    rate, MSHR hit rate, MSHR entry utilisation and DRAM bandwidth, plus enough
+    raw counters to derive anything else the experiments need.
+    """
+
+    label: str
+    workload: str
+    cycles: int
+    frequency_ghz: float
+    llc: LLCStats
+    dram: DramStats
+    cores: tuple[CoreResult, ...] = ()
+    thread_blocks: int = 0
+    total_requests_issued: int = 0
+    noc_requests: int = 0
+    noc_responses: int = 0
+    meta: dict = field(default_factory=dict)
+
+    # -- headline metrics ------------------------------------------------------------------
+    @property
+    def execution_time_us(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e3)
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.llc.hit_rate
+
+    @property
+    def mshr_hit_rate(self) -> float:
+        return self.llc.mshr_hit_rate
+
+    @property
+    def mshr_entry_utilization(self) -> float:
+        return self.llc.mshr_entry_utilization
+
+    @property
+    def dram_bandwidth_gbps(self) -> float:
+        return self.dram.bandwidth_gbps(self.cycles, self.frequency_ghz)
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.dram.accesses
+
+    @property
+    def cache_stall_ratio(self) -> float:
+        """t_cs of Table 3, averaged over slices and the whole run."""
+
+        slices = max(1, self.meta.get("num_slices", 1))
+        return safe_div(self.llc.stall_cycles, self.cycles * slices)
+
+    @property
+    def requests_per_cycle(self) -> float:
+        return safe_div(self.llc.accesses, self.cycles)
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same workload)."""
+
+        return baseline.cycles / self.cycles
+
+    # -- formatting ---------------------------------------------------------------------------
+    def summary(self) -> str:
+        return (
+            f"[{self.label}] {self.workload}: {self.cycles} cycles "
+            f"({self.execution_time_us:.1f} us), L2 hit {self.l2_hit_rate:.2%}, "
+            f"MSHR hit {self.mshr_hit_rate:.2%}, MSHR util {self.mshr_entry_utilization:.2f}, "
+            f"DRAM {self.dram_bandwidth_gbps:.1f} GB/s, stall ratio {self.cache_stall_ratio:.2%}"
+        )
+
+    def to_dict(self) -> dict:
+        """Flat dictionary of the headline metrics (for tables / JSON dumps)."""
+
+        return {
+            "label": self.label,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "execution_time_us": self.execution_time_us,
+            "l2_hit_rate": self.l2_hit_rate,
+            "mshr_hit_rate": self.mshr_hit_rate,
+            "mshr_entry_utilization": self.mshr_entry_utilization,
+            "dram_bandwidth_gbps": self.dram_bandwidth_gbps,
+            "dram_accesses": self.dram_accesses,
+            "cache_stall_ratio": self.cache_stall_ratio,
+            "thread_blocks": self.thread_blocks,
+        }

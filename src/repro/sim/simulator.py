@@ -1,0 +1,117 @@
+"""Top-level simulation API.
+
+:func:`simulate` is the single entry point most users need: give it a system, a
+policy and either a workload (a trace is generated via the dataflow mapper) or
+a ready-made trace, and it returns a :class:`SimResult` with every metric the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.config.policies import PolicyConfig
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+from repro.sim.engine import DEFAULT_MAX_CYCLES, SimulationEngine
+from repro.sim.results import CoreResult, SimResult
+from repro.sim.system import SimulatedSystem
+from repro.trace.generator import generate_trace
+from repro.trace.threadblock import Trace
+
+
+class Simulator:
+    """Object-oriented wrapper around one simulation run."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        policy: PolicyConfig,
+        trace: Trace,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        label: str | None = None,
+        workload_name: str | None = None,
+    ) -> None:
+        self.system_config = system
+        self.policy = policy
+        self.trace = trace
+        self.max_cycles = max_cycles
+        self.label = label if label is not None else policy.label
+        self.workload_name = workload_name or trace.name
+        self.system = SimulatedSystem(system, policy, trace)
+
+    def run(self) -> SimResult:
+        engine = SimulationEngine(self.system, max_cycles=self.max_cycles)
+        report = engine.run()
+        return self._collect(report.cycles)
+
+    # -- result assembly ----------------------------------------------------------------------
+    def _collect(self, cycles: int) -> SimResult:
+        system = self.system
+        cfg = self.system_config
+        core_results = tuple(
+            CoreResult(
+                core_id=core.core_id,
+                issued_requests=core.stat_issued_requests,
+                l1_hits=core.stat_l1_hits,
+                mem_stall_cycles=core.stat_mem_stall_cycles,
+                idle_cycles=core.stat_idle_cycles,
+                active_cycles=core.stat_active_cycles,
+                completed_blocks=core.stat_completed_blocks,
+                final_max_running_blocks=core.max_running_blocks,
+            )
+            for core in system.cores
+        )
+        return SimResult(
+            label=self.label,
+            workload=self.workload_name,
+            cycles=cycles,
+            frequency_ghz=cfg.frequency_ghz,
+            llc=system.llc.stats(cycles),
+            dram=system.dram.stats(),
+            cores=core_results,
+            thread_blocks=system.scheduler.total_blocks,
+            total_requests_issued=sum(c.stat_issued_requests for c in system.cores),
+            noc_requests=system.noc.requests_sent,
+            noc_responses=system.noc.responses_sent,
+            meta={
+                "num_slices": cfg.l2.num_slices,
+                "num_cores": cfg.core.num_cores,
+                "l2_bytes": cfg.l2.size_bytes,
+                "policy": self.policy.label,
+                "throttle": self.policy.throttle.value,
+                "arbitration": self.policy.arbitration.value,
+            },
+        )
+
+
+def simulate(
+    system: SystemConfig,
+    policy: PolicyConfig,
+    workload: WorkloadConfig | None = None,
+    trace: Trace | None = None,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    label: str | None = None,
+) -> SimResult:
+    """Run one simulation and return its :class:`SimResult`.
+
+    Exactly one of ``workload`` and ``trace`` must be provided; passing a
+    workload generates the trace through the dataflow mapper (Fig 6 flow).
+    """
+
+    if (workload is None) == (trace is None):
+        raise ConfigError("provide exactly one of `workload` or `trace`")
+    if trace is None:
+        assert workload is not None
+        trace = generate_trace(workload, system)
+        workload_name = workload.name
+    else:
+        workload_name = trace.name
+    sim = Simulator(
+        system,
+        policy,
+        trace,
+        max_cycles=max_cycles,
+        label=label,
+        workload_name=workload_name,
+    )
+    return sim.run()

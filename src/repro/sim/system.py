@@ -1,0 +1,111 @@
+"""Assembly of the full simulated system from configuration objects."""
+
+from __future__ import annotations
+
+from repro.common.types import MemResponse
+from repro.config.policies import PolicyConfig
+from repro.config.system import SystemConfig
+from repro.cores.core import VectorCore
+from repro.cores.l1 import L1Cache
+from repro.cores.scheduler import ThreadBlockScheduler
+from repro.dram.system import DramSystem
+from repro.llc.llc import SlicedLLC
+from repro.noc.interconnect import Interconnect
+from repro.throttle.factory import make_throttle_controller
+from repro.trace.threadblock import Trace
+
+
+class SimulatedSystem:
+    """All hardware components of one simulation, wired together.
+
+    The wiring follows Fig 3/4: cores issue through their private L1 into the
+    interconnect; the interconnect feeds the per-slice request queues; slices
+    talk to DRAM; DRAM fills free MSHR entries and fan out responses straight
+    back to the requesting cores through the interconnect.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        policy: PolicyConfig,
+        trace: Trace,
+    ) -> None:
+        system.validate()
+        policy.validate()
+        self.config = system
+        self.policy = policy
+        self.trace = trace
+        self.cycle = 0
+
+        self.dram = DramSystem(
+            system.dram, system.frequency_ghz, line_size=system.l2.line_size
+        )
+        self.llc = SlicedLLC(
+            config=system.l2,
+            policy=policy,
+            num_cores=system.core.num_cores,
+            response_sink=self._response_sink,
+            dram_sink=self._dram_sink,
+        )
+        self.noc = Interconnect(
+            config=system.noc,
+            address_map=self.llc.address_map,
+            num_cores=system.core.num_cores,
+            num_slices=system.l2.num_slices,
+        )
+        self.scheduler = ThreadBlockScheduler(trace)
+        self.cores = [
+            VectorCore(
+                core_id=i,
+                config=system.core,
+                l1=L1Cache(system.l1, core_id=i),
+                request_sink=self.noc.send_request,
+                scheduler=self.scheduler,
+            )
+            for i in range(system.core.num_cores)
+        ]
+        self.throttle = make_throttle_controller(policy)
+        self.throttle.attach(self.cores, self.llc)
+
+        self._slice_sinks = self.llc.slice_sinks()
+        self._core_sinks = [core.receive for core in self.cores]
+
+    # -- component glue ------------------------------------------------------------------
+    def _response_sink(self, resp: MemResponse, cycle: int, extra_delay: int) -> None:
+        self.noc.send_response(resp, cycle, extra_delay)
+
+    def _dram_sink(self, line_addr: int, is_write: bool, slice_id: int) -> bool:
+        return self.dram.enqueue(line_addr, is_write, payload=slice_id, cycle=self.cycle)
+
+    # -- per-cycle advance ---------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Advance every component by one cycle."""
+
+        self.cycle = cycle
+
+        # DRAM completions free MSHR entries and fan responses out to the cores.
+        for payload, line_addr, is_write in self.dram.tick(cycle):
+            if not is_write:
+                self.llc.on_dram_fill(payload, line_addr, cycle)
+
+        self.llc.tick(cycle)
+        self.noc.tick(cycle, self._slice_sinks, self._core_sinks)
+        for core in self.cores:
+            core.tick(cycle)
+        self.throttle.tick(cycle)
+
+    # -- completion -----------------------------------------------------------------------------
+    def finished(self) -> bool:
+        """True when every thread block completed and all traffic drained."""
+
+        if not self.scheduler.all_complete:
+            return False
+        if any(core.outstanding_requests for core in self.cores):
+            return False
+        if self.noc.has_work():
+            return False
+        if self.llc.outstanding_work():
+            return False
+        if self.dram.has_work():
+            return False
+        return True

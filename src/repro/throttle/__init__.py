@@ -1,0 +1,20 @@
+"""Thread-throttling controllers (§4.2) and baselines (§7.4)."""
+
+from repro.throttle.base import NullThrottleController, ThrottleController
+from repro.throttle.dyncta import DynctaController
+from repro.throttle.dynmg import DynMgController
+from repro.throttle.factory import make_throttle_controller
+from repro.throttle.incore import InCoreThrottle
+from repro.throttle.lcs import LcsController
+from repro.throttle.multigear import MultiGearState
+
+__all__ = [
+    "DynMgController",
+    "DynctaController",
+    "InCoreThrottle",
+    "LcsController",
+    "MultiGearState",
+    "NullThrottleController",
+    "ThrottleController",
+    "make_throttle_controller",
+]

@@ -1,0 +1,25 @@
+"""Construct the throttle controller requested by a :class:`PolicyConfig`."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.config.policies import PolicyConfig, ThrottleKind
+from repro.throttle.base import NullThrottleController, ThrottleController
+from repro.throttle.dyncta import DynctaController
+from repro.throttle.dynmg import DynMgController
+from repro.throttle.lcs import LcsController
+
+
+def make_throttle_controller(policy: PolicyConfig) -> ThrottleController:
+    """Build the throttle controller for ``policy``."""
+
+    kind = policy.throttle
+    if kind == ThrottleKind.NONE:
+        return NullThrottleController()
+    if kind == ThrottleKind.DYNMG:
+        return DynMgController(policy.multigear, policy.incore)
+    if kind == ThrottleKind.DYNCTA:
+        return DynctaController(policy.dyncta)
+    if kind == ThrottleKind.LCS:
+        return LcsController(policy.lcs)
+    raise ConfigError(f"unsupported throttle kind {kind}")

@@ -1,0 +1,66 @@
+"""In-core (per-core) throttling logic shared by dynmg and DYNCTA (Table 4).
+
+Each core monitors, over one sub-period, the cycles in which all of its running
+thread blocks were waiting for memory (``C_mem``) and the cycles in which it
+had no thread block to run (``C_idle``), and nudges its maximum running
+thread-block count accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.policies import InCoreThrottleParams
+from repro.cores.core import VectorCore
+
+
+@dataclass(slots=True)
+class _CoreSnapshot:
+    mem_stall: int = 0
+    idle: int = 0
+
+
+@dataclass(slots=True)
+class InCoreThrottle:
+    """Per-core sub-period decision logic."""
+
+    params: InCoreThrottleParams
+    _snapshots: dict[int, _CoreSnapshot] = field(default_factory=dict)
+    decisions_up: int = 0
+    decisions_down: int = 0
+
+    def __post_init__(self) -> None:
+        self.params.validate()
+
+    def _delta(self, core: VectorCore) -> tuple[int, int]:
+        snap = self._snapshots.setdefault(core.core_id, _CoreSnapshot())
+        mem_delta = core.stat_mem_stall_cycles - snap.mem_stall
+        idle_delta = core.stat_idle_cycles - snap.idle
+        snap.mem_stall = core.stat_mem_stall_cycles
+        snap.idle = core.stat_idle_cycles
+        return mem_delta, idle_delta
+
+    def evaluate(self, core: VectorCore, throttled: bool, max_blocks: int) -> int:
+        """Return the max-running-blocks delta for ``core`` this sub-period.
+
+        Unthrottled cores still have their counters sampled (so the deltas stay
+        per-sub-period) but always get delta ``0`` -- the in-core logic only
+        applies to cores selected by the global gear (§4.2).
+        """
+
+        mem_delta, idle_delta = self._delta(core)
+        if not throttled:
+            return 0
+        delta = 0
+        if mem_delta > self.params.c_mem_upper:
+            delta -= 1
+        elif mem_delta < self.params.c_mem_lower:
+            delta += 1
+        if idle_delta > self.params.c_idle_upper:
+            delta += 1
+        if delta > 0:
+            self.decisions_up += 1
+        elif delta < 0:
+            self.decisions_down += 1
+        del max_blocks
+        return delta

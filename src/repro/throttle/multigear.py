@@ -1,0 +1,54 @@
+"""Global multi-gear throttling state machine (Algorithm 1, Tables 1 and 3).
+
+The gear selects what fraction of the cores is throttled (Table 1); the gear
+moves up or down based on the contention level classified from the proportion
+of cache-stall cycles (Table 3).  Extreme contention jumps two gears at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.policies import ContentionLevel, MultiGearParams
+
+
+@dataclass(slots=True)
+class MultiGearState:
+    """Gear state machine; pure logic, no references to the simulated system."""
+
+    params: MultiGearParams
+    gear: int = 0
+    history: list[tuple[int, ContentionLevel, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.params.validate()
+
+    def classify(self, stall_ratio: float) -> ContentionLevel:
+        clamped = min(1.0, max(0.0, stall_ratio))
+        return self.params.thresholds.classify(clamped)
+
+    def update(self, stall_ratio: float, cycle: int = 0) -> int:
+        """Apply Algorithm 1 for one sampling period; returns the new gear."""
+
+        level = self.classify(stall_ratio)
+        max_gear = self.params.max_gear
+        if level == ContentionLevel.HIGH:
+            if self.gear < max_gear:
+                self.gear += 1
+        elif level == ContentionLevel.LOW:
+            if self.gear > 0:
+                self.gear -= 1
+        elif level == ContentionLevel.EXTREME:
+            if self.gear <= max_gear - 2:
+                self.gear += 2
+            else:
+                self.gear = max_gear
+        # NORMAL contention leaves the gear unchanged.
+        self.history.append((cycle, level, self.gear))
+        return self.gear
+
+    def throttled_core_count(self, num_cores: int) -> int:
+        """Number of cores throttled at the current gear (Table 1)."""
+
+        fraction = self.params.gear_fractions[self.gear]
+        return int(fraction * num_cores)

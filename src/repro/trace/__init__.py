@@ -1,0 +1,24 @@
+"""Memory-trace layer: mapping -> per-thread-block traces that drive the simulator."""
+
+from repro.trace.generator import TraceGenerator, generate_trace
+from repro.trace.stats import TraceStats, compute_trace_stats
+from repro.trace.synthetic import (
+    make_pointer_chase_trace,
+    make_random_trace,
+    make_shared_hotset_trace,
+    make_stream_trace,
+)
+from repro.trace.threadblock import ThreadBlock, Trace
+
+__all__ = [
+    "ThreadBlock",
+    "Trace",
+    "TraceGenerator",
+    "TraceStats",
+    "compute_trace_stats",
+    "generate_trace",
+    "make_pointer_chase_trace",
+    "make_random_trace",
+    "make_shared_hotset_trace",
+    "make_stream_trace",
+]

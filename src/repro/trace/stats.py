@@ -1,0 +1,80 @@
+"""Static trace statistics (no simulation involved).
+
+Used by tests to verify the generator produces the expected access counts and
+by examples to report workload footprints before running the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.common.types import RequestKind
+from repro.trace.threadblock import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStats:
+    """Summary statistics of a trace."""
+
+    num_blocks: int
+    total_accesses: int
+    total_reads: int
+    total_writes: int
+    unique_lines: int
+    footprint_bytes: int
+    accesses_by_kind: dict[RequestKind, int]
+    avg_accesses_per_block: float
+    avg_reuse: float        # total line accesses / unique lines
+    max_block_accesses: int
+    min_block_accesses: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_blocks} blocks, {self.total_accesses} accesses "
+            f"({self.total_reads} R / {self.total_writes} W), "
+            f"{self.footprint_bytes / 2**20:.2f} MiB footprint, "
+            f"avg reuse {self.avg_reuse:.2f}x"
+        )
+
+
+def compute_trace_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+
+    trace.validate()
+    line_size = trace.line_size
+    unique: set[int] = set()
+    by_kind: Counter[RequestKind] = Counter()
+    per_block_counts: list[int] = []
+    total = 0
+    reads = 0
+    writes = 0
+    for block in trace:
+        count = 0
+        for entry in block.entries:
+            if not entry.has_access:
+                continue
+            count += 1
+            total += 1
+            by_kind[entry.kind] += 1
+            unique.add(entry.addr - (entry.addr % line_size))
+            if entry.rw.name == "READ":
+                reads += 1
+            else:
+                writes += 1
+        per_block_counts.append(count)
+
+    num_blocks = len(per_block_counts)
+    return TraceStats(
+        num_blocks=num_blocks,
+        total_accesses=total,
+        total_reads=reads,
+        total_writes=writes,
+        unique_lines=len(unique),
+        footprint_bytes=len(unique) * line_size,
+        accesses_by_kind=dict(by_kind),
+        avg_accesses_per_block=total / num_blocks if num_blocks else 0.0,
+        avg_reuse=total / len(unique) if unique else 0.0,
+        max_block_accesses=max(per_block_counts) if per_block_counts else 0,
+        min_block_accesses=min(per_block_counts) if per_block_counts else 0,
+    )

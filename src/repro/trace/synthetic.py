@@ -1,0 +1,143 @@
+"""Synthetic traces used by unit tests and micro-benchmarks.
+
+These exercise the cache / MSHR / DRAM substrates with controlled access
+patterns that have known answers (pure stream -> ~0% L2 hit rate and perfect
+row-buffer locality; shared hot set -> high MSHR-merge opportunity; etc.),
+independent of the attention workloads.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import make_rng
+from repro.common.types import AccessType, RequestKind, TraceEntry
+from repro.trace.threadblock import ThreadBlock, Trace
+
+
+def _blocks_from_lines(
+    line_lists: list[list[int]],
+    line_size: int,
+    compute_cycles: int,
+    rw: AccessType = AccessType.READ,
+    name: str = "synthetic",
+) -> Trace:
+    blocks = []
+    for tb_id, lines in enumerate(line_lists):
+        entries = [
+            TraceEntry(
+                compute_cycles=compute_cycles,
+                addr=line_addr,
+                rw=rw,
+                size=line_size,
+                kind=RequestKind.OTHER,
+            )
+            for line_addr in lines
+        ]
+        blocks.append(ThreadBlock(tb_id=tb_id, h=0, g=0, tile_index=tb_id, entries=entries))
+    return Trace(blocks=blocks, name=name, line_size=line_size).validate()
+
+
+def make_stream_trace(
+    num_blocks: int = 16,
+    lines_per_block: int = 64,
+    line_size: int = 64,
+    compute_cycles: int = 0,
+    base: int = 0x2000_0000,
+) -> Trace:
+    """Disjoint streaming reads: every line is touched exactly once."""
+
+    line_lists = []
+    addr = base
+    for _ in range(num_blocks):
+        lines = []
+        for _ in range(lines_per_block):
+            lines.append(addr)
+            addr += line_size
+        line_lists.append(lines)
+    return _blocks_from_lines(line_lists, line_size, compute_cycles, name="stream")
+
+
+def make_shared_hotset_trace(
+    num_blocks: int = 16,
+    lines_per_block: int = 64,
+    hot_lines: int = 64,
+    line_size: int = 64,
+    compute_cycles: int = 0,
+    base: int = 0x3000_0000,
+) -> Trace:
+    """Every block reads the same ``hot_lines`` lines (maximal sharing).
+
+    Concurrent blocks on different cores produce many requests for the same
+    lines, which should surface as MSHR merges and L2 hits.
+    """
+
+    hot = [base + i * line_size for i in range(hot_lines)]
+    line_lists = []
+    for _ in range(num_blocks):
+        lines = [hot[i % hot_lines] for i in range(lines_per_block)]
+        line_lists.append(lines)
+    return _blocks_from_lines(line_lists, line_size, compute_cycles, name="hotset")
+
+
+def make_random_trace(
+    num_blocks: int = 16,
+    lines_per_block: int = 64,
+    footprint_lines: int = 4096,
+    line_size: int = 64,
+    compute_cycles: int = 0,
+    seed: int = 7,
+    base: int = 0x4000_0000,
+) -> Trace:
+    """Uniformly random reads over a fixed footprint (poor locality everywhere)."""
+
+    rng = make_rng(seed)
+    line_lists = []
+    for _ in range(num_blocks):
+        idx = rng.integers(0, footprint_lines, size=lines_per_block)
+        line_lists.append([base + int(i) * line_size for i in idx])
+    return _blocks_from_lines(line_lists, line_size, compute_cycles, name="random")
+
+
+def make_pointer_chase_trace(
+    num_blocks: int = 4,
+    chain_length: int = 256,
+    stride_lines: int = 33,
+    line_size: int = 64,
+    compute_cycles: int = 0,
+    base: int = 0x5000_0000,
+) -> Trace:
+    """Strided dependent chain: no spatial locality, serialised latency.
+
+    The large odd stride defeats both row-buffer locality and MSHR merging, so
+    it is used to test the latency-bound corner of the DRAM model.
+    """
+
+    line_lists = []
+    for b in range(num_blocks):
+        lines = []
+        addr_line = b * 7919  # co-prime offset so blocks do not alias
+        for _ in range(chain_length):
+            lines.append(base + (addr_line % (1 << 20)) * line_size)
+            addr_line += stride_lines
+        line_lists.append(lines)
+    return _blocks_from_lines(line_lists, line_size, compute_cycles, name="pointer-chase")
+
+
+def make_write_stream_trace(
+    num_blocks: int = 8,
+    lines_per_block: int = 64,
+    line_size: int = 64,
+    base: int = 0x6000_0000,
+) -> Trace:
+    """Streaming writes (exercises write-allocate and dirty writebacks)."""
+
+    line_lists = []
+    addr = base
+    for _ in range(num_blocks):
+        lines = []
+        for _ in range(lines_per_block):
+            lines.append(addr)
+            addr += line_size
+        line_lists.append(lines)
+    return _blocks_from_lines(
+        line_lists, line_size, compute_cycles=0, rw=AccessType.WRITE, name="write-stream"
+    )

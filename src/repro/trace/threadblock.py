@@ -1,0 +1,119 @@
+"""Thread blocks: the unit of work the runtime scheduler assigns to cores.
+
+A :class:`ThreadBlock` is a short, ordered list of :class:`TraceEntry` items
+(compute bubbles and memory accesses) plus provenance metadata (which head
+group / query head / sequence tile it computes).  A :class:`Trace` is the whole
+operator: an ordered list of thread blocks forming the global dispatch queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import TraceError
+from repro.common.types import AccessType, TraceEntry
+
+
+@dataclass(slots=True)
+class ThreadBlock:
+    """One thread block of the decode operator."""
+
+    tb_id: int
+    h: int
+    g: int
+    tile_index: int
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.tb_id < 0:
+            raise TraceError(f"tb_id must be non-negative, got {self.tb_id}")
+
+    # -- content helpers -------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_accesses(self) -> int:
+        return sum(1 for e in self.entries if e.has_access)
+
+    @property
+    def num_reads(self) -> int:
+        return sum(1 for e in self.entries if e.has_access and e.rw == AccessType.READ)
+
+    @property
+    def num_writes(self) -> int:
+        return sum(1 for e in self.entries if e.has_access and e.rw == AccessType.WRITE)
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(e.compute_cycles for e in self.entries)
+
+    def touched_lines(self, line_size: int) -> set[int]:
+        """Set of cache-line addresses this block touches."""
+
+        return {
+            e.addr - (e.addr % line_size) for e in self.entries if e.has_access
+        }
+
+    def validate(self) -> "ThreadBlock":
+        if not self.entries:
+            raise TraceError(f"thread block {self.tb_id} has no entries")
+        for e in self.entries:
+            if e.compute_cycles < 0:
+                raise TraceError(f"thread block {self.tb_id}: negative compute cycles")
+            if e.has_access and e.size <= 0:
+                raise TraceError(f"thread block {self.tb_id}: non-positive access size")
+        return self
+
+
+@dataclass(slots=True)
+class Trace:
+    """The full operator trace: thread blocks in global dispatch order."""
+
+    blocks: list[ThreadBlock] = field(default_factory=list)
+    name: str = "trace"
+    line_size: int = 64
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __getitem__(self, index: int) -> ThreadBlock:
+        return self.blocks[index]
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(block.num_accesses for block in self.blocks)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(block.num_reads for block in self.blocks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(block.num_writes for block in self.blocks)
+
+    def footprint_lines(self) -> int:
+        """Number of distinct cache lines touched by the whole trace."""
+
+        lines: set[int] = set()
+        for block in self.blocks:
+            lines |= block.touched_lines(self.line_size)
+        return len(lines)
+
+    def footprint_bytes(self) -> int:
+        return self.footprint_lines() * self.line_size
+
+    def validate(self) -> "Trace":
+        if not self.blocks:
+            raise TraceError("trace contains no thread blocks")
+        seen_ids = set()
+        for block in self.blocks:
+            block.validate()
+            if block.tb_id in seen_ids:
+                raise TraceError(f"duplicate thread block id {block.tb_id}")
+            seen_ids.add(block.tb_id)
+        return self

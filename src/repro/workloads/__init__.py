@@ -1,0 +1,19 @@
+"""Workload modelling: tensor layouts and decode-stage attention operators."""
+
+from repro.workloads.layout import OperandLayout, OperatorLayout, build_layout
+from repro.workloads.operators import (
+    AttendOperator,
+    DecodeOperator,
+    LogitOperator,
+    make_operator,
+)
+
+__all__ = [
+    "AttendOperator",
+    "DecodeOperator",
+    "LogitOperator",
+    "OperandLayout",
+    "OperatorLayout",
+    "build_layout",
+    "make_operator",
+]

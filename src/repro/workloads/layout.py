@@ -1,0 +1,156 @@
+"""Physical memory layout of the decode operator's tensors.
+
+The decode-stage Logit operator touches three tensors:
+
+* ``Q``        -- queries,       shape [H, G, D]
+* ``K``        -- cached keys,   shape [H, L, D]   (the KV cache, dominant traffic)
+* ``AttScore`` -- output logits, shape [H, G, L]
+
+The Attend operator touches ``AttScore``, ``V`` ([H, L, D]) and ``Out`` ([H, G, D]).
+Tensors are laid out contiguously and row-major in a flat byte address space, in
+the order Q, K/V, output, each aligned to a 4 KiB page.  The layout object maps
+logical indices to byte addresses; the trace generator only ever goes through it,
+so tests can verify that no two tensors overlap and that the KV cache is
+row-major in (h, l, d) -- which is what gives streaming row-buffer-friendly DRAM
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.mathutils import round_up
+from repro.config.workload import OperatorKind, WorkloadConfig
+
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class OperandLayout:
+    """One tensor: base address plus row-major strides (in bytes)."""
+
+    name: str
+    base: int
+    shape: tuple[int, ...]
+    strides: tuple[int, ...]
+    element_bytes: int
+
+    @property
+    def size_bytes(self) -> int:
+        if not self.shape:
+            return 0
+        total = self.element_bytes
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def address(self, *indices: int) -> int:
+        """Byte address of the element at ``indices``."""
+
+        if len(indices) != len(self.shape):
+            raise ConfigError(
+                f"{self.name}: expected {len(self.shape)} indices, got {len(indices)}"
+            )
+        addr = self.base
+        for idx, extent, stride in zip(indices, self.shape, self.strides):
+            if not 0 <= idx < extent:
+                raise ConfigError(
+                    f"{self.name}: index {idx} out of range [0, {extent}) "
+                    f"for shape {self.shape}"
+                )
+            addr += idx * stride
+        return addr
+
+    def row_address(self, *leading_indices: int) -> int:
+        """Address of the first element of the innermost row at ``leading_indices``."""
+
+        padded = tuple(leading_indices) + (0,) * (len(self.shape) - len(leading_indices))
+        return self.address(*padded)
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+def _row_major_strides(shape: tuple[int, ...], element_bytes: int) -> tuple[int, ...]:
+    strides = [element_bytes] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    return tuple(strides)
+
+
+@dataclass(frozen=True, slots=True)
+class OperatorLayout:
+    """Layout of all operands of a decode operator instance."""
+
+    query: OperandLayout     # Q for Logit, AttScore for Attend
+    kv: OperandLayout        # K for Logit, V for Attend
+    output: OperandLayout
+
+    @property
+    def operands(self) -> tuple[OperandLayout, OperandLayout, OperandLayout]:
+        return (self.query, self.kv, self.output)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(op.size_bytes for op in self.operands)
+
+    def operand_of(self, addr: int) -> OperandLayout | None:
+        for op in self.operands:
+            if op.contains(addr):
+                return op
+        return None
+
+
+def build_layout(workload: WorkloadConfig, base_address: int = 0x1000_0000) -> OperatorLayout:
+    """Build the operand layout for a decode-operator workload.
+
+    The layout is deterministic so that the same workload config always maps to
+    the same addresses (traces are reproducible and cacheable).
+    """
+
+    workload.validate()
+    shape = workload.shape
+    eb = workload.element_bytes
+    h, g, d, l = shape.num_kv_heads, shape.group_size, shape.head_dim, shape.seq_len
+
+    if workload.operator == OperatorKind.LOGIT:
+        query_shape = (h, g, d)          # Q
+        kv_shape = (h, l, d)             # K
+        out_shape = (h, g, l)            # AttScore
+    elif workload.operator == OperatorKind.ATTEND:
+        query_shape = (h, g, l)          # AttScore (input)
+        kv_shape = (h, l, d)             # V
+        out_shape = (h, g, d)            # Out
+    else:  # pragma: no cover - enum is exhaustive
+        raise ConfigError(f"unsupported operator {workload.operator}")
+
+    cursor = base_address
+    query = OperandLayout(
+        name="query",
+        base=cursor,
+        shape=query_shape,
+        strides=_row_major_strides(query_shape, eb),
+        element_bytes=eb,
+    )
+    cursor = round_up(query.end, PAGE_BYTES)
+    kv = OperandLayout(
+        name="kv",
+        base=cursor,
+        shape=kv_shape,
+        strides=_row_major_strides(kv_shape, eb),
+        element_bytes=eb,
+    )
+    cursor = round_up(kv.end, PAGE_BYTES)
+    output = OperandLayout(
+        name="output",
+        base=cursor,
+        shape=out_shape,
+        strides=_row_major_strides(out_shape, eb),
+        element_bytes=eb,
+    )
+    return OperatorLayout(query=query, kv=kv, output=output)

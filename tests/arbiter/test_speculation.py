@@ -1,0 +1,77 @@
+"""Tests for the hit_buffer and sent_reqs speculation structures (§4.3.1)."""
+
+import pytest
+
+from repro.arbiter.speculation import HitBuffer, SentReqs
+
+
+class TestHitBuffer:
+    def test_contains_after_record(self):
+        buf = HitBuffer(4)
+        buf.record_hit(0x100)
+        assert buf.contains(0x100)
+        assert not buf.contains(0x200)
+
+    def test_fifo_eviction_when_full(self):
+        buf = HitBuffer(2)
+        buf.record_hit(0x100)
+        buf.record_hit(0x140)
+        buf.record_hit(0x180)
+        assert not buf.contains(0x100)
+        assert buf.contains(0x140)
+        assert buf.contains(0x180)
+        assert len(buf) == 2
+
+    def test_duplicate_entries_counted(self):
+        buf = HitBuffer(3)
+        buf.record_hit(0x100)
+        buf.record_hit(0x100)
+        buf.record_hit(0x140)
+        buf.record_hit(0x180)     # evicts the oldest 0x100, the second copy remains
+        assert buf.contains(0x100)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            HitBuffer(0)
+
+    def test_insertions_counter(self):
+        buf = HitBuffer(2)
+        for _ in range(5):
+            buf.record_hit(0x40)
+        assert buf.insertions == 5
+
+
+class TestSentReqs:
+    def test_pending_lines_until_expiry(self):
+        sent = SentReqs(capacity=4, lifetime=8)
+        sent.record(0x100, speculated_hit=False, cycle=0)
+        assert sent.pending_mshr_lines(cycle=4) == {0x100}
+        assert sent.pending_mshr_lines(cycle=8) == set()
+
+    def test_speculated_hits_are_masked_out(self):
+        """Entries marked as speculated cache hits never count towards MSHR view."""
+
+        sent = SentReqs(capacity=4, lifetime=8)
+        sent.record(0x100, speculated_hit=True, cycle=0)
+        sent.record(0x140, speculated_hit=False, cycle=0)
+        assert sent.pending_mshr_lines(cycle=2) == {0x140}
+
+    def test_capacity_drops_oldest(self):
+        sent = SentReqs(capacity=2, lifetime=100)
+        sent.record(0x100, False, 0)
+        sent.record(0x140, False, 1)
+        sent.record(0x180, False, 2)
+        assert sent.pending_mshr_lines(3) == {0x140, 0x180}
+
+    def test_expire_is_idempotent(self):
+        sent = SentReqs(capacity=4, lifetime=5)
+        sent.record(0x100, False, 0)
+        sent.expire(10)
+        sent.expire(10)
+        assert len(sent) == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SentReqs(0, 5)
+        with pytest.raises(ValueError):
+            SentReqs(4, 0)

@@ -1,0 +1,125 @@
+"""Unit tests for the numeric helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.mathutils import (
+    ceil_div,
+    clamp,
+    geomean,
+    harmonic_mean,
+    percentiles,
+    round_up,
+    safe_div,
+    speedup,
+)
+
+
+class TestSafeDiv:
+    def test_normal_division(self):
+        assert safe_div(6, 3) == 2.0
+
+    def test_zero_denominator_returns_default(self):
+        assert safe_div(6, 0) == 0.0
+        assert safe_div(6, 0, default=-1.0) == -1.0
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_paper_style_speedups(self):
+        # The Fig 7 final-policy range 1.15-1.54 has a geomean near 1.26.
+        assert geomean([1.15, 1.2, 1.3, 1.4, 1.54]) == pytest.approx(1.31, abs=0.02)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([-1.0])
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([0.0])
+
+
+class TestSpeedup:
+    def test_faster_is_above_one(self):
+        assert speedup(200, 100) == pytest.approx(2.0)
+
+    def test_slower_is_below_one(self):
+        assert speedup(100, 200) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(0, 10)
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+
+class TestIntegerHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 5) == 2
+        assert ceil_div(11, 5) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_div_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(10, 0)
+
+    def test_round_up(self):
+        assert round_up(10, 8) == 16
+        assert round_up(16, 8) == 16
+
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-5, 0, 10) == 0
+        assert clamp(15, 0, 10) == 10
+        with pytest.raises(ValueError):
+            clamp(1, 5, 0)
+
+
+class TestPercentiles:
+    def test_median_of_sorted_range(self):
+        assert percentiles([1, 2, 3, 4, 5], [50])[0] == pytest.approx(3.0)
+
+    def test_endpoints(self):
+        values = [10, 20, 30]
+        assert percentiles(values, [0, 100]) == [10.0, 30.0]
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentiles([], [50])
+        with pytest.raises(ValueError):
+            percentiles([1], [150])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=30))
+def test_property_geomean_between_min_and_max(values):
+    g = geomean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=30))
+def test_property_harmonic_leq_geomean(values):
+    assert harmonic_mean(values) <= geomean(values) + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+def test_property_ceil_div_matches_math(a, b):
+    assert ceil_div(a, b) == math.ceil(a / b)

@@ -1,0 +1,91 @@
+"""Tests for presets (Table 5 system, paper workloads, policy labels)."""
+
+import pytest
+
+from repro.config.policies import ArbitrationKind, ThrottleKind
+from repro.config.presets import (
+    FIG7_SEQ_LENS,
+    FIG9_L2_MIB,
+    FIG9_SEQ_LEN,
+    bma,
+    dyncta,
+    dynmg,
+    lcs,
+    llama3_405b_logit,
+    llama3_70b_attend,
+    llama3_70b_logit,
+    policy_by_label,
+    table5_system,
+    table5_system_with_l2,
+    unoptimized,
+)
+from repro.config.system import MIB
+
+
+class TestSystemPresets:
+    def test_table5_system_is_valid_default(self):
+        system = table5_system()
+        assert system.core.num_cores == 16
+        assert system.l2.size_bytes == 16 * MIB
+
+    def test_fig9_l2_variants(self):
+        for mib in FIG9_L2_MIB:
+            assert table5_system_with_l2(mib).l2.size_bytes == mib * MIB
+
+
+class TestWorkloadPresets:
+    def test_llama3_70b_shape(self):
+        wl = llama3_70b_logit(8192)
+        assert wl.shape.num_kv_heads == 8
+        assert wl.shape.group_size == 8
+        assert wl.shape.head_dim == 128
+        assert wl.shape.seq_len == 8192
+
+    def test_llama3_405b_shape(self):
+        wl = llama3_405b_logit(8192)
+        assert wl.shape.group_size == 16
+
+    def test_attend_preset(self):
+        assert llama3_70b_attend(1024).operator.value == "attend"
+
+    def test_paper_sweep_constants(self):
+        assert FIG7_SEQ_LENS == (4096, 8192, 16384)
+        assert FIG9_SEQ_LEN == 32768
+        assert FIG9_L2_MIB == (16, 32, 64)
+
+
+class TestPolicyPresets:
+    def test_unoptimized(self):
+        policy = unoptimized()
+        assert policy.throttle == ThrottleKind.NONE
+        assert policy.arbitration == ArbitrationKind.FCFS
+
+    def test_named_policies(self):
+        assert dynmg().throttle == ThrottleKind.DYNMG
+        assert dyncta().throttle == ThrottleKind.DYNCTA
+        assert lcs().throttle == ThrottleKind.LCS
+        assert bma().arbitration == ArbitrationKind.BALANCED_MSHR_AWARE
+        assert bma().throttle == ThrottleKind.DYNMG
+
+
+class TestPolicyByLabel:
+    @pytest.mark.parametrize(
+        "label,throttle,arbitration",
+        [
+            ("unopt", ThrottleKind.NONE, ArbitrationKind.FCFS),
+            ("dynmg", ThrottleKind.DYNMG, ArbitrationKind.FCFS),
+            ("dynmg+BMA", ThrottleKind.DYNMG, ArbitrationKind.BALANCED_MSHR_AWARE),
+            ("dynmg+b", ThrottleKind.DYNMG, ArbitrationKind.BALANCED),
+            ("DYNCTA", ThrottleKind.DYNCTA, ArbitrationKind.FCFS),
+            ("cobrra", ThrottleKind.NONE, ArbitrationKind.COBRRA),
+            ("dynmg+cobrra", ThrottleKind.DYNMG, ArbitrationKind.COBRRA),
+        ],
+    )
+    def test_round_trip(self, label, throttle, arbitration):
+        policy = policy_by_label(label)
+        assert policy.throttle == throttle
+        assert policy.arbitration == arbitration
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValueError):
+            policy_by_label("dynmg+warp")

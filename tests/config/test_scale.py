@@ -1,0 +1,71 @@
+"""Tests for the scale-tier machinery (ratio-preserving shrinkage)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config.presets import llama3_70b_logit, table5_system
+from repro.config.scale import (
+    ScaleTier,
+    scale_experiment,
+    scale_l2_bytes,
+    scale_seq_len,
+    scale_system,
+    scale_workload,
+)
+
+
+class TestScaleSeqLen:
+    def test_full_is_identity(self):
+        assert scale_seq_len(16384, ScaleTier.FULL) == 16384
+
+    def test_paper_scaled_divides_by_8(self):
+        assert scale_seq_len(16384, ScaleTier.PAPER_SCALED) == 2048
+
+    def test_ci_divides_by_32(self):
+        assert scale_seq_len(16384, ScaleTier.CI) == 512
+
+    def test_floor_at_64(self):
+        assert scale_seq_len(256, ScaleTier.CI) == 64
+
+
+class TestScaleSystem:
+    def test_l2_scales_with_tier(self):
+        system = table5_system()
+        scaled = scale_system(system, ScaleTier.CI)
+        assert scaled.l2.size_bytes == system.l2.size_bytes // 32
+        scaled.validate()
+
+    def test_l2_floor(self):
+        system = table5_system().with_l2_size(1024 * 1024)
+        assert scale_l2_bytes(system.l2.size_bytes, ScaleTier.CI) == 64 * 1024
+
+    def test_other_parameters_untouched(self):
+        system = table5_system()
+        scaled = scale_system(system, ScaleTier.CI)
+        assert scaled.core.num_cores == system.core.num_cores
+        assert scaled.l2.mshr_num_entries == system.l2.mshr_num_entries
+        assert scaled.l2.num_slices == system.l2.num_slices
+
+
+class TestScaleExperiment:
+    def test_working_set_to_cache_ratio_preserved(self):
+        """The ratio that determines capacity pressure must survive scaling."""
+
+        system = table5_system()
+        workload = llama3_70b_logit(seq_len=32768)
+        full_ratio = workload.kv_tensor_bytes / system.l2.size_bytes
+        for tier in (ScaleTier.PAPER_SCALED, ScaleTier.CI):
+            s, w = scale_experiment(system, workload, tier)
+            ratio = w.kv_tensor_bytes / s.l2.size_bytes
+            assert ratio == pytest.approx(full_ratio, rel=0.01)
+
+    def test_rejects_non_tier(self):
+        with pytest.raises(ConfigError):
+            scale_experiment(table5_system(), llama3_70b_logit(1024), 8)
+
+    def test_scale_workload_preserves_other_dims(self):
+        wl = llama3_70b_logit(seq_len=8192)
+        scaled = scale_workload(wl, ScaleTier.CI)
+        assert scaled.shape.num_kv_heads == wl.shape.num_kv_heads
+        assert scaled.shape.head_dim == wl.shape.head_dim
+        assert scaled.shape.seq_len == 256

@@ -1,0 +1,92 @@
+"""Tests for workload configuration (GQA shapes, operator footprints)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config.workload import GQAShape, OperatorKind, WorkloadConfig
+
+
+def make(seq_len=1024, group_size=8, operator=OperatorKind.LOGIT):
+    return WorkloadConfig(
+        name="w",
+        shape=GQAShape(num_kv_heads=8, group_size=group_size, head_dim=128, seq_len=seq_len),
+        operator=operator,
+    ).validate()
+
+
+class TestGQAShape:
+    def test_num_q_heads(self):
+        assert GQAShape(8, 8, 128, 1024).num_q_heads == 64
+        assert GQAShape(8, 16, 128, 1024).num_q_heads == 128
+
+    def test_with_seq_len(self):
+        shape = GQAShape(8, 8, 128, 1024).with_seq_len(2048)
+        assert shape.seq_len == 2048
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ConfigError):
+            GQAShape(0, 8, 128, 1024).validate()
+        with pytest.raises(ConfigError):
+            GQAShape(8, 8, 128, 0).validate()
+
+
+class TestFootprints:
+    def test_kv_bytes_llama70b_16k(self):
+        # H=8, L=16384, D=128, fp16 -> 32 MiB per K tensor.
+        wl = make(seq_len=16384)
+        assert wl.kv_tensor_bytes == 8 * 16384 * 128 * 2
+
+    def test_query_and_output_bytes_logit(self):
+        wl = make(seq_len=1024)
+        assert wl.query_bytes == 64 * 128 * 2
+        assert wl.output_bytes == 64 * 1024 * 2
+
+    def test_output_bytes_attend(self):
+        wl = make(seq_len=1024, operator=OperatorKind.ATTEND)
+        assert wl.output_bytes == 64 * 128 * 2
+
+    def test_working_set_is_sum_of_operands(self):
+        wl = make()
+        assert wl.working_set_bytes == wl.kv_tensor_bytes + wl.query_bytes + wl.output_bytes
+
+    def test_flops_count(self):
+        wl = make(seq_len=1024)
+        assert wl.flops == 2 * 64 * 1024 * 128
+
+    def test_decode_is_memory_bound(self):
+        """The Logit operator's arithmetic intensity is low enough that it is
+        bandwidth-bound on any realistic accelerator (well under 16 FLOP/byte)."""
+
+        wl = make(seq_len=8192)
+        assert wl.arithmetic_intensity < 16
+
+    def test_405b_has_twice_the_query_heads(self):
+        small = make(group_size=8)
+        large = make(group_size=16)
+        assert large.output_bytes == 2 * small.output_bytes
+        assert large.kv_tensor_bytes == small.kv_tensor_bytes  # KV shared per group
+
+
+class TestValidation:
+    def test_rejects_bad_element_bytes(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(
+                name="w", shape=GQAShape(8, 8, 128, 64), element_bytes=3
+            ).validate()
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(
+                name="w", shape=GQAShape(8, 8, 128, 64), batch_size=0
+            ).validate()
+
+    def test_with_seq_len_returns_new_config(self):
+        wl = make(seq_len=1024)
+        wl2 = wl.with_seq_len(4096)
+        assert wl2.shape.seq_len == 4096
+        assert wl.shape.seq_len == 1024
+
+    def test_describe_mentions_shape(self):
+        text = make().describe()
+        assert "logit" in text
+        assert "H=8" in text

@@ -1,0 +1,70 @@
+"""Shared fixtures: small systems and workloads that keep test runtimes low."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.policies import PolicyConfig
+from repro.config.presets import llama3_70b_logit, table5_system
+from repro.config.system import DramConfig, L2Config, SystemConfig
+from repro.config.workload import GQAShape, OperatorKind, WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def paper_system() -> SystemConfig:
+    """The full Table 5 system (used for configuration-level tests only)."""
+
+    return table5_system()
+
+
+@pytest.fixture()
+def tiny_system() -> SystemConfig:
+    """A shrunken system that keeps full-simulation tests fast.
+
+    4 cores, 4 slices, 256 KiB L2 and the paper's MSHR/queue dimensions -- small
+    enough that an operator with a few thousand requests finishes in well under
+    a second, while still exercising every component.
+    """
+
+    base = table5_system()
+    return replace(
+        base,
+        core=replace(base.core, num_cores=4),
+        l2=replace(base.l2, size_bytes=256 * 1024, num_slices=4),
+        dram=replace(base.dram, num_channels=2, num_ranks=2, queue_depth=16),
+    ).validate()
+
+
+@pytest.fixture()
+def tiny_workload() -> WorkloadConfig:
+    """A small Logit workload (H=2, G=4, D=128, L=64): a few thousand requests."""
+
+    return WorkloadConfig(
+        name="tiny-logit",
+        shape=GQAShape(num_kv_heads=2, group_size=4, head_dim=128, seq_len=64),
+        operator=OperatorKind.LOGIT,
+    ).validate()
+
+
+@pytest.fixture()
+def small_llama_workload() -> WorkloadConfig:
+    """Llama3-70B Logit at a short context (for integration tests)."""
+
+    return llama3_70b_logit(seq_len=128)
+
+
+@pytest.fixture()
+def unopt_policy() -> PolicyConfig:
+    return PolicyConfig().validate()
+
+
+@pytest.fixture()
+def small_l2() -> L2Config:
+    return replace(L2Config(), size_bytes=256 * 1024, num_slices=4)
+
+
+@pytest.fixture()
+def small_dram() -> DramConfig:
+    return replace(DramConfig(), num_channels=2, num_ranks=2, queue_depth=8)

@@ -1,0 +1,141 @@
+"""Tests for the vector core: issue, window switching, throttling, draining."""
+
+from __future__ import annotations
+
+from repro.common.types import AccessType, MemResponse
+from repro.config.system import CoreConfig, L1Config
+from repro.cores.core import VectorCore
+from repro.cores.l1 import L1Cache
+from repro.cores.scheduler import ThreadBlockScheduler
+from repro.trace.synthetic import make_stream_trace
+
+
+class CoreHarness:
+    """One core, a scripted scheduler and an always/never-accepting memory sink."""
+
+    def __init__(self, num_blocks=4, lines_per_block=8, accept=True, response_latency=10,
+                 num_windows=4):
+        self.trace = make_stream_trace(num_blocks=num_blocks, lines_per_block=lines_per_block)
+        self.scheduler = ThreadBlockScheduler(self.trace)
+        self.accept = accept
+        self.response_latency = response_latency
+        self.in_flight: list[tuple[int, object]] = []
+        config = CoreConfig(num_cores=1, num_inst_windows=num_windows)
+        self.core = VectorCore(
+            core_id=0,
+            config=config,
+            l1=L1Cache(L1Config()),
+            request_sink=self._sink,
+            scheduler=self.scheduler,
+        )
+        self.cycle = 0
+        self.requests = []
+
+    def _sink(self, req, cycle):
+        if not self.accept:
+            return False
+        self.requests.append(req)
+        self.in_flight.append((cycle + self.response_latency, req))
+        return True
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            due = [item for item in self.in_flight if item[0] <= self.cycle]
+            for item in due:
+                self.in_flight.remove(item)
+                req = item[1]
+                self.core.receive(
+                    MemResponse(
+                        req_id=req.req_id, core_id=0, tb_id=req.tb_id,
+                        line_addr=req.addr - req.addr % 64, rw=req.rw,
+                        complete_cycle=self.cycle,
+                    ),
+                    self.cycle,
+                )
+            self.core.tick(self.cycle)
+            self.cycle += 1
+
+
+class TestExecution:
+    def test_completes_all_thread_blocks(self):
+        h = CoreHarness(num_blocks=4, lines_per_block=8)
+        h.run(600)
+        assert h.core.stat_completed_blocks == 4
+        assert h.scheduler.all_complete
+        assert len(h.requests) == 4 * 8        # stream trace: every access misses L1
+
+    def test_outstanding_drains_to_zero(self):
+        h = CoreHarness()
+        h.run(600)
+        assert h.core.outstanding_requests == 0
+        assert not h.core.busy
+
+    def test_idle_after_work_exhausted(self):
+        h = CoreHarness(num_blocks=1, lines_per_block=4)
+        h.run(300)
+        idle_before = h.core.stat_idle_cycles
+        h.run(50)
+        assert h.core.stat_idle_cycles >= idle_before + 50
+
+    def test_multiple_windows_filled(self):
+        h = CoreHarness(num_blocks=4, num_windows=4)
+        # The scheduler hands out at most one block per core per cycle.
+        h.run(5)
+        assert sum(1 for w in h.core.windows if w.busy) == 4
+
+
+class TestBackpressure:
+    def test_no_issue_under_backpressure(self):
+        h = CoreHarness(accept=False)
+        h.run(50)
+        assert not h.requests
+        assert h.core.stat_backpressure_stalls > 0
+        assert h.core.stat_mem_stall_cycles > 0
+
+    def test_pending_request_issued_once_pressure_clears(self):
+        h = CoreHarness(accept=False, num_blocks=1, lines_per_block=4)
+        h.run(20)
+        h.accept = True
+        h.run(200)
+        assert h.core.stat_completed_blocks == 1
+        # No duplicate requests: exactly one per trace access.
+        assert len(h.requests) == 4
+
+
+class TestThrottling:
+    def test_max_running_blocks_limits_active_windows(self):
+        h = CoreHarness(num_blocks=8, num_windows=4)
+        h.core.set_max_running_blocks(2)
+        h.run(5)
+        busy = sum(1 for w in h.core.windows if w.busy)
+        assert busy == 2
+
+    def test_limit_clamped_to_hardware_range(self):
+        h = CoreHarness()
+        h.core.set_max_running_blocks(0)
+        assert h.core.max_running_blocks == 1
+        h.core.set_max_running_blocks(99)
+        assert h.core.max_running_blocks == 4
+
+    def test_adjust_relative(self):
+        h = CoreHarness()
+        h.core.set_max_running_blocks(2)
+        h.core.adjust_max_running_blocks(+1)
+        assert h.core.max_running_blocks == 3
+        h.core.adjust_max_running_blocks(-2)
+        assert h.core.max_running_blocks == 1
+
+    def test_throttled_core_still_finishes(self):
+        h = CoreHarness(num_blocks=6)
+        h.core.set_max_running_blocks(1)
+        h.run(1500)
+        assert h.core.stat_completed_blocks == 6
+
+    def test_counters_exposed_for_controllers(self):
+        h = CoreHarness()
+        h.run(100)
+        counters = h.core.counters()
+        assert set(counters) == {
+            "mem_stall", "idle", "active", "compute", "issued", "completed_blocks",
+        }
+        assert counters["issued"] > 0

@@ -1,0 +1,64 @@
+"""Tests for the private streaming L1."""
+
+from repro.config.system import L1Config
+from repro.cores.l1 import L1Cache
+
+
+class TestL1Reads:
+    def test_cold_read_misses(self):
+        l1 = L1Cache(L1Config())
+        assert not l1.access_read(0x1000)
+        assert l1.read_misses == 1
+
+    def test_hit_after_fill(self):
+        l1 = L1Cache(L1Config())
+        l1.access_read(0x1000)
+        l1.fill(l1.line_addr(0x1000))
+        assert l1.access_read(0x1010)       # same line, different offset
+        assert l1.read_hits == 1
+
+    def test_no_allocation_on_miss(self):
+        """Allocate-on-fill: a miss alone does not install the line."""
+
+        l1 = L1Cache(L1Config())
+        l1.access_read(0x1000)
+        assert not l1.access_read(0x1000)
+        assert l1.read_misses == 2
+
+    def test_hit_rate(self):
+        l1 = L1Cache(L1Config())
+        l1.access_read(0x0)
+        l1.fill(0x0)
+        l1.access_read(0x0)
+        assert l1.hit_rate == 0.5
+
+
+class TestL1Writes:
+    def test_writes_never_allocate(self):
+        l1 = L1Cache(L1Config())
+        l1.access_write(0x2000)
+        assert l1.writes == 1
+        assert not l1.access_read(0x2000)
+
+    def test_write_to_present_line_keeps_it_resident(self):
+        l1 = L1Cache(L1Config())
+        l1.fill(0x2000)
+        l1.access_write(0x2000)
+        assert l1.access_read(0x2000)
+
+
+class TestCapacity:
+    def test_streaming_evicts_old_lines(self):
+        cfg = L1Config(size_bytes=4096)      # 64 lines, 8 sets
+        l1 = L1Cache(cfg)
+        lines = [i * 64 for i in range(256)]
+        for line in lines:
+            l1.fill(line)
+        # Early lines must have been evicted.
+        assert not l1.access_read(lines[0])
+        # The most recent line is still resident.
+        assert l1.access_read(lines[-1])
+
+    def test_line_addr_alignment(self):
+        l1 = L1Cache(L1Config())
+        assert l1.line_addr(0x1234) == 0x1200

@@ -1,0 +1,51 @@
+"""Tests for the global thread-block scheduler."""
+
+import pytest
+
+from repro.cores.scheduler import ThreadBlockScheduler
+from repro.trace.synthetic import make_stream_trace
+
+
+class TestDispatch:
+    def setup_method(self):
+        self.trace = make_stream_trace(num_blocks=8, lines_per_block=4)
+        self.sched = ThreadBlockScheduler(self.trace)
+
+    def test_blocks_dispatched_in_trace_order(self):
+        ids = [self.sched.next_block(core_id=0).tb_id for _ in range(8)]
+        assert ids == list(range(8))
+
+    def test_exhaustion_returns_none(self):
+        for _ in range(8):
+            self.sched.next_block(0)
+        assert self.sched.next_block(0) is None
+        assert not self.sched.has_pending
+
+    def test_any_core_can_pull_work(self):
+        """The global queue redistributes blocks to whichever core asks (the
+        paper's fix for Ramulator2's fixed per-core trace files)."""
+
+        a = self.sched.next_block(core_id=0)
+        b = self.sched.next_block(core_id=3)
+        assert a.tb_id == 0 and b.tb_id == 1
+        assert self.sched.dispatch_by_core == {0: 1, 3: 1}
+
+    def test_completion_tracking(self):
+        block = self.sched.next_block(0)
+        assert not self.sched.all_complete
+        for _ in range(8):
+            self.sched.notify_complete(block)
+        assert self.sched.all_complete
+        assert self.sched.progress == 1.0
+
+    def test_over_completion_raises(self):
+        block = self.sched.next_block(0)
+        for _ in range(8):
+            self.sched.notify_complete(block)
+        with pytest.raises(RuntimeError):
+            self.sched.notify_complete(block)
+
+    def test_pending_count(self):
+        assert self.sched.pending == 8
+        self.sched.next_block(0)
+        assert self.sched.pending == 7

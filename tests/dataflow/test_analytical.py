@@ -1,0 +1,48 @@
+"""Tests for the analytical (stall-free) model."""
+
+import pytest
+
+from repro.config.presets import llama3_70b_logit, table5_system
+from repro.config.scale import ScaleTier, scale_experiment
+from repro.dataflow.analytical import analyze
+
+
+class TestAnalyticalEstimate:
+    def setup_method(self):
+        self.system = table5_system()
+        self.workload = llama3_70b_logit(seq_len=4096)
+        self.estimate = analyze(self.workload, self.system)
+
+    def test_decode_is_memory_bound(self):
+        """The stall-free bottleneck of the Logit operator must be DRAM or L2, not compute."""
+
+        assert self.estimate.bottleneck in ("dram", "l2")
+        assert self.estimate.dram_bound_cycles > self.estimate.compute_cycles
+
+    def test_dram_traffic_at_least_unique_bytes(self):
+        assert self.estimate.total_dram_bytes >= self.workload.working_set_bytes
+
+    def test_l2_accesses_scale_with_blocks(self):
+        assert self.estimate.total_l2_accesses == pytest.approx(
+            self.estimate.thread_blocks * self.estimate.requests_per_thread_block
+        )
+
+    def test_stall_free_is_max_of_bounds(self):
+        est = self.estimate
+        assert est.stall_free_cycles == max(
+            est.compute_cycles, est.dram_bound_cycles, est.l2_bound_cycles
+        )
+
+    def test_implied_bandwidth_not_above_peak(self):
+        bw = self.estimate.dram_bandwidth_gbps(self.system.frequency_ghz)
+        assert bw <= self.system.dram.peak_bandwidth_gbps * 1.01
+
+    def test_longer_sequences_cost_proportionally_more(self):
+        short = analyze(llama3_70b_logit(2048), self.system)
+        long = analyze(llama3_70b_logit(8192), self.system)
+        assert long.stall_free_cycles == pytest.approx(4 * short.stall_free_cycles, rel=0.1)
+
+    def test_scaled_tiers_shrink_the_estimate(self):
+        system, workload = scale_experiment(self.system, self.workload, ScaleTier.CI)
+        scaled = analyze(workload, system)
+        assert scaled.stall_free_cycles < self.estimate.stall_free_cycles

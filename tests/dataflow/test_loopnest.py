@@ -1,0 +1,61 @@
+"""Tests for the loop-nest / mapping IR."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dataflow.loopnest import Loop, LoopNest, MappingLevel
+
+
+class TestLoop:
+    def test_valid_loop(self):
+        loop = Loop("l", 32, MappingLevel.L1_TEMPORAL)
+        assert "l" in loop.render()
+        assert "32" in loop.render()
+
+    def test_rejects_unknown_dim(self):
+        with pytest.raises(ConfigError):
+            Loop("x", 4, MappingLevel.VECTOR)
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ConfigError):
+            Loop("d", 0, MappingLevel.VECTOR)
+
+
+class TestLoopNest:
+    def build(self):
+        nest = LoopNest()
+        nest.add("h", 8, MappingLevel.GLOBAL_TEMPORAL)
+        nest.add("l", 16, MappingLevel.GLOBAL_TEMPORAL)
+        nest.add("g", 8, MappingLevel.CORE_SPATIAL)
+        nest.add("l", 32, MappingLevel.L1_TEMPORAL)
+        nest.add("d", 128, MappingLevel.VECTOR)
+        return nest
+
+    def test_extent_product_multiplies_same_dim(self):
+        nest = self.build()
+        assert nest.extent_product("l") == 512
+        assert nest.extent_product("d") == 128
+        assert nest.extent_product("g") == 8
+
+    def test_loops_at_level(self):
+        nest = self.build()
+        assert len(nest.loops_at(MappingLevel.GLOBAL_TEMPORAL)) == 2
+        assert len(nest.loops_at(MappingLevel.VECTOR)) == 1
+
+    def test_validate_against_full_extents(self):
+        nest = self.build()
+        nest.validate_against({"h": 8, "g": 8, "l": 512, "d": 128})
+        with pytest.raises(ConfigError):
+            nest.validate_against({"l": 1024})
+
+    def test_render_is_indented_human_readable(self):
+        text = self.build().render()
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("for h")
+        assert lines[-1].strip().startswith("for d")
+        # deeper loops are indented further
+        assert lines[4].index("for") > lines[0].index("for")
+
+    def test_len(self):
+        assert len(self.build()) == 5

@@ -1,0 +1,105 @@
+"""Tests for the constrained mapper and the §6.2.2 dataflow constraints."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config.presets import llama3_70b_logit, llama3_405b_logit, table5_system
+from repro.config.workload import GQAShape, OperatorKind, WorkloadConfig
+from repro.dataflow.constraints import DataflowConstraints
+from repro.dataflow.mapper import build_mapping
+from repro.dataflow.ordering import ThreadBlockOrdering
+from repro.workloads.operators import make_operator
+
+
+class TestConstraints:
+    def test_inner_tile_covers_one_output_line(self):
+        c = DataflowConstraints().validate()
+        # fp16: 64B line / 2B = 32 elements per output cache line.
+        assert c.inner_tile_elements(2) == 32
+
+    def test_two_line_blocks(self):
+        c = DataflowConstraints(output_lines_per_block=2).validate()
+        assert c.inner_tile_elements(2) == 64
+
+    def test_min_inner_bytes_respected_for_wide_elements(self):
+        c = DataflowConstraints().validate()
+        assert c.inner_tile_elements(4) * 4 >= 64
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigError):
+            DataflowConstraints(vector_axis="g").validate()
+        with pytest.raises(ConfigError):
+            DataflowConstraints(output_lines_per_block=0).validate()
+
+
+class TestLogitMapping:
+    def setup_method(self):
+        self.system = table5_system()
+        self.workload = llama3_70b_logit(seq_len=1024)
+        self.operator = make_operator(self.workload)
+        self.mapping = build_mapping(self.operator, self.system)
+
+    def test_thread_block_count(self):
+        # H * G * (L / 32) thread blocks for fp16 single-line tiles.
+        assert self.mapping.num_thread_blocks == 8 * 8 * (1024 // 32)
+
+    def test_inner_tile_is_one_output_line(self):
+        assert self.mapping.inner_tile == 32
+
+    def test_vector_covers_full_head_dim(self):
+        """Constraint 1: the d axis is fully covered by one vector instruction."""
+
+        assert self.mapping.vector_elements == 128
+
+    def test_default_ordering_is_gqa_shared(self):
+        assert self.mapping.ordering == ThreadBlockOrdering.GQA_SHARED
+
+    def test_dispatch_order_groups_sharers_consecutively(self):
+        """In GQA-shared order, the G blocks sharing one (h, l-tile) are adjacent."""
+
+        coords = list(self.mapping.thread_block_coords())
+        first_eight = coords[:8]
+        assert {c[0] for c in first_eight} == {0}          # same head group
+        assert {c[2] for c in first_eight} == {0}          # same l tile
+        assert [c[1] for c in first_eight] == list(range(8))  # all query heads
+
+    def test_sequential_ordering_differs(self):
+        mapping = build_mapping(
+            self.operator, self.system, ordering=ThreadBlockOrdering.SEQUENTIAL
+        )
+        coords = list(mapping.thread_block_coords())
+        assert [c[1] for c in coords[:8]] == [0] * 8
+
+    def test_render_mentions_block_count(self):
+        assert str(self.mapping.num_thread_blocks) in self.mapping.render()
+
+    def test_405b_has_twice_the_blocks(self):
+        mapping_405 = build_mapping(make_operator(llama3_405b_logit(1024)), self.system)
+        assert mapping_405.num_thread_blocks == 2 * self.mapping.num_thread_blocks
+
+
+class TestAttendMapping:
+    def test_attend_maps_output_d_dim(self):
+        wl = WorkloadConfig(
+            name="attend",
+            shape=GQAShape(2, 4, 128, 256),
+            operator=OperatorKind.ATTEND,
+        ).validate()
+        mapping = build_mapping(make_operator(wl), table5_system())
+        # output extent per (h, g) is D=128 -> 4 tiles of 32 elements.
+        assert mapping.num_inner_tiles == 4
+        assert mapping.num_thread_blocks == 2 * 4 * 4
+
+
+class TestMapperValidation:
+    def test_rejects_mismatched_line_size(self):
+        system = table5_system()
+        constraints = DataflowConstraints(line_size=128)
+        with pytest.raises(ConfigError):
+            build_mapping(make_operator(llama3_70b_logit(1024)), system, constraints)
+
+    def test_short_sequences_clamp_tile(self):
+        wl = WorkloadConfig(name="short", shape=GQAShape(1, 1, 128, 16)).validate()
+        mapping = build_mapping(make_operator(wl), table5_system())
+        assert mapping.inner_tile == 16
+        assert mapping.num_inner_tiles == 1

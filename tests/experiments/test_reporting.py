@@ -1,0 +1,32 @@
+"""Tests for the experiment output formatting."""
+
+from repro.experiments.reporting import format_grid, format_series
+
+
+class TestFormatSeries:
+    def test_contains_all_policies_and_points(self):
+        text = format_series(
+            "Fig X", "seq", ["4K", "8K"], {"dynmg": [1.1, 1.2], "lcs": [1.0, 0.99]}
+        )
+        assert "Fig X" in text
+        assert "dynmg" in text and "lcs" in text
+        assert "1.100" in text and "0.990" in text
+
+    def test_column_alignment(self):
+        text = format_series("T", "x", [1, 2, 3], {"p": [1.0, 2.0, 3.0]})
+        lines = text.splitlines()
+        assert len(lines) == 4  # title, rule, header, one row
+
+
+class TestFormatGrid:
+    def test_rows_rendered(self):
+        rows = [
+            {"policy": "unopt", "performance": 1.0},
+            {"policy": "dynmg+BMA", "performance": 1.26},
+        ]
+        text = format_grid("Fig 8", rows)
+        assert "dynmg+BMA" in text
+        assert "1.260" in text
+
+    def test_empty_rows(self):
+        assert "(no data)" in format_grid("Empty", [])

@@ -1,0 +1,61 @@
+"""Tests for the §6.1 area model."""
+
+import pytest
+
+from repro.config.policies import MshrAwareParams
+from repro.config.system import L2Config
+from repro.experiments.hwcost_exp import (
+    PAPER_ARBITER_UM2,
+    PAPER_HIT_BUFFER_UM2,
+    run_hwcost,
+)
+from repro.hwcost.area import AreaModel, estimate_area
+
+
+class TestAreaModel:
+    def setup_method(self):
+        self.model = AreaModel(l2=L2Config(), mshr_aware=MshrAwareParams())
+
+    def test_reports_have_positive_components(self):
+        for report in (self.model.arbiter_report(), self.model.hit_buffer_report()):
+            assert report.storage_bits > 0
+            assert report.storage_um2 > 0
+            assert report.total_um2 > report.storage_um2
+
+    def test_arbiter_is_larger_than_hit_buffer(self):
+        assert self.model.arbiter_report().total_um2 > self.model.hit_buffer_report().total_um2
+
+    def test_calibrated_to_paper_within_factor_two(self):
+        """The first-order model must land in the same ballpark as the synthesis numbers."""
+
+        arbiter = self.model.arbiter_report().total_um2
+        hit_buffer = self.model.hit_buffer_report().total_um2
+        assert arbiter == pytest.approx(PAPER_ARBITER_UM2, rel=0.6)
+        assert hit_buffer == pytest.approx(PAPER_HIT_BUFFER_UM2, rel=0.6)
+
+    def test_total_overhead_is_sum(self):
+        assert self.model.total_overhead_um2() == pytest.approx(
+            self.model.arbiter_report().total_um2 + self.model.hit_buffer_report().total_um2
+        )
+
+    def test_larger_hit_buffer_costs_more(self):
+        bigger = AreaModel(l2=L2Config(), mshr_aware=MshrAwareParams(hit_buffer_size=64))
+        assert bigger.hit_buffer_report().total_um2 > self.model.hit_buffer_report().total_um2
+
+    def test_larger_request_queue_costs_more(self):
+        from dataclasses import replace
+
+        bigger = AreaModel(l2=replace(L2Config(), req_q_size=24), mshr_aware=MshrAwareParams())
+        assert bigger.arbiter_report().total_um2 > self.model.arbiter_report().total_um2
+
+
+class TestExperiment:
+    def test_run_hwcost_rows(self):
+        rows = run_hwcost()
+        assert {row["structure"] for row in rows} == {"arbiter", "hit_buffer"}
+        for row in rows:
+            assert 0.4 < row["ratio"] < 2.5
+
+    def test_estimate_area_defaults(self):
+        reports = estimate_area()
+        assert set(reports) == {"arbiter", "hit_buffer"}

@@ -1,0 +1,74 @@
+"""Tests for the experiment runner (trace caching, policy comparison, speedups)."""
+
+import pytest
+
+from repro.config.policies import PolicyConfig, ThrottleKind
+from repro.sim.runner import (
+    PolicyComparison,
+    cached_trace,
+    clear_trace_cache,
+    compare_policies,
+    geomean_speedup,
+    run_policy,
+)
+
+
+class TestTraceCache:
+    def test_same_workload_returns_same_object(self, tiny_system, tiny_workload):
+        clear_trace_cache()
+        a = cached_trace(tiny_workload, tiny_system)
+        b = cached_trace(tiny_workload, tiny_system)
+        assert a is b
+
+    def test_different_seq_len_is_different_trace(self, tiny_system, tiny_workload):
+        clear_trace_cache()
+        a = cached_trace(tiny_workload, tiny_system)
+        b = cached_trace(tiny_workload.with_seq_len(128), tiny_system)
+        assert a is not b
+
+    def test_cache_size_change_does_not_invalidate_trace(self, tiny_system, tiny_workload):
+        """The trace only depends on line size / workload, not on L2 capacity."""
+
+        clear_trace_cache()
+        a = cached_trace(tiny_workload, tiny_system)
+        b = cached_trace(tiny_workload, tiny_system.with_l2_size(512 * 1024))
+        assert a is b
+
+
+class TestRunPolicy:
+    def test_returns_labelled_result(self, tiny_system, tiny_workload):
+        result = run_policy(tiny_system, tiny_workload, PolicyConfig(), label="base")
+        assert result.label == "base"
+        assert result.cycles > 0
+
+
+class TestComparePolicies:
+    @pytest.fixture()
+    def comparison(self, tiny_system, tiny_workload) -> PolicyComparison:
+        policies = {
+            "unopt": PolicyConfig(),
+            "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
+        }
+        return compare_policies(tiny_system, tiny_workload, policies, baseline_label="unopt")
+
+    def test_baseline_speedup_is_one(self, comparison):
+        assert comparison.speedup("unopt") == pytest.approx(1.0)
+
+    def test_speedups_cover_all_policies(self, comparison):
+        assert set(comparison.speedups()) == {"unopt", "dynmg"}
+
+    def test_relative_speedup(self, comparison):
+        rel = comparison.relative_speedup("dynmg", "unopt")
+        assert rel == pytest.approx(comparison.speedup("dynmg"))
+
+    def test_table_renders(self, comparison):
+        table = comparison.table()
+        assert "unopt" in table and "dynmg" in table
+
+    def test_unknown_baseline_rejected(self, tiny_system, tiny_workload):
+        with pytest.raises(KeyError):
+            compare_policies(tiny_system, tiny_workload, {"a": PolicyConfig()}, "missing")
+
+    def test_geomean_speedup_over_comparisons(self, comparison):
+        value = geomean_speedup([comparison], "dynmg")
+        assert value == pytest.approx(comparison.speedup("dynmg"))

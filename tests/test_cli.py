@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.model == "llama3-70b"
+        assert args.policy == "dynmg+BMA"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--model", "gpt-7", "--seq-len", "64"])
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--tier", "gigantic"])
+
+
+class TestInfoAndHwcost:
+    def test_info_prints_analytical_bounds(self, capsys):
+        assert main(["info", "--model", "llama3-70b", "--seq-len", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "thread blocks" in out
+        assert "bottleneck" in out
+
+    def test_hwcost_prints_both_structures(self, capsys):
+        assert main(["hwcost"]) == 0
+        out = capsys.readouterr().out
+        assert "arbiter" in out
+        assert "hit_buffer" in out

@@ -1,0 +1,35 @@
+"""Tests for the contention classifier used by the global controller (Table 3)."""
+
+import pytest
+
+from repro.config.policies import ContentionLevel, ContentionThresholds
+from repro.throttle.multigear import MultiGearState
+from repro.config.policies import MultiGearParams
+
+
+class TestClassifierIntegration:
+    """Table 3 thresholds as consumed by the gear state machine."""
+
+    def test_default_thresholds_match_table3(self):
+        thresholds = ContentionThresholds()
+        assert thresholds.low_upper == pytest.approx(0.1)
+        assert thresholds.normal_upper == pytest.approx(0.2)
+        assert thresholds.high_upper == pytest.approx(0.375)
+
+    def test_custom_thresholds_shift_behaviour(self):
+        loose = MultiGearState(
+            params=MultiGearParams(thresholds=ContentionThresholds(0.3, 0.5, 0.8))
+        )
+        # 0.25 is HIGH for the paper's thresholds but LOW for the loose ones.
+        assert loose.classify(0.25) == ContentionLevel.LOW
+        default = MultiGearState(params=MultiGearParams())
+        assert default.classify(0.25) == ContentionLevel.HIGH
+
+    @pytest.mark.parametrize("ratio", [0.0, 0.1, 0.2, 0.375, 1.0])
+    def test_levels_are_monotonic_in_stall_ratio(self, ratio):
+        state = MultiGearState(params=MultiGearParams())
+        previous = ContentionLevel.LOW
+        for r in [0.0, 0.05, 0.15, 0.3, 0.5, 1.0]:
+            level = state.classify(r)
+            assert level >= previous
+            previous = level

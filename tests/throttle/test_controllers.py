@@ -1,0 +1,159 @@
+"""Tests for the throttle controllers (dynmg, DYNCTA, LCS) against a live system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.policies import (
+    ArbitrationKind,
+    InCoreThrottleParams,
+    MultiGearParams,
+    PolicyConfig,
+    ThrottleKind,
+)
+from repro.sim.system import SimulatedSystem
+from repro.throttle.base import NullThrottleController
+from repro.throttle.dyncta import DynctaController
+from repro.throttle.dynmg import DynMgController
+from repro.throttle.factory import make_throttle_controller
+from repro.throttle.incore import InCoreThrottle
+from repro.throttle.lcs import LcsController
+from repro.trace.generator import generate_trace
+
+
+class _FakeCore:
+    """Just enough of the VectorCore surface for the in-core controller."""
+
+    def __init__(self, core_id, num_windows=4):
+        self.core_id = core_id
+        self.stat_mem_stall_cycles = 0
+        self.stat_idle_cycles = 0
+        self.max_running_blocks = num_windows
+        self.throttled = False
+
+        class _Cfg:
+            num_inst_windows = num_windows
+
+        self.config = _Cfg()
+
+    def set_max_running_blocks(self, value):
+        self.max_running_blocks = max(1, min(self.config.num_inst_windows, value))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            (ThrottleKind.NONE, NullThrottleController),
+            (ThrottleKind.DYNMG, DynMgController),
+            (ThrottleKind.DYNCTA, DynctaController),
+            (ThrottleKind.LCS, LcsController),
+        ],
+    )
+    def test_builds_requested_controller(self, kind, cls):
+        controller = make_throttle_controller(PolicyConfig(throttle=kind))
+        assert type(controller) is cls
+        assert controller.name == kind.value
+
+
+class TestInCoreLogic:
+    """Table 4 decision rules, isolated from the simulator."""
+
+    def setup_method(self):
+        self.incore = InCoreThrottle(params=InCoreThrottleParams())
+        self.core = _FakeCore(0)
+
+    def test_heavy_memory_stall_reduces_blocks(self):
+        self.core.stat_mem_stall_cycles = 300   # > 250 upper bound
+        assert self.incore.evaluate(self.core, throttled=True, max_blocks=4) == -1
+
+    def test_light_memory_stall_increases_blocks(self):
+        self.core.stat_mem_stall_cycles = 100   # < 180 lower bound
+        assert self.incore.evaluate(self.core, throttled=True, max_blocks=4) == +1
+
+    def test_mid_band_holds(self):
+        self.core.stat_mem_stall_cycles = 200
+        assert self.incore.evaluate(self.core, throttled=True, max_blocks=4) == 0
+
+    def test_idleness_adds_a_block(self):
+        self.core.stat_mem_stall_cycles = 300
+        self.core.stat_idle_cycles = 10          # > 4 -> +1, cancels the -1
+        assert self.incore.evaluate(self.core, throttled=True, max_blocks=4) == 0
+
+    def test_unthrottled_cores_are_left_alone(self):
+        self.core.stat_mem_stall_cycles = 1000
+        assert self.incore.evaluate(self.core, throttled=False, max_blocks=4) == 0
+
+    def test_deltas_are_per_subperiod(self):
+        self.core.stat_mem_stall_cycles = 300
+        self.incore.evaluate(self.core, True, 4)
+        # No new stalls since the last sample -> the delta is 0, which is below the
+        # lower bound, so the controller relaxes throttling.
+        assert self.incore.evaluate(self.core, True, 4) == +1
+
+
+def _build_system(policy: PolicyConfig, tiny_system, tiny_workload):
+    trace = generate_trace(tiny_workload, tiny_system)
+    return SimulatedSystem(tiny_system, policy, trace)
+
+
+class TestControllersOnLiveSystem:
+    def test_dynmg_reacts_to_contention(self, tiny_system, tiny_workload):
+        policy = PolicyConfig(
+            throttle=ThrottleKind.DYNMG,
+            multigear=MultiGearParams(sampling_period=200),
+            incore=InCoreThrottleParams(sub_period=50),
+        )
+        system = _build_system(policy, tiny_system, tiny_workload)
+        for cycle in range(3000):
+            system.step(cycle)
+        controller = system.throttle
+        assert isinstance(controller, DynMgController)
+        assert controller.samples > 0
+        # The memory-bound decode workload must push the gear above zero at least once.
+        assert any(gear > 0 for _, _, gear in controller.state.history)
+        # Throttled cores are always the fastest subset, never more than 3/4 of cores.
+        assert len(controller.throttled_cores) <= int(0.75 * len(system.cores))
+
+    def test_dyncta_adjusts_all_cores(self, tiny_system, tiny_workload):
+        policy = PolicyConfig(throttle=ThrottleKind.DYNCTA)
+        system = _build_system(policy, tiny_system, tiny_workload)
+        for cycle in range(5000):
+            system.step(cycle)
+        controller = system.throttle
+        assert controller.samples > 0
+
+    def test_lcs_fixes_limits_after_first_block(self, tiny_system, tiny_workload):
+        policy = PolicyConfig(throttle=ThrottleKind.LCS)
+        system = _build_system(policy, tiny_system, tiny_workload)
+        # Observation phase: every core starts restricted to one block.
+        assert all(core.max_running_blocks == 1 for core in system.cores)
+        for cycle in range(20000):
+            system.step(cycle)
+            if system.finished():
+                break
+        controller = system.throttle
+        assert controller.chosen_limits  # at least one core completed its first block
+        for limit in controller.chosen_limits.values():
+            assert 1 <= limit <= tiny_system.core.num_inst_windows
+
+    def test_null_controller_never_touches_limits(self, tiny_system, tiny_workload):
+        system = _build_system(PolicyConfig(), tiny_system, tiny_workload)
+        for cycle in range(1000):
+            system.step(cycle)
+        assert all(
+            core.max_running_blocks == tiny_system.core.num_inst_windows
+            for core in system.cores
+        )
+
+    def test_dynmg_with_bma_arbitration_coexists(self, tiny_system, tiny_workload):
+        policy = PolicyConfig(
+            throttle=ThrottleKind.DYNMG,
+            arbitration=ArbitrationKind.BALANCED_MSHR_AWARE,
+            multigear=MultiGearParams(sampling_period=200),
+            incore=InCoreThrottleParams(sub_period=50),
+        )
+        system = _build_system(policy, tiny_system, tiny_workload)
+        for cycle in range(2000):
+            system.step(cycle)
+        assert system.llc.stats(2000).accesses > 0

@@ -1,0 +1,80 @@
+"""Tests for the multi-gear state machine (Algorithm 1, Tables 1 and 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.policies import ContentionLevel, MultiGearParams
+from repro.throttle.multigear import MultiGearState
+
+
+def make_state():
+    return MultiGearState(params=MultiGearParams())
+
+
+class TestAlgorithm1:
+    def test_starts_at_gear_zero(self):
+        assert make_state().gear == 0
+
+    def test_high_contention_steps_up_by_one(self):
+        state = make_state()
+        assert state.update(0.25) == 1
+        assert state.update(0.25) == 2
+
+    def test_low_contention_steps_down(self):
+        state = make_state()
+        state.update(0.25)
+        state.update(0.25)
+        assert state.update(0.05) == 1
+        assert state.update(0.05) == 0
+        assert state.update(0.05) == 0    # never below zero
+
+    def test_normal_contention_holds_gear(self):
+        state = make_state()
+        state.update(0.25)
+        assert state.update(0.15) == 1
+
+    def test_extreme_contention_jumps_two_gears(self):
+        state = make_state()
+        assert state.update(0.5) == 2
+        assert state.update(0.5) == 4
+
+    def test_extreme_near_top_clamps_to_max(self):
+        state = make_state()
+        for _ in range(3):
+            state.update(0.25)           # gear 3
+        assert state.update(0.5) == 4    # 3 -> max (not 5)
+
+    def test_never_exceeds_max_gear(self):
+        state = make_state()
+        for _ in range(10):
+            state.update(0.9)
+        assert state.gear == 4
+
+    def test_stall_ratio_above_one_is_clamped(self):
+        state = make_state()
+        assert state.classify(3.0) == ContentionLevel.EXTREME
+
+
+class TestTable1Fractions:
+    @pytest.mark.parametrize(
+        "gear,expected",
+        [(0, 0), (1, 2), (2, 4), (3, 8), (4, 12)],
+    )
+    def test_throttled_core_count_for_16_cores(self, gear, expected):
+        state = make_state()
+        state.gear = gear
+        assert state.throttled_core_count(16) == expected
+
+    def test_history_records_transitions(self):
+        state = make_state()
+        state.update(0.25, cycle=2000)
+        state.update(0.05, cycle=4000)
+        assert [h[2] for h in state.history] == [1, 0]
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=100))
+def test_property_gear_always_within_range(ratios):
+    state = make_state()
+    for ratio in ratios:
+        gear = state.update(ratio)
+        assert 0 <= gear <= state.params.max_gear

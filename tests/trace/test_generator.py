@@ -1,0 +1,127 @@
+"""Tests for the mapping -> trace unrolling."""
+
+import pytest
+
+from repro.common.types import AccessType, RequestKind
+from repro.config.presets import llama3_70b_logit, table5_system
+from repro.config.workload import GQAShape, OperatorKind, WorkloadConfig
+from repro.dataflow.ordering import ThreadBlockOrdering
+from repro.trace.generator import generate_trace
+from repro.trace.stats import compute_trace_stats
+from repro.workloads.layout import build_layout
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    wl = WorkloadConfig(
+        name="small", shape=GQAShape(2, 4, 128, 128), operator=OperatorKind.LOGIT
+    ).validate()
+    return wl, generate_trace(wl, table5_system())
+
+
+class TestTraceShape:
+    def test_block_count_matches_mapping(self, small_trace):
+        wl, trace = small_trace
+        # H * G * (L / 32) blocks
+        assert len(trace) == 2 * 4 * (128 // 32)
+
+    def test_kv_lines_per_block(self, small_trace):
+        """Each Logit block reads inner_tile K rows of 4 cache lines each (fp16, D=128)."""
+
+        _, trace = small_trace
+        block = trace[0]
+        kv_accesses = [e for e in block.entries if e.kind == RequestKind.KV]
+        assert len(kv_accesses) == 32 * 4
+
+    def test_query_loaded_once_per_block(self, small_trace):
+        _, trace = small_trace
+        block = trace[0]
+        q_accesses = [e for e in block.entries if e.kind == RequestKind.ACTIVATION]
+        assert len(q_accesses) == 4  # 128 elements * 2 B / 64 B lines
+
+    def test_output_written_once_per_block(self, small_trace):
+        _, trace = small_trace
+        block = trace[0]
+        out = [e for e in block.entries if e.kind == RequestKind.OUTPUT]
+        assert len(out) == 1
+        assert all(e.rw == AccessType.WRITE for e in out)
+
+    def test_compute_attached_to_each_kv_row(self, small_trace):
+        _, trace = small_trace
+        block = trace[0]
+        compute_entries = [e for e in block.entries if e.compute_cycles > 0]
+        assert len(compute_entries) == 32  # one vector MAC per K row
+
+    def test_addresses_fall_inside_operands(self, small_trace):
+        wl, trace = small_trace
+        layout = build_layout(wl)
+        for block in list(trace)[:4]:
+            for entry in block.entries:
+                assert layout.operand_of(entry.addr) is not None
+
+
+class TestGQASharing:
+    def test_blocks_of_same_group_share_kv_lines(self, small_trace):
+        """Blocks with the same (h, tile) but different g touch identical K lines."""
+
+        _, trace = small_trace
+        blocks = [b for b in trace if b.h == 0 and b.tile_index == 0]
+        assert len(blocks) == 4
+        kv_sets = [
+            {e.addr for e in b.entries if e.kind == RequestKind.KV} for b in blocks
+        ]
+        assert kv_sets[0] == kv_sets[1] == kv_sets[2] == kv_sets[3]
+
+    def test_blocks_of_different_tiles_are_disjoint_in_kv(self, small_trace):
+        _, trace = small_trace
+        b0 = next(b for b in trace if b.h == 0 and b.g == 0 and b.tile_index == 0)
+        b1 = next(b for b in trace if b.h == 0 and b.g == 0 and b.tile_index == 1)
+        kv0 = {e.addr for e in b0.entries if e.kind == RequestKind.KV}
+        kv1 = {e.addr for e in b1.entries if e.kind == RequestKind.KV}
+        assert not (kv0 & kv1)
+
+    def test_gqa_shared_ordering_places_sharers_adjacently(self, small_trace):
+        _, trace = small_trace
+        first_four = list(trace)[:4]
+        assert {b.h for b in first_four} == {0}
+        assert {b.tile_index for b in first_four} == {0}
+        assert [b.g for b in first_four] == [0, 1, 2, 3]
+
+    def test_sequential_ordering_differs(self):
+        wl = WorkloadConfig(
+            name="seq", shape=GQAShape(2, 4, 128, 128), operator=OperatorKind.LOGIT
+        ).validate()
+        trace = generate_trace(wl, table5_system(), ordering=ThreadBlockOrdering.SEQUENTIAL)
+        first_four = list(trace)[:4]
+        assert [b.g for b in first_four] == [0, 0, 0, 0]
+
+
+class TestFootprint:
+    def test_unique_lines_match_workload_footprint(self, small_trace):
+        wl, trace = small_trace
+        stats = compute_trace_stats(trace)
+        # Footprint = KV + Q + output, rounded up to lines.
+        expected_bytes = wl.working_set_bytes
+        assert stats.footprint_bytes == pytest.approx(expected_bytes, rel=0.05)
+
+    def test_reuse_factor_reflects_group_size(self, small_trace):
+        """Each K line is read by G blocks, so average reuse is close to G."""
+
+        wl, trace = small_trace
+        stats = compute_trace_stats(trace)
+        assert stats.avg_reuse == pytest.approx(wl.shape.group_size, rel=0.2)
+
+    def test_llama_70b_trace_scales_with_seq_len(self):
+        system = table5_system()
+        t1 = generate_trace(llama3_70b_logit(128), system)
+        t2 = generate_trace(llama3_70b_logit(256), system)
+        assert t2.total_accesses == pytest.approx(2 * t1.total_accesses, rel=0.05)
+
+    def test_attend_operator_trace_generates(self):
+        wl = WorkloadConfig(
+            name="attend", shape=GQAShape(1, 2, 128, 64), operator=OperatorKind.ATTEND
+        ).validate()
+        trace = generate_trace(wl, table5_system())
+        stats = compute_trace_stats(trace)
+        assert stats.total_accesses > 0
+        assert stats.total_writes > 0

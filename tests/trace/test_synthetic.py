@@ -1,0 +1,63 @@
+"""Tests for the synthetic trace generators."""
+
+from repro.common.types import AccessType
+from repro.trace.stats import compute_trace_stats
+from repro.trace.synthetic import (
+    make_pointer_chase_trace,
+    make_random_trace,
+    make_shared_hotset_trace,
+    make_stream_trace,
+    make_write_stream_trace,
+)
+
+
+class TestStreamTrace:
+    def test_every_line_touched_once(self):
+        trace = make_stream_trace(num_blocks=4, lines_per_block=16)
+        stats = compute_trace_stats(trace)
+        assert stats.total_accesses == 64
+        assert stats.unique_lines == 64
+        assert stats.avg_reuse == 1.0
+
+    def test_blocks_are_disjoint(self):
+        trace = make_stream_trace(num_blocks=2, lines_per_block=8)
+        assert not (trace[0].touched_lines(64) & trace[1].touched_lines(64))
+
+
+class TestHotsetTrace:
+    def test_all_blocks_share_the_hot_set(self):
+        trace = make_shared_hotset_trace(num_blocks=4, lines_per_block=32, hot_lines=16)
+        stats = compute_trace_stats(trace)
+        assert stats.unique_lines == 16
+        assert stats.avg_reuse == (4 * 32) / 16
+
+
+class TestRandomTrace:
+    def test_respects_footprint_bound(self):
+        trace = make_random_trace(num_blocks=4, lines_per_block=64, footprint_lines=128)
+        stats = compute_trace_stats(trace)
+        assert stats.unique_lines <= 128
+
+    def test_deterministic_for_same_seed(self):
+        a = make_random_trace(seed=3)
+        b = make_random_trace(seed=3)
+        assert [e.addr for e in a[0].entries] == [e.addr for e in b[0].entries]
+
+    def test_different_seeds_differ(self):
+        a = make_random_trace(seed=3)
+        b = make_random_trace(seed=4)
+        assert [e.addr for e in a[0].entries] != [e.addr for e in b[0].entries]
+
+
+class TestPointerChase:
+    def test_no_line_reuse_within_block(self):
+        trace = make_pointer_chase_trace(num_blocks=1, chain_length=64)
+        block = trace[0]
+        assert len(block.touched_lines(64)) == 64
+
+
+class TestWriteStream:
+    def test_all_writes(self):
+        trace = make_write_stream_trace(num_blocks=2, lines_per_block=8)
+        for block in trace:
+            assert all(e.rw == AccessType.WRITE for e in block.entries)

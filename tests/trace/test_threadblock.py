@@ -1,0 +1,76 @@
+"""Tests for the thread-block / trace containers."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.types import AccessType, TraceEntry
+from repro.trace.threadblock import ThreadBlock, Trace
+
+
+def block(tb_id=0, n=4, base=0x1000):
+    entries = [
+        TraceEntry(compute_cycles=1, addr=base + i * 64, rw=AccessType.READ) for i in range(n)
+    ]
+    return ThreadBlock(tb_id=tb_id, h=0, g=0, tile_index=0, entries=entries)
+
+
+class TestThreadBlock:
+    def test_counts(self):
+        b = block(n=5)
+        assert b.num_entries == 5
+        assert b.num_accesses == 5
+        assert b.num_reads == 5
+        assert b.num_writes == 0
+        assert b.compute_cycles == 5
+
+    def test_touched_lines_deduplicates(self):
+        entries = [
+            TraceEntry(0, 0x100), TraceEntry(0, 0x104), TraceEntry(0, 0x140),
+        ]
+        b = ThreadBlock(tb_id=0, h=0, g=0, tile_index=0, entries=entries)
+        assert b.touched_lines(64) == {0x100, 0x140}
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(TraceError):
+            ThreadBlock(tb_id=0, h=0, g=0, tile_index=0, entries=[]).validate()
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(TraceError):
+            ThreadBlock(tb_id=-1, h=0, g=0, tile_index=0)
+
+    def test_rejects_bad_entries(self):
+        bad = ThreadBlock(
+            tb_id=0, h=0, g=0, tile_index=0,
+            entries=[TraceEntry(compute_cycles=-1, addr=0x40)],
+        )
+        with pytest.raises(TraceError):
+            bad.validate()
+
+
+class TestTrace:
+    def test_aggregate_counts(self):
+        trace = Trace(blocks=[block(0, 3, 0x1000), block(1, 5, 0x2000)])
+        assert len(trace) == 2
+        assert trace.total_accesses == 8
+        assert trace.total_reads == 8
+        assert trace.total_writes == 0
+
+    def test_footprint(self):
+        trace = Trace(blocks=[block(0, 4, 0x1000), block(1, 4, 0x1000)])
+        assert trace.footprint_lines() == 4
+        assert trace.footprint_bytes() == 256
+
+    def test_validate_rejects_duplicate_ids(self):
+        trace = Trace(blocks=[block(0), block(0, base=0x9000)])
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_validate_rejects_empty_trace(self):
+        with pytest.raises(TraceError):
+            Trace().validate()
+
+    def test_indexing_and_iteration(self):
+        blocks = [block(i, 2, 0x1000 * (i + 1)) for i in range(3)]
+        trace = Trace(blocks=blocks)
+        assert trace[1] is blocks[1]
+        assert [b.tb_id for b in trace] == [0, 1, 2]

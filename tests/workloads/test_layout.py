@@ -1,0 +1,99 @@
+"""Tests for tensor layouts: no overlap, row-major strides, deterministic addresses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.config.workload import GQAShape, OperatorKind, WorkloadConfig
+from repro.workloads.layout import PAGE_BYTES, build_layout
+
+
+def make_workload(h=2, g=4, d=128, l=256, operator=OperatorKind.LOGIT):
+    return WorkloadConfig(
+        name="t", shape=GQAShape(h, g, d, l), operator=operator
+    ).validate()
+
+
+class TestLayoutStructure:
+    def test_operands_do_not_overlap(self):
+        layout = build_layout(make_workload())
+        q, kv, out = layout.operands
+        assert q.end <= kv.base
+        assert kv.end <= out.base
+
+    def test_operands_are_page_aligned(self):
+        layout = build_layout(make_workload())
+        for operand in layout.operands:
+            assert operand.base % PAGE_BYTES == 0
+
+    def test_sizes_match_workload(self):
+        wl = make_workload()
+        layout = build_layout(wl)
+        assert layout.kv.size_bytes == wl.kv_tensor_bytes
+        assert layout.query.size_bytes == wl.query_bytes
+        assert layout.output.size_bytes == wl.output_bytes
+
+    def test_deterministic(self):
+        wl = make_workload()
+        a = build_layout(wl)
+        b = build_layout(wl)
+        assert a.kv.base == b.kv.base
+        assert a.output.end == b.output.end
+
+    def test_operand_of_resolves_each_region(self):
+        layout = build_layout(make_workload())
+        assert layout.operand_of(layout.kv.base + 10) is layout.kv
+        assert layout.operand_of(layout.query.base) is layout.query
+        assert layout.operand_of(layout.output.end + 100) is None
+
+
+class TestAddressing:
+    def test_kv_is_row_major_in_h_l_d(self):
+        wl = make_workload(h=2, g=2, d=128, l=16)
+        layout = build_layout(wl)
+        eb = wl.element_bytes
+        # consecutive d elements are contiguous
+        assert layout.kv.address(0, 0, 1) - layout.kv.address(0, 0, 0) == eb
+        # consecutive l rows are D elements apart
+        assert layout.kv.address(0, 1, 0) - layout.kv.address(0, 0, 0) == 128 * eb
+        # consecutive heads are L*D elements apart
+        assert layout.kv.address(1, 0, 0) - layout.kv.address(0, 0, 0) == 16 * 128 * eb
+
+    def test_out_of_range_index_rejected(self):
+        layout = build_layout(make_workload(h=2, g=2, d=128, l=16))
+        with pytest.raises(ConfigError):
+            layout.kv.address(2, 0, 0)
+        with pytest.raises(ConfigError):
+            layout.kv.address(0, 16, 0)
+
+    def test_wrong_arity_rejected(self):
+        layout = build_layout(make_workload())
+        with pytest.raises(ConfigError):
+            layout.kv.address(0, 0)
+
+    def test_row_address_pads_missing_indices(self):
+        layout = build_layout(make_workload())
+        assert layout.kv.row_address(1, 3) == layout.kv.address(1, 3, 0)
+
+    def test_attend_layout_swaps_roles(self):
+        wl = make_workload(operator=OperatorKind.ATTEND)
+        layout = build_layout(wl)
+        # For Attend the query-side operand is AttScore with shape (h, g, l).
+        assert layout.query.shape == (2, 4, 256)
+        assert layout.output.shape == (2, 4, 128)
+
+
+@given(
+    h=st.integers(1, 4),
+    g=st.integers(1, 8),
+    d=st.sampled_from([64, 128]),
+    l=st.integers(16, 512),
+)
+def test_property_every_element_address_within_operand(h, g, d, l):
+    wl = make_workload(h=h, g=g, d=d, l=l)
+    layout = build_layout(wl)
+    kv = layout.kv
+    # Probe the extreme corners of the KV tensor.
+    assert kv.contains(kv.address(0, 0, 0))
+    assert kv.contains(kv.address(h - 1, l - 1, d - 1))
+    assert kv.address(h - 1, l - 1, d - 1) == kv.end - wl.element_bytes

@@ -1,0 +1,76 @@
+"""Tests for the decode-operator descriptors."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config.workload import GQAShape, OperatorKind, WorkloadConfig
+from repro.workloads.operators import AttendOperator, LogitOperator, make_operator
+
+
+def workload(operator=OperatorKind.LOGIT, h=2, g=4, d=128, l=64):
+    return WorkloadConfig(name="t", shape=GQAShape(h, g, d, l), operator=operator).validate()
+
+
+class TestLogitOperator:
+    def setup_method(self):
+        self.op = LogitOperator(workload())
+
+    def test_reduction_axis(self):
+        assert self.op.reduction_axis == "d"
+
+    def test_kv_row_bytes(self):
+        assert self.op.kv_row_bytes() == 128 * 2
+
+    def test_query_row_bytes(self):
+        assert self.op.query_row_bytes() == 128 * 2
+
+    def test_output_extent_is_seq_len(self):
+        assert self.op.output_extent() == 64
+
+    def test_kv_rows_are_distinct_per_l(self):
+        addrs = {self.op.kv_row_address(0, l) for l in range(64)}
+        assert len(addrs) == 64
+
+    def test_gqa_sharing_same_kv_for_all_g(self):
+        """All query heads of a group read the same K rows -- the GQA property."""
+
+        row = self.op.kv_row_address(1, 7)
+        # kv_row_address does not depend on g at all.
+        assert row == self.op.kv_row_address(1, 7)
+        assert self.op.query_row_address(1, 0) != self.op.query_row_address(1, 1)
+
+    def test_macs_per_output_element(self):
+        assert self.op.macs_per_output_element() == 128
+
+    def test_requires_logit_workload(self):
+        with pytest.raises(ConfigError):
+            LogitOperator(workload(operator=OperatorKind.ATTEND))
+
+
+class TestAttendOperator:
+    def setup_method(self):
+        self.op = AttendOperator(workload(operator=OperatorKind.ATTEND))
+
+    def test_reduction_axis(self):
+        assert self.op.reduction_axis == "l"
+
+    def test_output_extent_is_head_dim(self):
+        assert self.op.output_extent() == 128
+
+    def test_query_row_is_attscore_row(self):
+        assert self.op.query_row_bytes() == 64 * 2
+
+    def test_requires_attend_workload(self):
+        with pytest.raises(ConfigError):
+            AttendOperator(workload(operator=OperatorKind.LOGIT))
+
+
+class TestFactory:
+    def test_make_operator_dispatches(self):
+        assert isinstance(make_operator(workload()), LogitOperator)
+        assert isinstance(
+            make_operator(workload(operator=OperatorKind.ATTEND)), AttendOperator
+        )
+
+    def test_describe_mentions_shape(self):
+        assert "H=2" in make_operator(workload()).describe()
