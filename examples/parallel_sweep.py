@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Run a policy x cache-size grid through the parallel sweep executor.
+
+Demonstrates the ``repro.sweep`` subsystem: a declarative :class:`SweepSpec`
+expands into content-hashed points, ``run_sweep`` fans them out over worker
+processes, and the JSON-lines :class:`ResultStore` makes re-runs near-instant
+(only missing points are simulated -- try running this script twice).
+
+Usage::
+
+    python examples/parallel_sweep.py --jobs 4 --store /tmp/llamcat-sweep.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config.scale import ScaleTier
+from repro.sweep import ResultStore, SweepSpec, run_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama3-70b",
+                        choices=["llama3-70b", "llama3-405b"])
+    parser.add_argument("--seq-len", type=int, default=8192)
+    parser.add_argument("--tier", default="ci", choices=["ci", "paper_scaled", "full"])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--store", default=None, help="JSONL store path (resumable)")
+    args = parser.parse_args()
+
+    spec = SweepSpec(
+        models=(args.model,),
+        seq_lens=(args.seq_len,),
+        policies=("unopt", "dynmg", "dynmg+BMA"),
+        l2_mib=(16, 32, 64),
+        tier=ScaleTier[args.tier.upper()],
+    ).validate()
+    print(f"expanding {spec.num_points} points, jobs={args.jobs}")
+
+    store = ResultStore(args.store) if args.store else None
+    report = run_sweep(
+        spec,
+        jobs=args.jobs,
+        store=store,
+        progress=lambda done, total, o: print(
+            f"  [{done}/{total}] {o.point.describe()}"
+            f" -> {o.result.cycles if o.ok else 'FAILED'} cycles"
+            f"{' (cached)' if o.cached else ''}"
+        ),
+    ).raise_on_failure()
+    print(report.summary())
+
+    # Normalise each cell against unopt at the same capacity.
+    points = spec.expand()
+    unopt = {
+        p.coord("l2_mib"): report.result_for(p).cycles
+        for p in points if p.coord("policy") == "unopt"
+    }
+    print(f"\n{'policy':<12}" + "".join(f"{m}MB".rjust(10) for m in spec.l2_mib))
+    for label in spec.policies:
+        cells = [
+            unopt[p.coord("l2_mib")] / report.result_for(p).cycles
+            for p in points if p.coord("policy") == label
+        ]
+        print(f"{label:<12}" + "".join(f"{v:10.3f}" for v in cells))
+
+
+if __name__ == "__main__":
+    main()

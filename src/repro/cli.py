@@ -3,6 +3,7 @@
 Subcommands
 
 * ``run``   -- simulate one policy on one workload and print the summary
+* ``sweep`` -- run a grid of (model x seq-len x policy x L2) points in parallel
 * ``fig7``  -- regenerate the Fig 7 speedup panels
 * ``fig8``  -- regenerate the Fig 8 mechanism statistics
 * ``fig9``  -- regenerate the Fig 9 cache-size sweep
@@ -15,8 +16,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import ConfigError
 from repro.config.policies import PolicyConfig
 from repro.config.presets import (
+    FIG9_L2_MIB,
+    FIG9_SEQ_LEN,
     llama3_405b_logit,
     llama3_70b_logit,
     policy_by_label,
@@ -30,6 +34,9 @@ from repro.experiments.fig9 import run_fig9
 from repro.experiments.hwcost_exp import run_hwcost
 from repro.experiments.reporting import format_grid
 from repro.sim.runner import run_policy
+from repro.sweep.executor import run_sweep
+from repro.sweep.spec import FIG9_POLICY_LABELS, SweepSpec
+from repro.sweep.store import ResultStore
 
 
 def _workload(model: str, seq_len: int):
@@ -57,9 +64,47 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--policy", default="dynmg+BMA", help='e.g. "unopt", "dynmg", "dynmg+BMA"')
     run_p.add_argument("--tier", default="ci")
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a grid of simulation points in parallel (Fig 9-style by default)",
+    )
+    sweep_p.add_argument(
+        "--model", action="append", dest="models",
+        help="repeatable; default: llama3-70b and llama3-405b",
+    )
+    sweep_p.add_argument(
+        "--seq-len", type=int, action="append", dest="seq_lens",
+        help=f"repeatable; default: {FIG9_SEQ_LEN}",
+    )
+    sweep_p.add_argument(
+        "--policy", action="append", dest="policies",
+        help='repeatable paper-style labels, e.g. "unopt", "dynmg+BMA"; '
+             "the first is the speedup baseline (default: the Fig 9 legend)",
+    )
+    sweep_p.add_argument(
+        "--l2-mib", type=int, action="append", dest="l2_mib",
+        help=f"repeatable L2 capacities in MiB; default: {FIG9_L2_MIB}",
+    )
+    sweep_p.add_argument("--tier", default="ci")
+    sweep_p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep_p.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="JSON-lines result store; completed points are reused on re-runs",
+    )
+    sweep_p.add_argument(
+        "--force", action="store_true", help="re-simulate even if stored"
+    )
+    sweep_p.add_argument("--max-cycles", type=int, default=None)
+    sweep_p.add_argument("--quiet", action="store_true", help="suppress per-point progress")
+
     for name in ("fig7", "fig8", "fig9"):
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--tier", default="ci")
+        p.add_argument("--jobs", type=int, default=1, help="worker processes")
+        p.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="JSON-lines result store; completed points are reused on re-runs",
+        )
 
     sub.add_parser("hwcost", help="print the area estimates of Section 6.1")
 
@@ -68,6 +113,88 @@ def build_parser() -> argparse.ArgumentParser:
     info_p.add_argument("--seq-len", type=int, default=4096)
     info_p.add_argument("--tier", default="full")
     return parser
+
+
+def _validate_jobs(jobs: int) -> None:
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    _validate_jobs(args.jobs)
+    try:
+        spec = SweepSpec(
+            models=tuple(args.models or ("llama3-70b", "llama3-405b")),
+            seq_lens=tuple(args.seq_lens or (FIG9_SEQ_LEN,)),
+            policies=tuple(args.policies or FIG9_POLICY_LABELS),
+            l2_mib=tuple(args.l2_mib or FIG9_L2_MIB),
+            tier=_tier(args.tier),
+            max_cycles=args.max_cycles,
+        ).validate()
+    except (ConfigError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+
+    points = spec.expand()
+    print(
+        f"sweep: {len(points)} points = {len(spec.models)} models x "
+        f"{len(spec.l2_mib)} L2 sizes x {len(spec.seq_lens)} seq lens x "
+        f"{len(spec.policies)} policies (tier={spec.tier.name}, jobs={args.jobs})"
+    )
+    store = ResultStore(args.store) if args.store else None
+    if store is not None and store.completed_count:
+        print(f"store: {store.path} ({store.completed_count} completed points on disk)")
+
+    def progress(done: int, total: int, outcome) -> None:
+        status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
+        cycles = f"{outcome.result.cycles:>10}" if outcome.ok else " " * 10
+        print(
+            f"  [{done:>{len(str(total))}}/{total}] {outcome.point.describe():<60} "
+            f"{cycles} cycles  {status} ({outcome.elapsed_s:.1f}s)"
+        )
+
+    report = run_sweep(
+        points,
+        jobs=args.jobs,
+        store=store,
+        progress=None if args.quiet else progress,
+        force=args.force,
+    )
+
+    # Summary table: speedups are normalised against the first --policy label
+    # within each (model, L2, seq-len) cell.
+    baseline_label = spec.policies[0]
+    baseline_cycles = {
+        o.point.coords: o.result.cycles
+        for o in report.outcomes
+        if o.ok and o.point.coord("policy") == baseline_label
+    }
+    rows = []
+    for outcome in report.outcomes:
+        point = outcome.point
+        base_coords = tuple(
+            (axis, baseline_label if axis == "policy" else value)
+            for axis, value in point.coords
+        )
+        base = baseline_cycles.get(base_coords)
+        rows.append(
+            {
+                "model": point.coord("model"),
+                # The as-requested (unscaled) axes, matching the user's flags.
+                "seq_len": point.coord("seq_len", point.workload.shape.seq_len),
+                "l2_mib": point.coord("l2_mib") or "default",
+                "policy": point.label,
+                "cycles": outcome.result.cycles if outcome.ok else "FAILED",
+                f"speedup vs {baseline_label}": (
+                    base / outcome.result.cycles if outcome.ok and base else float("nan")
+                ),
+            }
+        )
+    print()
+    print(format_grid(f"sweep results (tier={spec.tier.name})", rows))
+    print(report.summary())
+    for failure in report.failures:
+        print(f"FAILED {failure.point.describe()}:\n{failure.error}")
+    return 1 if report.failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -85,19 +212,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"speedup over unoptimized: {baseline.cycles / result.cycles:.3f}x")
         return 0
 
-    if args.command == "fig7":
+    if args.command == "sweep":
+        return _run_sweep_command(args)
+
+    if args.command in ("fig7", "fig8", "fig9"):
+        _validate_jobs(args.jobs)
         tier = _tier(args.tier)
-        print(run_fig7_throttling(tier=tier).render())
-        print()
-        print(run_fig7_cumulative(tier=tier).render())
-        return 0
-
-    if args.command == "fig8":
-        print(run_fig8(tier=_tier(args.tier)).render())
-        return 0
-
-    if args.command == "fig9":
-        print(run_fig9(tier=_tier(args.tier)).render())
+        store = ResultStore(args.store) if args.store else None
+        if args.command == "fig7":
+            print(run_fig7_throttling(tier=tier, jobs=args.jobs, store=store).render())
+            print()
+            print(run_fig7_cumulative(tier=tier, jobs=args.jobs, store=store).render())
+        elif args.command == "fig8":
+            print(run_fig8(tier=tier, jobs=args.jobs, store=store).render())
+        else:
+            print(run_fig9(tier=tier, jobs=args.jobs, store=store).render())
         return 0
 
     if args.command == "hwcost":

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Callable
 
 from repro.common.address import DramAddressMap
@@ -38,6 +38,16 @@ class DramStats:
 
         seconds = safe_div(cycles, frequency_ghz * 1e9)
         return safe_div(self.bytes_transferred, seconds) / 1e9
+
+    # -- serialization (sweep result store) --------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of the raw counters; round-trips via :meth:`from_dict`."""
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DramStats":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
 
 
 class DramSystem:

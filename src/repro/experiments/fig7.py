@@ -24,7 +24,9 @@ from repro.config.scale import ScaleTier, scale_experiment
 from repro.config.workload import WorkloadConfig
 from repro.experiments.reporting import format_series
 from repro.sim.results import SimResult
-from repro.sim.runner import run_policy
+from repro.sweep.executor import run_sweep
+from repro.sweep.spec import SweepPoint, resolved_point
+from repro.sweep.store import ResultStore
 
 #: Throttling policies of panels (a)&(d) (paper legend names).
 THROTTLE_POLICIES = {
@@ -92,6 +94,23 @@ class Fig7Result:
         return "\n\n".join(blocks)
 
 
+def _panel_point(
+    system,
+    workload,
+    policy: PolicyConfig,
+    label: str,
+    model: str,
+    seq_len: int,
+    tier: ScaleTier,
+    max_cycles: int | None,
+) -> SweepPoint:
+    return resolved_point(
+        system, workload, policy, label,
+        {"model": model, "policy": label, "seq_len": seq_len, "tier": tier.name},
+        max_cycles=max_cycles,
+    )
+
+
 def _run_panel(
     panel: str,
     policies: dict[str, PolicyConfig],
@@ -100,20 +119,41 @@ def _run_panel(
     models: tuple[str, ...],
     seq_lens: tuple[int, ...],
     max_cycles: int | None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> Fig7Result:
     result = Fig7Result(panel=panel, tier=tier, seq_lens=tuple(seq_lens))
     base_system = table5_system()
+
+    # Expand the whole panel grid into sweep points, then submit it in one go;
+    # identical results to the old serial loop, but parallel when jobs > 1 and
+    # resumable when a store is attached.
+    cells: list[tuple[str, int, dict[str, SweepPoint]]] = []
+    points: list[SweepPoint] = []
     for model in models:
         result.speedups[model] = {name: [] for name in policies}
         for seq_len in seq_lens:
             system, workload = scale_experiment(base_system, paper_workload(model, seq_len), tier)
-            base_run = run_policy(system, workload, baseline, label="baseline",
-                                  max_cycles=max_cycles)
-            result.raw[(model, seq_len, "baseline")] = base_run
+            cell = {
+                "baseline": _panel_point(
+                    system, workload, baseline, "baseline", model, seq_len, tier, max_cycles
+                )
+            }
             for name, policy in policies.items():
-                run = run_policy(system, workload, policy, label=name, max_cycles=max_cycles)
-                result.raw[(model, seq_len, name)] = run
-                result.speedups[model][name].append(base_run.cycles / run.cycles)
+                cell[name] = _panel_point(
+                    system, workload, policy, name, model, seq_len, tier, max_cycles
+                )
+            cells.append((model, seq_len, cell))
+            points.extend(cell.values())
+
+    report = run_sweep(points, jobs=jobs, store=store).raise_on_failure()
+    for model, seq_len, cell in cells:
+        base_run = report.result_for(cell["baseline"])
+        result.raw[(model, seq_len, "baseline")] = base_run
+        for name in policies:
+            run = report.result_for(cell[name])
+            result.raw[(model, seq_len, name)] = run
+            result.speedups[model][name].append(base_run.cycles / run.cycles)
     return result
 
 
@@ -122,11 +162,14 @@ def run_fig7_throttling(
     models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
     seq_lens: tuple[int, ...] = FIG7_SEQ_LENS,
     max_cycles: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> Fig7Result:
     """Panels (a)&(d): throttling speedups over the unoptimized configuration."""
 
     return _run_panel(
-        "a,d: throttling", THROTTLE_POLICIES, PolicyConfig(), tier, models, seq_lens, max_cycles
+        "a,d: throttling", THROTTLE_POLICIES, PolicyConfig(), tier, models, seq_lens,
+        max_cycles, jobs=jobs, store=store,
     )
 
 
@@ -135,6 +178,8 @@ def run_fig7_arbitration(
     models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
     seq_lens: tuple[int, ...] = FIG7_SEQ_LENS,
     max_cycles: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> Fig7Result:
     """Panels (b)&(e): arbitration speedups, each policy + dynmg over dynmg alone."""
 
@@ -146,6 +191,8 @@ def run_fig7_arbitration(
         models,
         seq_lens,
         max_cycles,
+        jobs=jobs,
+        store=store,
     )
 
 
@@ -154,9 +201,12 @@ def run_fig7_cumulative(
     models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
     seq_lens: tuple[int, ...] = FIG7_SEQ_LENS,
     max_cycles: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> Fig7Result:
     """Panels (c)&(f): cumulative speedups over the unoptimized configuration."""
 
     return _run_panel(
-        "c,f: cumulative", CUMULATIVE_POLICIES, PolicyConfig(), tier, models, seq_lens, max_cycles
+        "c,f: cumulative", CUMULATIVE_POLICIES, PolicyConfig(), tier, models, seq_lens,
+        max_cycles, jobs=jobs, store=store,
     )

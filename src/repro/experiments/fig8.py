@@ -16,7 +16,9 @@ from repro.config.presets import llama3_70b_logit, table5_system
 from repro.config.scale import ScaleTier, scale_experiment
 from repro.experiments.reporting import format_grid
 from repro.sim.results import SimResult
-from repro.sim.runner import run_policy
+from repro.sweep.executor import run_sweep
+from repro.sweep.spec import resolved_point
+from repro.sweep.store import ResultStore
 
 DEFAULT_POLICIES = {
     "unoptimized": PolicyConfig(),
@@ -54,6 +56,8 @@ def run_fig8(
     seq_len: int = 8192,
     policies: dict[str, PolicyConfig] | None = None,
     max_cycles: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> Fig8Result:
     """Reproduce the Fig 8 statistics panel."""
 
@@ -61,9 +65,19 @@ def run_fig8(
     system, workload = scale_experiment(table5_system(), llama3_70b_logit(seq_len), tier)
     result = Fig8Result(tier=tier, seq_len=workload.shape.seq_len)
 
+    points = {
+        name: resolved_point(
+            system, workload, policy, name,
+            {"model": workload.name, "policy": name, "seq_len": seq_len, "tier": tier.name},
+            max_cycles=max_cycles,
+        )
+        for name, policy in policies.items()
+    }
+    report = run_sweep(list(points.values()), jobs=jobs, store=store).raise_on_failure()
+
     baseline: SimResult | None = None
-    for name, policy in policies.items():
-        run = run_policy(system, workload, policy, label=name, max_cycles=max_cycles)
+    for name in policies:
+        run = report.result_for(points[name])
         result.raw[name] = run
         if baseline is None:
             baseline = run

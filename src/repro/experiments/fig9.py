@@ -21,7 +21,9 @@ from repro.config.scale import ScaleTier, scale_experiment
 from repro.config.workload import WorkloadConfig
 from repro.experiments.reporting import format_series
 from repro.sim.results import SimResult
-from repro.sim.runner import run_policy
+from repro.sweep.executor import run_sweep
+from repro.sweep.spec import SweepPoint, resolved_point
+from repro.sweep.store import ResultStore
 
 FIG9_POLICIES = {
     "unoptimized": PolicyConfig(),
@@ -74,6 +76,30 @@ def _workload(model: str, seq_len: int) -> WorkloadConfig:
     raise ValueError(f"unknown model {model!r}")
 
 
+def _grid_point(
+    system,
+    workload,
+    policy: PolicyConfig,
+    label: str,
+    model: str,
+    seq_len: int,
+    l2_mib: int,
+    tier: ScaleTier,
+    max_cycles: int | None,
+) -> SweepPoint:
+    return resolved_point(
+        system, workload, policy, label,
+        {
+            "l2_mib": l2_mib,
+            "model": model,
+            "policy": label,
+            "seq_len": seq_len,
+            "tier": tier.name,
+        },
+        max_cycles=max_cycles,
+    )
+
+
 def run_fig9(
     tier: ScaleTier = ScaleTier.CI,
     models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
@@ -81,29 +107,52 @@ def run_fig9(
     l2_sizes_mib: tuple[int, ...] = FIG9_L2_MIB,
     policies: dict[str, PolicyConfig] | None = None,
     max_cycles: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> Fig9Result:
-    """Reproduce the Fig 9 cache-size sweep."""
+    """Reproduce the Fig 9 cache-size sweep (in parallel when ``jobs > 1``)."""
 
     policies = policies if policies is not None else FIG9_POLICIES
     result = Fig9Result(tier=tier, seq_len=seq_len, l2_sizes_mib=tuple(l2_sizes_mib))
 
+    # Expand every (model, l2, policy) cell -- plus the per-model unoptimized
+    # reference at the 32 MB (scaled) configuration -- into one sweep.  When
+    # "unoptimized" is itself part of the grid at the reference capacity, the
+    # executor's content-hash dedup simulates it only once.
+    grids: list[tuple[str, SweepPoint, list[tuple[int, dict[str, SweepPoint]]]]] = []
+    points: list[SweepPoint] = []
     for model in models:
-        result.speedups[model] = {name: [] for name in policies}
-        # Reference: unoptimized at the 32 MB (scaled) configuration.
         ref_system, workload = scale_experiment(
             table5_system_with_l2(REFERENCE_L2_MIB), _workload(model, seq_len), tier
         )
-        reference = run_policy(
-            ref_system, workload, PolicyConfig(), label="reference", max_cycles=max_cycles
+        ref_point = _grid_point(
+            ref_system, workload, PolicyConfig(), "reference",
+            model, seq_len, REFERENCE_L2_MIB, tier, max_cycles,
         )
-        result.raw[(model, REFERENCE_L2_MIB, "reference")] = reference
-
+        points.append(ref_point)
+        cells: list[tuple[int, dict[str, SweepPoint]]] = []
         for l2_mib in l2_sizes_mib:
             system, workload = scale_experiment(
                 table5_system_with_l2(l2_mib), _workload(model, seq_len), tier
             )
-            for name, policy in policies.items():
-                run = run_policy(system, workload, policy, label=name, max_cycles=max_cycles)
+            cell = {
+                name: _grid_point(
+                    system, workload, policy, name, model, seq_len, l2_mib, tier, max_cycles
+                )
+                for name, policy in policies.items()
+            }
+            cells.append((l2_mib, cell))
+            points.extend(cell.values())
+        grids.append((model, ref_point, cells))
+
+    report = run_sweep(points, jobs=jobs, store=store).raise_on_failure()
+    for model, ref_point, cells in grids:
+        result.speedups[model] = {name: [] for name in policies}
+        reference = report.result_for(ref_point)
+        result.raw[(model, REFERENCE_L2_MIB, "reference")] = reference
+        for l2_mib, cell in cells:
+            for name, point in cell.items():
+                run = report.result_for(point)
                 result.raw[(model, l2_mib, name)] = run
                 result.speedups[model][name].append(reference.cycles / run.cycles)
     return result

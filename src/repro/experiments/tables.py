@@ -3,7 +3,9 @@
 The paper obtains its throttling configuration (sampling period, sub-period,
 contention thresholds, in-core C_mem / C_idle bounds) by sweeping; these
 harnesses re-run compact versions of those sweeps so the chosen values can be
-compared against neighbouring settings.
+compared against neighbouring settings.  Each table grid is submitted through
+the sweep executor, so the points run in parallel when ``jobs > 1`` and are
+served from a :class:`~repro.sweep.store.ResultStore` on re-runs.
 """
 
 from __future__ import annotations
@@ -19,11 +21,40 @@ from repro.config.policies import (
 )
 from repro.config.presets import llama3_70b_logit, table5_system
 from repro.config.scale import ScaleTier, scale_experiment
-from repro.sim.runner import run_policy
+from repro.sweep.executor import SweepReport, run_sweep
+from repro.sweep.spec import SweepPoint, resolved_point
+from repro.sweep.store import ResultStore
 
 
 def _base(tier: ScaleTier, seq_len: int):
     return scale_experiment(table5_system(), llama3_70b_logit(seq_len), tier)
+
+
+def _run_table_grid(
+    tier: ScaleTier,
+    seq_len: int,
+    labelled_policies: dict[str, PolicyConfig],
+    max_cycles: int | None,
+    jobs: int,
+    store: ResultStore | None,
+) -> tuple[SweepReport, dict[str, SweepPoint], SweepPoint]:
+    """Submit the unoptimized baseline plus every swept policy as one sweep."""
+
+    system, workload = _base(tier, seq_len)
+
+    def point(label: str, policy: PolicyConfig) -> SweepPoint:
+        return resolved_point(
+            system, workload, policy, label,
+            {"model": workload.name, "policy": label, "seq_len": seq_len, "tier": tier.name},
+            max_cycles=max_cycles,
+        )
+
+    baseline = point("unopt", PolicyConfig())
+    cells = {label: point(label, policy) for label, policy in labelled_policies.items()}
+    report = run_sweep(
+        [baseline, *cells.values()], jobs=jobs, store=store
+    ).raise_on_failure()
+    return report, cells, baseline
 
 
 def run_table2_sampling_sweep(
@@ -32,27 +63,30 @@ def run_table2_sampling_sweep(
     sampling_periods: tuple[int, ...] = (500, 1000, 2000, 4000, 8000),
     sub_period_ratio: int = 5,
     max_cycles: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[dict]:
     """Sweep the global sampling period (Table 2 picks 2000 / sub-period 400)."""
 
-    system, workload = _base(tier, seq_len)
-    baseline = run_policy(system, workload, PolicyConfig(), label="unopt", max_cycles=max_cycles)
-    rows = []
-    for period in sampling_periods:
-        policy = PolicyConfig(
+    policies = {
+        f"dynmg@{period}": PolicyConfig(
             throttle=ThrottleKind.DYNMG,
             multigear=MultiGearParams(sampling_period=period),
             incore=InCoreThrottleParams(sub_period=max(50, period // sub_period_ratio)),
         )
-        run = run_policy(
-            system, workload, policy, label=f"dynmg@{period}", max_cycles=max_cycles
-        )
+        for period in sampling_periods
+    }
+    report, cells, baseline = _run_table_grid(tier, seq_len, policies, max_cycles, jobs, store)
+    base_run = report.result_for(baseline)
+    rows = []
+    for period in sampling_periods:
+        run = report.result_for(cells[f"dynmg@{period}"])
         rows.append(
             {
                 "sampling_period": period,
                 "sub_period": max(50, period // sub_period_ratio),
                 "cycles": run.cycles,
-                "speedup": baseline.cycles / run.cycles,
+                "speedup": base_run.cycles / run.cycles,
             }
         )
     return rows
@@ -63,6 +97,8 @@ def run_table3_contention_sweep(
     seq_len: int = 8192,
     threshold_sets: dict[str, ContentionThresholds] | None = None,
     max_cycles: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[dict]:
     """Compare the Table 3 contention thresholds against looser/tighter settings."""
 
@@ -72,20 +108,23 @@ def run_table3_contention_sweep(
             "loose (0.2/0.4/0.6)": ContentionThresholds(0.2, 0.4, 0.6),
             "tight (0.05/0.1/0.2)": ContentionThresholds(0.05, 0.1, 0.2),
         }
-    system, workload = _base(tier, seq_len)
-    baseline = run_policy(system, workload, PolicyConfig(), label="unopt", max_cycles=max_cycles)
-    rows = []
-    for name, thresholds in threshold_sets.items():
-        policy = PolicyConfig(
+    policies = {
+        name: PolicyConfig(
             throttle=ThrottleKind.DYNMG,
             multigear=MultiGearParams(thresholds=thresholds),
         )
-        run = run_policy(system, workload, policy, label=name, max_cycles=max_cycles)
+        for name, thresholds in threshold_sets.items()
+    }
+    report, cells, baseline = _run_table_grid(tier, seq_len, policies, max_cycles, jobs, store)
+    base_run = report.result_for(baseline)
+    rows = []
+    for name in threshold_sets:
+        run = report.result_for(cells[name])
         rows.append(
             {
                 "thresholds": name,
                 "cycles": run.cycles,
-                "speedup": baseline.cycles / run.cycles,
+                "speedup": base_run.cycles / run.cycles,
                 "stall_ratio": run.cache_stall_ratio,
             }
         )
@@ -97,27 +136,30 @@ def run_table4_incore_sweep(
     seq_len: int = 8192,
     c_mem_bounds: tuple[tuple[int, int], ...] = ((250, 180), (350, 250), (150, 100)),
     max_cycles: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[dict]:
     """Sweep the in-core C_mem bounds around the Table 4 values (250 / 180)."""
 
-    system, workload = _base(tier, seq_len)
-    baseline = run_policy(system, workload, PolicyConfig(), label="unopt", max_cycles=max_cycles)
-    rows = []
     base_incore = InCoreThrottleParams()
-    for upper, lower in c_mem_bounds:
-        policy = PolicyConfig(
+    policies = {
+        f"cmem {upper}/{lower}": PolicyConfig(
             throttle=ThrottleKind.DYNMG,
             incore=replace(base_incore, c_mem_upper=upper, c_mem_lower=lower),
         )
-        run = run_policy(
-            system, workload, policy, label=f"cmem {upper}/{lower}", max_cycles=max_cycles
-        )
+        for upper, lower in c_mem_bounds
+    }
+    report, cells, baseline = _run_table_grid(tier, seq_len, policies, max_cycles, jobs, store)
+    base_run = report.result_for(baseline)
+    rows = []
+    for upper, lower in c_mem_bounds:
+        run = report.result_for(cells[f"cmem {upper}/{lower}"])
         rows.append(
             {
                 "c_mem_upper": upper,
                 "c_mem_lower": lower,
                 "cycles": run.cycles,
-                "speedup": baseline.cycles / run.cycles,
+                "speedup": base_run.cycles / run.cycles,
             }
         )
     return rows

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.arbiter.base import BaseArbiter
 from repro.arbiter.factory import make_arbiter
@@ -41,6 +41,16 @@ class LLCStats:
     @property
     def mshr_hit_rate(self) -> float:
         return safe_div(self.mshr_merges, self.mshr_merges + self.mshr_allocations)
+
+    # -- serialization (sweep result store) --------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of the raw counters; round-trips via :meth:`from_dict`."""
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LLCStats":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
 
 
 class SlicedLLC:

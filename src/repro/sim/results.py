@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.common.mathutils import safe_div
 from repro.dram.system import DramStats
@@ -21,6 +21,15 @@ class CoreResult:
     active_cycles: int
     completed_blocks: int
     final_max_running_blocks: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of the counters; round-trips via :meth:`from_dict`."""
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreResult":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,7 +104,7 @@ class SimResult:
             f"DRAM {self.dram_bandwidth_gbps:.1f} GB/s, stall ratio {self.cache_stall_ratio:.2%}"
         )
 
-    def to_dict(self) -> dict:
+    def headline_metrics(self) -> dict:
         """Flat dictionary of the headline metrics (for tables / JSON dumps)."""
 
         return {
@@ -111,3 +120,45 @@ class SimResult:
             "cache_stall_ratio": self.cache_stall_ratio,
             "thread_blocks": self.thread_blocks,
         }
+
+    # -- serialization (sweep result store) ---------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready nested mapping that round-trips via :meth:`from_dict`.
+
+        The raw counters are authoritative; the derived headline metrics ride
+        along under ``"metrics"`` for human consumers and are ignored (and
+        recomputed on demand) when a result is rebuilt.
+        """
+
+        return {
+            "label": self.label,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "frequency_ghz": self.frequency_ghz,
+            "llc": self.llc.to_dict(),
+            "dram": self.dram.to_dict(),
+            "cores": [core.to_dict() for core in self.cores],
+            "thread_blocks": self.thread_blocks,
+            "total_requests_issued": self.total_requests_issued,
+            "noc_requests": self.noc_requests,
+            "noc_responses": self.noc_responses,
+            "meta": dict(self.meta),
+            "metrics": self.headline_metrics(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        return cls(
+            label=data["label"],
+            workload=data["workload"],
+            cycles=data["cycles"],
+            frequency_ghz=data["frequency_ghz"],
+            llc=LLCStats.from_dict(data["llc"]),
+            dram=DramStats.from_dict(data["dram"]),
+            cores=tuple(CoreResult.from_dict(core) for core in data["cores"]),
+            thread_blocks=data["thread_blocks"],
+            total_requests_issued=data["total_requests_issued"],
+            noc_requests=data["noc_requests"],
+            noc_responses=data["noc_responses"],
+            meta=dict(data["meta"]),
+        )

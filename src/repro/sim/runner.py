@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.common.mathutils import geomean
 from repro.config.policies import PolicyConfig
 from repro.config.system import SystemConfig
 from repro.config.workload import WorkloadConfig
+from repro.dataflow.constraints import DataflowConstraints
 from repro.dataflow.ordering import ThreadBlockOrdering
 from repro.sim.results import SimResult
 from repro.sim.simulator import simulate
@@ -15,15 +17,26 @@ from repro.trace.generator import generate_trace
 from repro.trace.threadblock import Trace
 
 # ---------------------------------------------------------------------------------
-# trace cache: the trace depends only on the workload shape, the line size and the
-# dispatch ordering, so it is shared across every policy / cache-size point of an
-# experiment (regenerating it is the most expensive non-simulation step).
+# trace cache: the trace depends only on the workload shape, the line size, the
+# mapper constraints and the dispatch ordering, so it is shared across every
+# policy / cache-size point of an experiment (regenerating it is the most
+# expensive non-simulation step).  Traces for long sequences are large, so the
+# cache is a bounded LRU rather than an ever-growing dict.
 # ---------------------------------------------------------------------------------
 
-_TRACE_CACHE: dict[tuple, Trace] = {}
+#: Most-recently-used traces kept alive; a full figure sweep touches well under
+#: this many distinct (workload, ordering, constraints) combinations.
+TRACE_CACHE_MAX_ENTRIES = 32
+
+_TRACE_CACHE: OrderedDict[tuple, Trace] = OrderedDict()
 
 
-def _trace_key(workload: WorkloadConfig, system: SystemConfig, ordering: ThreadBlockOrdering) -> tuple:
+def _trace_key(
+    workload: WorkloadConfig,
+    system: SystemConfig,
+    ordering: ThreadBlockOrdering,
+    constraints: DataflowConstraints | None,
+) -> tuple:
     s = workload.shape
     return (
         workload.name,
@@ -36,6 +49,7 @@ def _trace_key(workload: WorkloadConfig, system: SystemConfig, ordering: ThreadB
         system.l2.line_size,
         system.core.vector_lanes,
         ordering.value,
+        constraints,
     )
 
 
@@ -43,15 +57,24 @@ def cached_trace(
     workload: WorkloadConfig,
     system: SystemConfig,
     ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
+    constraints: DataflowConstraints | None = None,
 ) -> Trace:
-    """Generate (or reuse) the trace for a workload/system pair."""
+    """Generate (or reuse) the trace for a workload/system/constraints tuple."""
 
-    key = _trace_key(workload, system, ordering)
+    key = _trace_key(workload, system, ordering, constraints)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
-        trace = generate_trace(workload, system, ordering=ordering)
+        trace = generate_trace(workload, system, constraints=constraints, ordering=ordering)
         _TRACE_CACHE[key] = trace
+        while len(_TRACE_CACHE) > TRACE_CACHE_MAX_ENTRIES:
+            _TRACE_CACHE.popitem(last=False)
+    else:
+        _TRACE_CACHE.move_to_end(key)
     return trace
+
+
+def trace_cache_size() -> int:
+    return len(_TRACE_CACHE)
 
 
 def clear_trace_cache() -> None:
@@ -70,10 +93,11 @@ def run_policy(
     label: str | None = None,
     max_cycles: int | None = None,
     ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
+    constraints: DataflowConstraints | None = None,
 ) -> SimResult:
     """Simulate one (system, workload, policy) point, reusing cached traces."""
 
-    trace = cached_trace(workload, system, ordering)
+    trace = cached_trace(workload, system, ordering, constraints)
     kwargs = {}
     if max_cycles is not None:
         kwargs["max_cycles"] = max_cycles

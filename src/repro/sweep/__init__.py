@@ -1,0 +1,27 @@
+"""Parallel sweep orchestration: declarative grids, a process-pool executor and
+a persistent, content-addressed result store.
+
+Every experiment of the paper (Fig 7/8/9, Tables 2-4) is a grid of independent
+``(system, workload, policy)`` simulation points.  This package turns those
+grids into hashable job descriptors (:mod:`repro.sweep.spec`), runs them across
+worker processes with per-worker trace caching (:mod:`repro.sweep.executor`)
+and persists every finished point in a JSON-lines store keyed by a content hash
+of its full configuration (:mod:`repro.sweep.store`), so re-running a sweep
+only simulates what is missing.
+"""
+
+from repro.sweep.executor import PointOutcome, SweepReport, run_sweep
+from repro.sweep.spec import SweepPoint, SweepSpec, fig9_spec, sweep_point
+from repro.sweep.store import ResultStore, StoreRecord
+
+__all__ = [
+    "PointOutcome",
+    "ResultStore",
+    "StoreRecord",
+    "SweepPoint",
+    "SweepReport",
+    "SweepSpec",
+    "fig9_spec",
+    "run_sweep",
+    "sweep_point",
+]

@@ -1,0 +1,219 @@
+"""Parallel sweep executor.
+
+Runs :class:`~repro.sweep.spec.SweepPoint` jobs across a process pool.  Each
+worker process keeps its own module-level trace cache (``repro.sim.runner``),
+so points that share a workload reuse the generated trace for free; jobs are
+submitted in the deterministic expansion order, which groups trace-sharing
+points together.  Failures are captured per point (with traceback) instead of
+aborting the sweep, and points whose content hash is already present in the
+:class:`~repro.sweep.store.ResultStore` are returned from disk without
+re-simulation.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.sim.results import SimResult
+from repro.sim.runner import run_policy
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.store import ResultStore
+
+#: progress(done, total, outcome) -- invoked after every finished point.
+ProgressCallback = Callable[[int, int, "PointOutcome"], None]
+
+
+@dataclass(frozen=True, slots=True)
+class PointOutcome:
+    """What happened to one sweep point."""
+
+    point: SweepPoint
+    result: SimResult | None
+    error: str | None
+    cached: bool
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass(slots=True)
+class SweepReport:
+    """Outcome of a whole sweep, aligned with the submitted point order."""
+
+    outcomes: list[PointOutcome]
+    elapsed_s: float
+    jobs: int
+
+    @property
+    def num_points(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def num_simulated(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok and not o.cached)
+
+    @property
+    def failures(self) -> list[PointOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def result_for(self, point: SweepPoint) -> SimResult:
+        """The result of ``point``; raises KeyError if it failed or is absent.
+
+        An exact point match wins (its result carries the point's own label);
+        otherwise any successful outcome with the same content hash answers,
+        since deduplicated points share one simulation.
+        """
+
+        key = point.key()
+        fallback: SimResult | None = None
+        for outcome in self.outcomes:
+            if outcome.ok and outcome.point.key() == key:
+                assert outcome.result is not None
+                if outcome.point == point:
+                    return outcome.result
+                if fallback is None:
+                    fallback = outcome.result
+        if fallback is not None:
+            return fallback
+        raise KeyError(f"no successful result for point {point.describe()!r}")
+
+    def raise_on_failure(self) -> "SweepReport":
+        if self.failures:
+            first = self.failures[0]
+            raise RuntimeError(
+                f"{len(self.failures)}/{self.num_points} sweep points failed; "
+                f"first: {first.point.describe()}\n{first.error}"
+            )
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"{self.num_points} points: {self.num_simulated} simulated, "
+            f"{self.num_cached} cached, {len(self.failures)} failed "
+            f"in {self.elapsed_s:.1f}s (jobs={self.jobs})"
+        )
+
+
+def _execute_point(point: SweepPoint) -> tuple[SimResult | None, str | None, float]:
+    """Worker entry point: simulate one point, capturing any failure."""
+
+    start = time.perf_counter()
+    try:
+        kwargs = {}
+        if point.max_cycles is not None:
+            kwargs["max_cycles"] = point.max_cycles
+        result = run_policy(
+            point.system,
+            point.workload,
+            point.policy,
+            label=point.label,
+            ordering=point.ordering,
+            **kwargs,
+        )
+        return result, None, time.perf_counter() - start
+    except Exception:
+        return None, traceback.format_exc(), time.perf_counter() - start
+
+
+def _with_label(result: SimResult, label: str) -> SimResult:
+    """Relabel a shared/stored result for the point it is answering."""
+
+    return result if result.label == label else replace(result, label=label)
+
+
+def run_sweep(
+    points: SweepSpec | Iterable[SweepPoint],
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressCallback | None = None,
+    force: bool = False,
+) -> SweepReport:
+    """Run a grid of simulation points, in parallel when ``jobs > 1``.
+
+    Points with identical content hashes are simulated once and the result is
+    shared; points already present in ``store`` are returned from disk unless
+    ``force`` is set.  ``jobs=1`` runs in-process (sharing this process's trace
+    cache), which is also the fallback for tiny grids.
+    """
+
+    if isinstance(points, SweepSpec):
+        points = points.expand()
+    point_list: Sequence[SweepPoint] = list(points)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    total = len(point_list)
+    outcomes: dict[int, PointOutcome] = {}
+    done = 0
+
+    def finish(
+        indices: list[int],
+        result: SimResult | None,
+        error: str | None,
+        cached: bool,
+        elapsed_s: float,
+    ) -> None:
+        nonlocal done
+        for i in indices:
+            point = point_list[i]
+            labelled = _with_label(result, point.label) if result is not None else None
+            outcome = PointOutcome(point, labelled, error, cached, elapsed_s)
+            outcomes[i] = outcome
+            done += 1
+            if progress is not None:
+                progress(done, total, outcome)
+
+    # Content-hash dedup: grid cells that resolve to identical configurations
+    # (e.g. a baseline repeated per group) are simulated exactly once.
+    by_key: dict[str, list[int]] = {}
+    for i, point in enumerate(point_list):
+        by_key.setdefault(point.key(), []).append(i)
+
+    pending: list[tuple[SweepPoint, list[int]]] = []
+    for key, indices in by_key.items():
+        point = point_list[indices[0]]
+        if store is not None and not force:
+            stored = store.result_for(point)
+            if stored is not None:
+                finish(indices, stored, None, True, 0.0)
+                continue
+        pending.append((point, indices))
+
+    def record(point: SweepPoint, indices: list[int], outcome) -> None:
+        result, error, elapsed_s = outcome
+        if store is not None:
+            store.put(point, result=result, error=error, elapsed_s=elapsed_s)
+        finish(indices, result, error, False, elapsed_s)
+
+    if jobs == 1 or len(pending) <= 1:
+        for point, indices in pending:
+            record(point, indices, _execute_point(point))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute_point, point): (point, indices)
+                for point, indices in pending
+            }
+            for future in as_completed(futures):
+                point, indices = futures[future]
+                record(point, indices, future.result())
+
+    return SweepReport(
+        outcomes=[outcomes[i] for i in range(total)],
+        elapsed_s=time.perf_counter() - start,
+        jobs=jobs,
+    )

@@ -1,0 +1,307 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a cartesian grid -- models x sequence lengths x
+policies x L2 capacities x one scale tier -- and expands it into fully resolved
+:class:`SweepPoint` job descriptors.  A point carries the *scaled* system,
+workload and policy configurations, so it is self-contained: the executor can
+run it in any worker process without re-reading presets, and its content hash
+(:meth:`SweepPoint.key`) identifies the simulation independently of display
+labels, which is what makes the result store resumable and deduplicating.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Callable, Iterable
+
+from repro.common.errors import ConfigError
+from repro.config.policies import PolicyConfig
+from repro.config.presets import (
+    FIG9_L2_MIB,
+    FIG9_SEQ_LEN,
+    llama3_405b_logit,
+    llama3_70b_attend,
+    llama3_70b_logit,
+    policy_by_label,
+    table5_system,
+    table5_system_with_l2,
+)
+from repro.config.scale import ScaleTier, scale_experiment
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+from repro.dataflow.ordering import ThreadBlockOrdering
+
+#: Model-name -> workload-builder registry used by declarative specs / the CLI.
+WORKLOAD_BUILDERS: dict[str, Callable[[int], WorkloadConfig]] = {
+    "llama3-70b": llama3_70b_logit,
+    "llama3-405b": llama3_405b_logit,
+    "llama3-70b-attend": llama3_70b_attend,
+}
+
+
+def workload_for(model: str, seq_len: int) -> WorkloadConfig:
+    try:
+        builder = WORKLOAD_BUILDERS[model]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {model!r} (choose from {sorted(WORKLOAD_BUILDERS)})"
+        ) from None
+    return builder(seq_len)
+
+
+def config_to_jsonable(obj):
+    """Recursively convert nested (frozen) config dataclasses to JSON-able data."""
+
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: config_to_jsonable(getattr(obj, f.name)) for f in fields(obj)}
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [config_to_jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(k): config_to_jsonable(v) for k, v in obj.items()}
+    return obj
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One fully resolved simulation job.
+
+    ``label`` and ``coords`` are display/grouping metadata only; the identity
+    of the point is the content hash of everything that determines the
+    simulation outcome (system, workload, policy, ordering, max_cycles).
+    """
+
+    label: str
+    system: SystemConfig
+    workload: WorkloadConfig
+    policy: PolicyConfig
+    ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED
+    max_cycles: int | None = None
+    #: Sorted (axis, value) pairs locating the point in its grid, e.g.
+    #: (("l2_mib", 32), ("model", "llama3-70b"), ("policy", "dynmg")).
+    coords: tuple[tuple[str, object], ...] = ()
+    #: Lazily memoized content hash (hashing serializes the full config).
+    _key: str | None = field(default=None, init=False, repr=False, compare=False)
+
+    def config_dict(self) -> dict:
+        """The simulation-determining configuration as JSON-able data."""
+
+        return {
+            "system": config_to_jsonable(self.system),
+            "workload": config_to_jsonable(self.workload),
+            "policy": config_to_jsonable(self.policy),
+            "ordering": self.ordering.value,
+            "max_cycles": self.max_cycles,
+        }
+
+    def key(self) -> str:
+        """Content hash identifying this simulation (stable across processes).
+
+        Labels and grid coordinates are deliberately excluded: two grid cells
+        that resolve to identical configurations (e.g. Fig 9's "reference" run
+        and its unoptimized @ 32MB cell) share one key and one simulation.
+        """
+
+        if self._key is None:
+            canonical = json.dumps(self.config_dict(), sort_keys=True, separators=(",", ":"))
+            object.__setattr__(self, "_key", hashlib.sha256(canonical.encode()).hexdigest())
+        return self._key
+
+    def coord(self, axis: str, default=None):
+        for name, value in self.coords:
+            if name == axis:
+                return value
+        return default
+
+    def describe(self) -> str:
+        shape = self.workload.shape
+        l2_mib = self.system.l2.size_bytes / 2**20
+        return (
+            f"{self.label}: {self.workload.name} L={shape.seq_len} "
+            f"L2={l2_mib:g}MiB policy={self.policy.label}"
+        )
+
+
+def resolved_point(
+    system: SystemConfig,
+    workload: WorkloadConfig,
+    policy: PolicyConfig,
+    label: str,
+    coords: dict,
+    max_cycles: int | None = None,
+    ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
+) -> SweepPoint:
+    """Wrap an already-scaled (system, workload, policy) triple as a point.
+
+    The shared factory behind every experiment harness's grid expansion;
+    ``coords`` is the point's grid location (model / policy / seq_len / ...).
+    """
+
+    return SweepPoint(
+        label=label,
+        system=system,
+        workload=workload,
+        policy=policy,
+        ordering=ordering,
+        max_cycles=max_cycles,
+        coords=tuple(sorted(coords.items(), key=lambda kv: kv[0])),
+    )
+
+
+def sweep_point(
+    model: str,
+    seq_len: int,
+    policy: PolicyConfig | str,
+    l2_mib: int | None = None,
+    tier: ScaleTier = ScaleTier.CI,
+    label: str | None = None,
+    ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
+    max_cycles: int | None = None,
+    extra_coords: tuple[tuple[str, object], ...] = (),
+) -> SweepPoint:
+    """Resolve one grid cell into a :class:`SweepPoint` (presets + scaling)."""
+
+    if isinstance(policy, str):
+        policy_label, policy = policy, policy_by_label(policy)
+    else:
+        policy_label = policy.label
+    base = table5_system() if l2_mib is None else table5_system_with_l2(l2_mib)
+    system, workload = scale_experiment(base, workload_for(model, seq_len), tier)
+    return resolved_point(
+        system,
+        workload,
+        policy,
+        label if label is not None else policy_label,
+        {
+            "model": model,
+            "seq_len": seq_len,
+            "policy": policy_label,
+            "l2_mib": l2_mib,
+            "tier": tier.name,
+            **dict(extra_coords),
+        },
+        max_cycles=max_cycles,
+        ordering=ordering,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSpec:
+    """A declarative cartesian grid of simulation points.
+
+    Policies are paper-style labels (``"dynmg+BMA"``); ``l2_mib`` entries of
+    ``None`` mean the Table 5 default capacity.  Expansion order is the
+    deterministic nesting model -> l2 -> seq_len -> policy, so job submission
+    groups points that share a trace (same workload/seq-len) together.
+    """
+
+    models: tuple[str, ...]
+    seq_lens: tuple[int, ...]
+    policies: tuple[str, ...]
+    l2_mib: tuple[int | None, ...] = (None,)
+    tier: ScaleTier = ScaleTier.CI
+    max_cycles: int | None = None
+    ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED
+
+    def validate(self) -> "SweepSpec":
+        for axis in ("models", "seq_lens", "policies", "l2_mib"):
+            if not getattr(self, axis):
+                raise ConfigError(f"SweepSpec.{axis} must be non-empty")
+        for model in self.models:
+            if model not in WORKLOAD_BUILDERS:
+                raise ConfigError(
+                    f"unknown model {model!r} (choose from {sorted(WORKLOAD_BUILDERS)})"
+                )
+        for policy in self.policies:
+            policy_by_label(policy)  # raises ValueError on malformed labels
+        if any(s <= 0 for s in self.seq_lens):
+            raise ConfigError("seq_lens must be positive")
+        if any(m is not None and m <= 0 for m in self.l2_mib):
+            raise ConfigError("l2_mib entries must be positive (or None for default)")
+        return self
+
+    @property
+    def num_points(self) -> int:
+        return len(self.models) * len(self.l2_mib) * len(self.seq_lens) * len(self.policies)
+
+    def expand(self) -> tuple[SweepPoint, ...]:
+        """Expand the grid into fully resolved points, in deterministic order."""
+
+        self.validate()
+        points = []
+        for model in self.models:
+            for l2 in self.l2_mib:
+                for seq_len in self.seq_lens:
+                    for policy in self.policies:
+                        points.append(
+                            sweep_point(
+                                model,
+                                seq_len,
+                                policy,
+                                l2_mib=l2,
+                                tier=self.tier,
+                                ordering=self.ordering,
+                                max_cycles=self.max_cycles,
+                            )
+                        )
+        return tuple(points)
+
+    # -- (de)serialization for CLI spec files -------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "models": list(self.models),
+            "seq_lens": list(self.seq_lens),
+            "policies": list(self.policies),
+            "l2_mib": list(self.l2_mib),
+            "tier": self.tier.name,
+            "max_cycles": self.max_cycles,
+            "ordering": self.ordering.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        return cls(
+            models=tuple(data["models"]),
+            seq_lens=tuple(data["seq_lens"]),
+            policies=tuple(data["policies"]),
+            l2_mib=tuple(data.get("l2_mib", (None,))),
+            tier=ScaleTier[data.get("tier", "CI")],
+            max_cycles=data.get("max_cycles"),
+            ordering=ThreadBlockOrdering(data.get("ordering", "gqa-shared")),
+        ).validate()
+
+
+#: Fig 9's policy legend, as labels understood by :func:`policy_by_label`.
+FIG9_POLICY_LABELS = (
+    "unopt",
+    "dyncta",
+    "lcs",
+    "cobrra",
+    "dynmg",
+    "dynmg+cobrra",
+    "dynmg+BMA",
+)
+
+
+def fig9_spec(
+    tier: ScaleTier = ScaleTier.CI,
+    models: Iterable[str] = ("llama3-70b", "llama3-405b"),
+    seq_len: int = FIG9_SEQ_LEN,
+    l2_mib: Iterable[int] = FIG9_L2_MIB,
+    policies: Iterable[str] = FIG9_POLICY_LABELS,
+    max_cycles: int | None = None,
+) -> SweepSpec:
+    """The Fig 9 cache-size sweep as a declarative spec (the CLI default)."""
+
+    return SweepSpec(
+        models=tuple(models),
+        seq_lens=(seq_len,),
+        policies=tuple(policies),
+        l2_mib=tuple(l2_mib),
+        tier=tier,
+        max_cycles=max_cycles,
+    ).validate()

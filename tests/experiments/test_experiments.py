@@ -81,6 +81,28 @@ class TestFig9Harness:
         assert series[0] <= 1.05
 
 
+class TestParallelHarness:
+    def test_fig9_parallel_matches_serial(self):
+        """`jobs=2` must reproduce the serial Fig 9 sweep exactly."""
+
+        kwargs = dict(
+            tier=ScaleTier.CI,
+            models=("llama3-70b",),
+            seq_len=2048,
+            l2_sizes_mib=(16, 32),
+            policies={
+                "unoptimized": PolicyConfig(),
+                "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
+            },
+        )
+        serial = run_fig9(jobs=1, **kwargs)
+        parallel = run_fig9(jobs=2, **kwargs)
+        assert parallel.speedups == serial.speedups
+        assert {k: v.cycles for k, v in parallel.raw.items()} == {
+            k: v.cycles for k, v in serial.raw.items()
+        }
+
+
 class TestTableSweeps:
     def test_sampling_period_sweep_rows(self):
         rows = run_table2_sampling_sweep(

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.config.policies import PolicyConfig, ThrottleKind
+from repro.dataflow.constraints import DataflowConstraints
+from repro.sim import runner as runner_module
 from repro.sim.runner import (
     PolicyComparison,
     cached_trace,
@@ -10,6 +12,7 @@ from repro.sim.runner import (
     compare_policies,
     geomean_speedup,
     run_policy,
+    trace_cache_size,
 )
 
 
@@ -33,6 +36,35 @@ class TestTraceCache:
         a = cached_trace(tiny_workload, tiny_system)
         b = cached_trace(tiny_workload, tiny_system.with_l2_size(512 * 1024))
         assert a is b
+
+    def test_constraints_are_part_of_the_key(self, tiny_system, tiny_workload):
+        clear_trace_cache()
+        default = cached_trace(tiny_workload, tiny_system)
+        constrained = cached_trace(
+            tiny_workload, tiny_system,
+            constraints=DataflowConstraints(output_lines_per_block=2),
+        )
+        assert default is not constrained
+        # Re-passing equal constraints hits the same entry.
+        again = cached_trace(
+            tiny_workload, tiny_system,
+            constraints=DataflowConstraints(output_lines_per_block=2),
+        )
+        assert again is constrained
+
+    def test_cache_is_bounded_with_lru_eviction(self, tiny_system, tiny_workload, monkeypatch):
+        clear_trace_cache()
+        monkeypatch.setattr(runner_module, "TRACE_CACHE_MAX_ENTRIES", 2)
+        oldest = cached_trace(tiny_workload.with_seq_len(64), tiny_system)
+        cached_trace(tiny_workload.with_seq_len(128), tiny_system)
+        # Touch the oldest entry so the 128-token trace becomes LRU...
+        assert cached_trace(tiny_workload.with_seq_len(64), tiny_system) is oldest
+        # ...then overflow: the 128-token trace is evicted, the 64-token kept.
+        cached_trace(tiny_workload.with_seq_len(256), tiny_system)
+        assert trace_cache_size() == 2
+        assert cached_trace(tiny_workload.with_seq_len(64), tiny_system) is oldest
+        clear_trace_cache()
+        assert trace_cache_size() == 0
 
 
 class TestRunPolicy:

@@ -1,0 +1,32 @@
+"""Fixtures for the sweep subsystem: tiny fully resolved points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.policies import PolicyConfig, ThrottleKind
+from repro.sweep.spec import SweepPoint
+
+
+@pytest.fixture()
+def tiny_points(tiny_system, tiny_workload) -> list[SweepPoint]:
+    """Four distinct tiny points (2 policies x 2 seq lens), fast to simulate."""
+
+    policies = {
+        "unopt": PolicyConfig(),
+        "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
+    }
+    points = []
+    for seq_len in (64, 128):
+        workload = tiny_workload.with_seq_len(seq_len)
+        for name, policy in policies.items():
+            points.append(
+                SweepPoint(
+                    label=name,
+                    system=tiny_system,
+                    workload=workload,
+                    policy=policy,
+                    coords=(("policy", name), ("seq_len", seq_len)),
+                )
+            )
+    return points

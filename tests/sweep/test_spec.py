@@ -1,0 +1,159 @@
+"""Tests for sweep specs: grid expansion, content hashing, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config.policies import PolicyConfig, ThrottleKind
+from repro.config.scale import ScaleTier
+from repro.sweep.spec import (
+    FIG9_POLICY_LABELS,
+    SweepPoint,
+    SweepSpec,
+    fig9_spec,
+    sweep_point,
+    workload_for,
+)
+
+
+class TestGridExpansion:
+    def test_point_count_is_cartesian_product(self):
+        spec = SweepSpec(
+            models=("llama3-70b", "llama3-405b"),
+            seq_lens=(1024, 2048, 4096),
+            policies=("unopt", "dynmg"),
+            l2_mib=(16, 32),
+            tier=ScaleTier.SMOKE,
+        )
+        assert spec.num_points == 2 * 3 * 2 * 2
+        assert len(spec.expand()) == spec.num_points
+
+    def test_expansion_is_deterministic(self):
+        spec = SweepSpec(
+            models=("llama3-70b",),
+            seq_lens=(1024, 2048),
+            policies=("unopt", "dynmg+BMA"),
+            tier=ScaleTier.SMOKE,
+        )
+        first, second = spec.expand(), spec.expand()
+        assert first == second
+        assert [p.key() for p in first] == [p.key() for p in second]
+
+    def test_all_keys_distinct_across_grid(self):
+        # Seq lens chosen to stay distinct after SMOKE scaling (/64, floor 64).
+        spec = SweepSpec(
+            models=("llama3-70b",),
+            seq_lens=(4096, 8192),
+            policies=("unopt", "dynmg"),
+            l2_mib=(16, 32),
+            tier=ScaleTier.SMOKE,
+        )
+        points = spec.expand()
+        assert len({p.key() for p in points}) == len(points)
+
+    def test_points_carry_scaled_configs(self):
+        spec = SweepSpec(
+            models=("llama3-70b",),
+            seq_lens=(4096,),
+            policies=("unopt",),
+            l2_mib=(32,),
+            tier=ScaleTier.CI,
+        )
+        (point,) = spec.expand()
+        # CI tier divides both axes by 32.
+        assert point.workload.shape.seq_len == 4096 // 32
+        assert point.system.l2.size_bytes == 32 * 2**20 // 32
+
+    def test_fig9_spec_matches_paper_grid(self):
+        spec = fig9_spec(tier=ScaleTier.CI)
+        assert spec.num_points == 2 * 3 * 1 * len(FIG9_POLICY_LABELS)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(models=(), seq_lens=(64,), policies=("unopt",)).validate()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(models=("gpt-7",), seq_lens=(64,), policies=("unopt",)).validate()
+        with pytest.raises(ConfigError):
+            workload_for("gpt-7", 64)
+
+    def test_malformed_policy_label_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(
+                models=("llama3-70b",), seq_lens=(64,), policies=("warpdrive",)
+            ).validate()
+
+
+class TestContentHash:
+    def test_key_ignores_label_and_coords(self):
+        a = sweep_point("llama3-70b", 2048, "unopt", tier=ScaleTier.CI, label="reference")
+        b = sweep_point("llama3-70b", 2048, "unopt", tier=ScaleTier.CI, label="unoptimized")
+        assert a.label != b.label
+        assert a.key() == b.key()
+
+    def test_key_changes_with_policy(self):
+        a = sweep_point("llama3-70b", 2048, "unopt", tier=ScaleTier.CI)
+        b = sweep_point("llama3-70b", 2048, "dynmg", tier=ScaleTier.CI)
+        assert a.key() != b.key()
+
+    def test_key_changes_with_l2_capacity(self):
+        a = sweep_point("llama3-70b", 2048, "unopt", l2_mib=16, tier=ScaleTier.SMOKE)
+        b = sweep_point("llama3-70b", 2048, "unopt", l2_mib=32, tier=ScaleTier.SMOKE)
+        assert a.key() != b.key()
+
+    def test_key_changes_with_max_cycles(self):
+        a = sweep_point("llama3-70b", 2048, "unopt", tier=ScaleTier.CI)
+        b = sweep_point("llama3-70b", 2048, "unopt", tier=ScaleTier.CI, max_cycles=10_000)
+        assert a.key() != b.key()
+
+    def test_key_stable_for_equal_points(self, tiny_system, tiny_workload):
+        kwargs = dict(
+            label="x",
+            system=tiny_system,
+            workload=tiny_workload,
+            policy=PolicyConfig(throttle=ThrottleKind.DYNMG),
+        )
+        assert SweepPoint(**kwargs).key() == SweepPoint(**kwargs).key()
+
+    def test_config_dict_is_json_ready(self, tiny_points):
+        import json
+
+        for point in tiny_points:
+            text = json.dumps(point.config_dict(), sort_keys=True)
+            assert "policy" in text
+
+
+class TestSpecRoundTrip:
+    def test_to_dict_from_dict_round_trip(self):
+        spec = SweepSpec(
+            models=("llama3-405b",),
+            seq_lens=(1024, 8192),
+            policies=("unopt", "dynmg+BMA"),
+            l2_mib=(16, None),
+            tier=ScaleTier.PAPER_SCALED,
+            max_cycles=123_456,
+        )
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_defaults(self):
+        spec = SweepSpec.from_dict(
+            {"models": ["llama3-70b"], "seq_lens": [64], "policies": ["unopt"]}
+        )
+        assert spec.tier is ScaleTier.CI
+        assert spec.l2_mib == (None,)
+
+
+class TestPointHelpers:
+    def test_coord_lookup(self):
+        point = sweep_point("llama3-70b", 2048, "dynmg", l2_mib=16, tier=ScaleTier.CI)
+        assert point.coord("model") == "llama3-70b"
+        assert point.coord("l2_mib") == 16
+        assert point.coord("missing", "fallback") == "fallback"
+
+    def test_describe_mentions_workload_and_policy(self):
+        point = sweep_point("llama3-70b", 2048, "dynmg+BMA", tier=ScaleTier.CI)
+        text = point.describe()
+        assert "llama3-70b" in text
+        assert "dynmg+BMA" in text

@@ -1,0 +1,109 @@
+"""Tests for the persistent JSON-lines result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.results import SimResult
+from repro.sim.simulator import simulate
+from repro.sweep.store import ResultStore, StoreRecord
+
+
+@pytest.fixture()
+def sim_result(tiny_system, unopt_policy, tiny_workload) -> SimResult:
+    return simulate(tiny_system, unopt_policy, workload=tiny_workload, label="unopt")
+
+
+class TestPutGet:
+    def test_round_trip_in_memory(self, tmp_path, tiny_points, sim_result):
+        store = ResultStore(tmp_path / "results.jsonl")
+        point = tiny_points[0]
+        store.put(point, result=sim_result, elapsed_s=1.5)
+        assert point.key() in store
+        assert store.result_for(point) == sim_result
+        record = store.get(point.key())
+        assert record is not None and record.ok
+        assert record.elapsed_s == 1.5
+        assert record.config == point.config_dict()
+
+    def test_round_trip_through_disk(self, tmp_path, tiny_points, sim_result):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).put(tiny_points[0], result=sim_result)
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        restored = reloaded.result_for(tiny_points[0])
+        assert restored == sim_result
+        assert restored.cycles == sim_result.cycles
+        assert restored.llc == sim_result.llc
+
+    def test_requires_exactly_one_of_result_or_error(self, tmp_path, tiny_points, sim_result):
+        store = ResultStore(tmp_path / "results.jsonl")
+        with pytest.raises(ValueError):
+            store.put(tiny_points[0])
+        with pytest.raises(ValueError):
+            store.put(tiny_points[0], result=sim_result, error="boom")
+
+    def test_miss_returns_none(self, tmp_path, tiny_points):
+        store = ResultStore(tmp_path / "results.jsonl")
+        assert store.result_for(tiny_points[0]) is None
+        assert store.get("no-such-key") is None
+
+
+class TestFailureRecords:
+    def test_error_record_is_not_a_cache_hit(self, tmp_path, tiny_points):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        point = tiny_points[0]
+        store.put(point, error="SimulationError: exceeded max_cycles")
+        assert point.key() not in store
+        assert store.result_for(point) is None
+        # ...but the record survives for post-mortems.
+        record = ResultStore(path).get(point.key())
+        assert record is not None
+        assert record.status == "error"
+        assert "SimulationError" in record.error
+
+
+class TestCrashTolerance:
+    def test_truncated_trailing_line_is_skipped(self, tmp_path, tiny_points, sim_result):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(tiny_points[0], result=sim_result)
+        store.put(tiny_points[1], result=sim_result)
+        # Simulate a run killed mid-write: chop the last line in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        reloaded = ResultStore(path)
+        assert reloaded.skipped_lines == 1
+        assert reloaded.result_for(tiny_points[0]) is not None
+        assert reloaded.result_for(tiny_points[1]) is None
+
+    def test_garbage_lines_are_skipped(self, tmp_path, tiny_points, sim_result):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).put(tiny_points[0], result=sim_result)
+        with path.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"wrong": "schema"}) + "\n")
+        reloaded = ResultStore(path)
+        assert reloaded.skipped_lines == 2
+        assert len(reloaded) == 1
+
+    def test_missing_file_is_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "nope" / "results.jsonl")
+        assert len(store) == 0
+
+
+class TestRecordSerialization:
+    def test_json_line_round_trip(self, tiny_points, sim_result):
+        record = StoreRecord(
+            key=tiny_points[0].key(),
+            label="unopt",
+            status="ok",
+            result=sim_result,
+            error=None,
+            elapsed_s=0.25,
+            config=tiny_points[0].config_dict(),
+        )
+        assert StoreRecord.from_json_line(record.to_json_line()) == record

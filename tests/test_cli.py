@@ -23,6 +23,62 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["info", "--tier", "gigantic"])
 
+    def test_sweep_defaults_are_fig9_style(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.models is None          # resolved to both models at run time
+        assert args.jobs == 1
+        assert args.store is None
+        assert not args.force
+
+    def test_sweep_repeatable_axes(self):
+        args = build_parser().parse_args(
+            ["sweep", "--model", "llama3-70b", "--seq-len", "1024", "--seq-len", "2048",
+             "--policy", "unopt", "--l2-mib", "16", "--jobs", "4"]
+        )
+        assert args.models == ["llama3-70b"]
+        assert args.seq_lens == [1024, 2048]
+        assert args.l2_mib == [16]
+        assert args.jobs == 4
+
+
+class TestSweepCommand:
+    GRID = [
+        "sweep", "--model", "llama3-70b", "--seq-len", "2048",
+        "--policy", "unopt", "--policy", "dynmg",
+        "--l2-mib", "16", "--tier", "ci",
+    ]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model", "gpt-7", "--seq-len", "64"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--policy", "warpdrive"])
+
+    def test_grid_runs_and_prints_summary(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main([*self.GRID, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "sweep results" in out
+        assert "speedup vs unopt" in out
+        assert "2 simulated, 0 cached" in out
+
+    def test_second_invocation_is_cached(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main([*self.GRID, "--store", store]) == 0
+        capsys.readouterr()
+        assert main([*self.GRID, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 2 cached" in out
+
+    def test_quiet_suppresses_progress_lines(self, capsys):
+        assert main([*self.GRID, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" not in out
+        assert "sweep results" in out
+
 
 class TestInfoAndHwcost:
     def test_info_prints_analytical_bounds(self, capsys):
