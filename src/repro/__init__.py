@@ -17,17 +17,27 @@ Python library:
 * ``repro.experiments`` -- one module per paper figure / table
 * ``repro.hwcost``    -- §6.1 area model
 
-Quick start::
+Quick start (the unified scenario API)::
 
-    from repro import config, sim
+    from repro import Simulation
 
-    system = config.table5_system()
-    workload = config.llama3_70b_logit(seq_len=1024)
-    result = sim.run_policy(system, workload, config.bma())
+    result = (
+        Simulation.builder()
+        .workload("llama3-70b", seq_len=8192)
+        .policy("dynmg+BMA")
+        .tier("ci")
+        .run()
+    )
     print(result.summary())
+
+Scenario components (workloads, systems, policies, throttle controllers) are
+named through the registries in :mod:`repro.registry`; anything registered
+there is addressable from the CLI, sweep grids and :class:`repro.api.Scenario`
+alike.
 """
 
-from repro import config
+from repro import config, registry
+from repro.api import Scenario, Simulation, run_scenario
 from repro.config import (
     PolicyConfig,
     ScaleTier,
@@ -47,7 +57,9 @@ __version__ = "1.0.0"
 __all__ = [
     "PolicyConfig",
     "ScaleTier",
+    "Scenario",
     "SimResult",
+    "Simulation",
     "Simulator",
     "SystemConfig",
     "WorkloadConfig",
@@ -57,7 +69,9 @@ __all__ = [
     "dynmg",
     "llama3_405b_logit",
     "llama3_70b_logit",
+    "registry",
     "run_policy",
+    "run_scenario",
     "simulate",
     "table5_system",
     "unoptimized",

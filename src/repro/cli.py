@@ -4,54 +4,48 @@ Subcommands
 
 * ``run``   -- simulate one policy on one workload and print the summary
 * ``sweep`` -- run a grid of (model x seq-len x policy x L2) points in parallel
+* ``list``  -- list registered workloads / systems / policies / throttles
 * ``fig7``  -- regenerate the Fig 7 speedup panels
 * ``fig8``  -- regenerate the Fig 8 mechanism statistics
 * ``fig9``  -- regenerate the Fig 9 cache-size sweep
 * ``hwcost``-- print the §6.1 area estimates
 * ``info``  -- describe a workload and its analytical bounds
+
+Every simulation point is named through :class:`repro.api.Scenario`, so
+anything registered via :mod:`repro.registry` (``@register_workload`` etc.) is
+immediately addressable from every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
+import os
 import sys
+from dataclasses import replace
 
+from repro.api import Scenario
 from repro.common.errors import ConfigError
-from repro.config.policies import PolicyConfig
-from repro.config.presets import (
-    FIG9_L2_MIB,
-    FIG9_SEQ_LEN,
-    llama3_405b_logit,
-    llama3_70b_logit,
-    policy_by_label,
-    table5_system,
-)
-from repro.config.scale import ScaleTier, scale_experiment
+from repro.config.presets import FIG9_L2_MIB, FIG9_SEQ_LEN
+from repro.config.scale import parse_tier
 from repro.dataflow.analytical import analyze
 from repro.experiments.fig7 import run_fig7_cumulative, run_fig7_throttling
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.hwcost_exp import run_hwcost
 from repro.experiments.reporting import format_grid
-from repro.sim.runner import run_policy
+from repro.registry import POLICIES, SYSTEMS, THROTTLES, WORKLOADS
 from repro.sweep.executor import run_sweep
 from repro.sweep.spec import FIG9_POLICY_LABELS, SweepSpec
 from repro.sweep.store import ResultStore
 
-
-def _workload(model: str, seq_len: int):
-    if model == "llama3-70b":
-        return llama3_70b_logit(seq_len)
-    if model == "llama3-405b":
-        return llama3_405b_logit(seq_len)
-    raise SystemExit(f"unknown model {model!r} (choose llama3-70b or llama3-405b)")
-
-
-def _tier(name: str) -> ScaleTier:
-    try:
-        return ScaleTier[name.upper().replace("-", "_")]
-    except KeyError as exc:
-        raise SystemExit(f"unknown scale tier {name!r}") from exc
+#: ``llamcat list <what>`` -> registry.
+LISTABLE_REGISTRIES = {
+    "workloads": WORKLOADS,
+    "systems": SYSTEMS,
+    "policies": POLICIES,
+    "throttles": THROTTLES,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--model", default="llama3-70b")
     run_p.add_argument("--seq-len", type=int, default=4096)
     run_p.add_argument("--policy", default="dynmg+BMA", help='e.g. "unopt", "dynmg", "dynmg+BMA"')
+    run_p.add_argument("--system", default="table5", help="registered system name")
     run_p.add_argument("--tier", default="ci")
 
     sweep_p = sub.add_parser(
@@ -97,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--max-cycles", type=int, default=None)
     sweep_p.add_argument("--quiet", action="store_true", help="suppress per-point progress")
 
+    list_p = sub.add_parser("list", help="list registered scenario components")
+    list_p.add_argument(
+        "what",
+        choices=tuple(LISTABLE_REGISTRIES),
+        help="which registry to list",
+    )
+
     for name in ("fig7", "fig8", "fig9"):
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--tier", default="ci")
@@ -111,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     info_p = sub.add_parser("info", help="describe a workload and its analytical bounds")
     info_p.add_argument("--model", default="llama3-70b")
     info_p.add_argument("--seq-len", type=int, default=4096)
+    info_p.add_argument("--system", default="table5", help="registered system name")
     info_p.add_argument("--tier", default="full")
     return parser
 
@@ -122,17 +125,14 @@ def _validate_jobs(jobs: int) -> None:
 
 def _run_sweep_command(args: argparse.Namespace) -> int:
     _validate_jobs(args.jobs)
-    try:
-        spec = SweepSpec(
-            models=tuple(args.models or ("llama3-70b", "llama3-405b")),
-            seq_lens=tuple(args.seq_lens or (FIG9_SEQ_LEN,)),
-            policies=tuple(args.policies or FIG9_POLICY_LABELS),
-            l2_mib=tuple(args.l2_mib or FIG9_L2_MIB),
-            tier=_tier(args.tier),
-            max_cycles=args.max_cycles,
-        ).validate()
-    except (ConfigError, ValueError) as exc:
-        raise SystemExit(str(exc)) from exc
+    spec = SweepSpec(
+        models=tuple(args.models or ("llama3-70b", "llama3-405b")),
+        seq_lens=tuple(args.seq_lens or (FIG9_SEQ_LEN,)),
+        policies=tuple(args.policies or FIG9_POLICY_LABELS),
+        l2_mib=tuple(args.l2_mib or FIG9_L2_MIB),
+        tier=parse_tier(args.tier),
+        max_cycles=args.max_cycles,
+    ).validate()
 
     points = spec.expand()
     print(
@@ -197,16 +197,59 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _list_command(what: str) -> int:
+    registry = LISTABLE_REGISTRIES[what]
+    entries = list(registry.entries())
+    width = max((len(entry.name) for entry in entries), default=0)
+    print(f"registered {what} ({len(entries)}):")
+    for entry in entries:
+        aliases = f"  (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {entry.name:<{width}}  {entry.description}{aliases}")
+    if what == "policies":
+        print(
+            "  (any 'throttle+arbitration' combination of known components is "
+            "also a valid label, e.g. 'lcs+MA')"
+        )
+    return 0
+
+
+def _load_plugins() -> None:
+    """Import the modules named in ``LLAMCAT_PLUGINS`` (comma-separated).
+
+    This is how out-of-tree code gets its ``@register_*`` decorators executed
+    inside the ``llamcat`` process: each named module must be importable (on
+    ``PYTHONPATH``); importing it registers its scenario components.
+    """
+
+    for name in filter(None, (m.strip() for m in os.environ.get("LLAMCAT_PLUGINS", "").split(","))):
+        try:
+            importlib.import_module(name)
+        except ImportError as exc:
+            raise SystemExit(f"LLAMCAT_PLUGINS: cannot import {name!r}: {exc}") from exc
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        _load_plugins()
+        return _dispatch(args)
+    except ConfigError as exc:
+        # Bad names/values from the command line; internal errors (simulation
+        # bugs) propagate with their tracebacks.
+        raise SystemExit(str(exc)) from exc
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
-        system, workload = scale_experiment(
-            table5_system(), _workload(args.model, args.seq_len), _tier(args.tier)
-        )
-        policy = policy_by_label(args.policy)
-        baseline = run_policy(system, workload, PolicyConfig(), label="unoptimized")
-        result = run_policy(system, workload, policy, label=args.policy)
+        scenario = Scenario(
+            workload=args.model,
+            policy=args.policy,
+            system=args.system,
+            seq_len=args.seq_len,
+            tier=parse_tier(args.tier),
+        ).validate()
+        baseline = replace(scenario, policy="unopt", label="unoptimized").run()
+        result = scenario.run()
         print(baseline.summary())
         print(result.summary())
         print(f"speedup over unoptimized: {baseline.cycles / result.cycles:.3f}x")
@@ -215,9 +258,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "sweep":
         return _run_sweep_command(args)
 
+    if args.command == "list":
+        return _list_command(args.what)
+
     if args.command in ("fig7", "fig8", "fig9"):
         _validate_jobs(args.jobs)
-        tier = _tier(args.tier)
+        tier = parse_tier(args.tier)
         store = ResultStore(args.store) if args.store else None
         if args.command == "fig7":
             print(run_fig7_throttling(tier=tier, jobs=args.jobs, store=store).render())
@@ -234,11 +280,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "info":
-        system, workload = scale_experiment(
-            table5_system(), _workload(args.model, args.seq_len), _tier(args.tier)
+        scenario = Scenario(
+            workload=args.model,
+            system=args.system,
+            seq_len=args.seq_len,
+            tier=parse_tier(args.tier),
         )
-        estimate = analyze(workload, system)
-        print(workload.describe())
+        resolved = scenario.resolve()
+        estimate = analyze(resolved.workload, resolved.system)
+        print(resolved.workload.describe())
         print(f"thread blocks:        {estimate.thread_blocks}")
         print(f"L2 line requests:     {estimate.total_l2_accesses}")
         print(f"unique DRAM traffic:  {estimate.total_dram_bytes / 2**20:.1f} MiB")

@@ -203,6 +203,33 @@ class PolicyConfig:
         self.cobrra.validate()
         return self
 
+    # -- (de)serialization (Scenario round-trips, result stores) -------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyConfig":
+        """Rebuild a policy from :func:`repro.sweep.spec.config_to_jsonable` output.
+
+        Absent sections fall back to their defaults, so partial dicts (e.g.
+        only ``{"throttle": "dynmg"}``) are accepted.
+        """
+
+        multigear = dict(data.get("multigear", {}))
+        thresholds = multigear.pop("thresholds", None)
+        gear_fractions = multigear.pop("gear_fractions", None)
+        return cls(
+            arbitration=ArbitrationKind(data.get("arbitration", ArbitrationKind.FCFS.value)),
+            throttle=ThrottleKind(data.get("throttle", ThrottleKind.NONE.value)),
+            multigear=MultiGearParams(
+                **multigear,
+                **({"gear_fractions": tuple(gear_fractions)} if gear_fractions else {}),
+                **({"thresholds": ContentionThresholds(**thresholds)} if thresholds else {}),
+            ),
+            incore=InCoreThrottleParams(**data.get("incore", {})),
+            dyncta=DynctaParams(**data.get("dyncta", {})),
+            lcs=LcsParams(**data.get("lcs", {})),
+            mshr_aware=MshrAwareParams(**data.get("mshr_aware", {})),
+            cobrra=CobrraParams(**data.get("cobrra", {})),
+        ).validate()
+
     # -- fluent construction helpers used by the experiment harness ----------------
     def with_arbitration(self, kind: ArbitrationKind) -> "PolicyConfig":
         return replace(self, arbitration=kind).validate()

@@ -37,6 +37,18 @@ class ScaleTier(enum.Enum):
         return self.value
 
 
+def parse_tier(tier: "ScaleTier | str") -> ScaleTier:
+    """Coerce a tier name (``"ci"``, ``"paper-scaled"``...) into a ScaleTier."""
+
+    if isinstance(tier, ScaleTier):
+        return tier
+    try:
+        return ScaleTier[str(tier).upper().replace("-", "_")]
+    except KeyError:
+        names = sorted(t.name.lower().replace("_", "-") for t in ScaleTier)
+        raise ConfigError(f"unknown scale tier {tier!r} (choose from {names})") from None
+
+
 def scale_seq_len(seq_len: int, tier: ScaleTier) -> int:
     """Scale a sequence length down, keeping at least 64 tokens."""
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 import enum
 from typing import Iterator
 
+from repro.common.errors import ConfigError
+
 
 class ThreadBlockOrdering(enum.Enum):
     """Order of the (h, l_tile, g) thread-block space in the dispatch queue."""
@@ -37,3 +39,17 @@ class ThreadBlockOrdering(enum.Enum):
                         yield h, g, lt
         else:  # pragma: no cover - enum is exhaustive
             raise AssertionError(f"unhandled ordering {self}")
+
+
+def parse_ordering(ordering: "ThreadBlockOrdering | str") -> ThreadBlockOrdering:
+    """Coerce an ordering value name (``"gqa-shared"``...) into the enum."""
+
+    if isinstance(ordering, ThreadBlockOrdering):
+        return ordering
+    try:
+        return ThreadBlockOrdering(ordering)
+    except ValueError:
+        names = sorted(o.value for o in ThreadBlockOrdering)
+        raise ConfigError(
+            f"unknown thread-block ordering {ordering!r} (choose from {names})"
+        ) from None

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Callable
+from typing import Any
 
 from repro.common.address import DramAddressMap
 from repro.common.mathutils import safe_div

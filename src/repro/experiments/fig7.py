@@ -6,64 +6,50 @@ each combined with dynmg and normalised against dynmg alone.  Panels (c)&(f):
 cumulative speedups of dynmg / dynmg+B / dynmg+MA / dynmg+BMA against the
 unoptimized run.  Both Llama3-70B and Llama3-405B are evaluated at sequence
 lengths 4K, 8K and 16K (scaled down by the selected tier).
+
+Every grid cell is named through :class:`repro.api.Scenario`: the panel
+definitions below are plain ``{display name: policy label}`` mappings resolved
+through the policy registry (explicit :class:`PolicyConfig` values are also
+accepted for ad-hoc panels).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import Scenario
 from repro.common.mathutils import geomean
-from repro.config.policies import ArbitrationKind, PolicyConfig, ThrottleKind
-from repro.config.presets import (
-    FIG7_SEQ_LENS,
-    llama3_405b_logit,
-    llama3_70b_logit,
-    table5_system,
-)
-from repro.config.scale import ScaleTier, scale_experiment
-from repro.config.workload import WorkloadConfig
+from repro.config.policies import PolicyConfig
+from repro.config.presets import FIG7_SEQ_LENS
+from repro.config.scale import ScaleTier
 from repro.experiments.reporting import format_series
 from repro.sim.results import SimResult
 from repro.sweep.executor import run_sweep
-from repro.sweep.spec import SweepPoint, resolved_point
+from repro.sweep.spec import SweepPoint
 from repro.sweep.store import ResultStore
 
-#: Throttling policies of panels (a)&(d) (paper legend names).
+#: Throttling policies of panels (a)&(d) (display name -> policy label).
 THROTTLE_POLICIES = {
-    "dyncta": PolicyConfig(throttle=ThrottleKind.DYNCTA),
-    "lcs": PolicyConfig(throttle=ThrottleKind.LCS),
-    "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
+    "dyncta": "dyncta",
+    "lcs": "lcs",
+    "dynmg": "dynmg",
 }
 
 #: Arbitration policies of panels (b)&(e); each rides on top of dynmg.
 ARBITRATION_POLICIES = {
-    "cobrra": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.COBRRA),
-    "B": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED),
-    "MA": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.MSHR_AWARE),
-    "BMA": PolicyConfig(
-        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
-    ),
+    "cobrra": "dynmg+cobrra",
+    "B": "dynmg+B",
+    "MA": "dynmg+MA",
+    "BMA": "dynmg+BMA",
 }
 
 #: Cumulative policies of panels (c)&(f).
 CUMULATIVE_POLICIES = {
-    "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
-    "dynmg+B": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED),
-    "dynmg+MA": PolicyConfig(
-        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.MSHR_AWARE
-    ),
-    "dynmg+BMA": PolicyConfig(
-        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
-    ),
+    "dynmg": "dynmg",
+    "dynmg+B": "dynmg+B",
+    "dynmg+MA": "dynmg+MA",
+    "dynmg+BMA": "dynmg+BMA",
 }
-
-
-def paper_workload(model: str, seq_len: int) -> WorkloadConfig:
-    if model == "llama3-70b":
-        return llama3_70b_logit(seq_len)
-    if model == "llama3-405b":
-        return llama3_405b_logit(seq_len)
-    raise ValueError(f"unknown model {model!r}")
 
 
 @dataclass(slots=True)
@@ -95,26 +81,23 @@ class Fig7Result:
 
 
 def _panel_point(
-    system,
-    workload,
-    policy: PolicyConfig,
-    label: str,
     model: str,
     seq_len: int,
+    policy: str | PolicyConfig,
+    label: str,
     tier: ScaleTier,
     max_cycles: int | None,
 ) -> SweepPoint:
-    return resolved_point(
-        system, workload, policy, label,
-        {"model": model, "policy": label, "seq_len": seq_len, "tier": tier.name},
-        max_cycles=max_cycles,
+    scenario = Scenario.create(
+        model, policy, seq_len=seq_len, tier=tier, max_cycles=max_cycles
     )
+    return scenario.to_point(label=label, extra_coords=(("policy", label),))
 
 
 def _run_panel(
     panel: str,
-    policies: dict[str, PolicyConfig],
-    baseline: PolicyConfig,
+    policies: dict[str, str | PolicyConfig],
+    baseline: str | PolicyConfig,
     tier: ScaleTier,
     models: tuple[str, ...],
     seq_lens: tuple[int, ...],
@@ -123,26 +106,21 @@ def _run_panel(
     store: ResultStore | None = None,
 ) -> Fig7Result:
     result = Fig7Result(panel=panel, tier=tier, seq_lens=tuple(seq_lens))
-    base_system = table5_system()
 
     # Expand the whole panel grid into sweep points, then submit it in one go;
-    # identical results to the old serial loop, but parallel when jobs > 1 and
-    # resumable when a store is attached.
+    # parallel when jobs > 1 and resumable when a store is attached.
     cells: list[tuple[str, int, dict[str, SweepPoint]]] = []
     points: list[SweepPoint] = []
     for model in models:
         result.speedups[model] = {name: [] for name in policies}
         for seq_len in seq_lens:
-            system, workload = scale_experiment(base_system, paper_workload(model, seq_len), tier)
             cell = {
                 "baseline": _panel_point(
-                    system, workload, baseline, "baseline", model, seq_len, tier, max_cycles
+                    model, seq_len, baseline, "baseline", tier, max_cycles
                 )
             }
             for name, policy in policies.items():
-                cell[name] = _panel_point(
-                    system, workload, policy, name, model, seq_len, tier, max_cycles
-                )
+                cell[name] = _panel_point(model, seq_len, policy, name, tier, max_cycles)
             cells.append((model, seq_len, cell))
             points.extend(cell.values())
 
@@ -168,7 +146,7 @@ def run_fig7_throttling(
     """Panels (a)&(d): throttling speedups over the unoptimized configuration."""
 
     return _run_panel(
-        "a,d: throttling", THROTTLE_POLICIES, PolicyConfig(), tier, models, seq_lens,
+        "a,d: throttling", THROTTLE_POLICIES, "unopt", tier, models, seq_lens,
         max_cycles, jobs=jobs, store=store,
     )
 
@@ -186,7 +164,7 @@ def run_fig7_arbitration(
     return _run_panel(
         "b,e: arbitration (+dynmg, vs dynmg)",
         ARBITRATION_POLICIES,
-        PolicyConfig(throttle=ThrottleKind.DYNMG),
+        "dynmg",
         tier,
         models,
         seq_lens,
@@ -207,6 +185,6 @@ def run_fig7_cumulative(
     """Panels (c)&(f): cumulative speedups over the unoptimized configuration."""
 
     return _run_panel(
-        "c,f: cumulative", CUMULATIVE_POLICIES, PolicyConfig(), tier, models, seq_lens,
+        "c,f: cumulative", CUMULATIVE_POLICIES, "unopt", tier, models, seq_lens,
         max_cycles, jobs=jobs, store=store,
     )

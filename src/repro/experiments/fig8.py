@@ -11,25 +11,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config.policies import ArbitrationKind, PolicyConfig, ThrottleKind
-from repro.config.presets import llama3_70b_logit, table5_system
-from repro.config.scale import ScaleTier, scale_experiment
+from repro.api import Scenario
+from repro.config.policies import PolicyConfig
+from repro.config.scale import ScaleTier, scale_seq_len
 from repro.experiments.reporting import format_grid
 from repro.sim.results import SimResult
 from repro.sweep.executor import run_sweep
-from repro.sweep.spec import resolved_point
 from repro.sweep.store import ResultStore
 
+#: Fig 8's progression: display name -> policy label (registry-resolved).
 DEFAULT_POLICIES = {
-    "unoptimized": PolicyConfig(),
-    "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
-    "dynmg+B": PolicyConfig(throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED),
-    "dynmg+MA": PolicyConfig(
-        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.MSHR_AWARE
-    ),
-    "dynmg+BMA": PolicyConfig(
-        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
-    ),
+    "unoptimized": "unopt",
+    "dynmg": "dynmg",
+    "dynmg+B": "dynmg+B",
+    "dynmg+MA": "dynmg+MA",
+    "dynmg+BMA": "dynmg+BMA",
 }
 
 
@@ -54,7 +50,7 @@ class Fig8Result:
 def run_fig8(
     tier: ScaleTier = ScaleTier.CI,
     seq_len: int = 8192,
-    policies: dict[str, PolicyConfig] | None = None,
+    policies: dict[str, str | PolicyConfig] | None = None,
     max_cycles: int | None = None,
     jobs: int = 1,
     store: ResultStore | None = None,
@@ -62,15 +58,12 @@ def run_fig8(
     """Reproduce the Fig 8 statistics panel."""
 
     policies = policies if policies is not None else DEFAULT_POLICIES
-    system, workload = scale_experiment(table5_system(), llama3_70b_logit(seq_len), tier)
-    result = Fig8Result(tier=tier, seq_len=workload.shape.seq_len)
+    result = Fig8Result(tier=tier, seq_len=scale_seq_len(seq_len, tier))
 
     points = {
-        name: resolved_point(
-            system, workload, policy, name,
-            {"model": workload.name, "policy": name, "seq_len": seq_len, "tier": tier.name},
-            max_cycles=max_cycles,
-        )
+        name: Scenario.create(
+            "llama3-70b", policy, seq_len=seq_len, tier=tier, max_cycles=max_cycles
+        ).to_point(label=name, extra_coords=(("policy", name),))
         for name, policy in policies.items()
     }
     report = run_sweep(list(points.values()), jobs=jobs, store=store).raise_on_failure()

@@ -2,41 +2,34 @@
 
 32K-token sequences are run against 16, 32 and 64 MB L2 configurations (scaled
 by the selected tier); every policy is normalised against the unoptimized run
-at the 32 MB point, exactly as in the paper.
+at the 32 MB point, exactly as in the paper.  Grid cells are named through
+:class:`repro.api.Scenario`; the default legend is ``{display name: policy
+label}`` and explicit :class:`PolicyConfig` values are also accepted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config.policies import ArbitrationKind, PolicyConfig, ThrottleKind
-from repro.config.presets import (
-    FIG9_L2_MIB,
-    FIG9_SEQ_LEN,
-    llama3_405b_logit,
-    llama3_70b_logit,
-    table5_system_with_l2,
-)
-from repro.config.scale import ScaleTier, scale_experiment
-from repro.config.workload import WorkloadConfig
+from repro.api import Scenario
+from repro.config.policies import PolicyConfig
+from repro.config.presets import FIG9_L2_MIB, FIG9_SEQ_LEN
+from repro.config.scale import ScaleTier
 from repro.experiments.reporting import format_series
 from repro.sim.results import SimResult
 from repro.sweep.executor import run_sweep
-from repro.sweep.spec import SweepPoint, resolved_point
+from repro.sweep.spec import SweepPoint
 from repro.sweep.store import ResultStore
 
+#: Fig 9 legend: display name -> policy label (resolved via the registry).
 FIG9_POLICIES = {
-    "unoptimized": PolicyConfig(),
-    "dyncta": PolicyConfig(throttle=ThrottleKind.DYNCTA),
-    "lcs": PolicyConfig(throttle=ThrottleKind.LCS),
-    "cobrra": PolicyConfig(arbitration=ArbitrationKind.COBRRA),
-    "dynmg": PolicyConfig(throttle=ThrottleKind.DYNMG),
-    "dynmg+cobrra": PolicyConfig(
-        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.COBRRA
-    ),
-    "dynmg+BMA": PolicyConfig(
-        throttle=ThrottleKind.DYNMG, arbitration=ArbitrationKind.BALANCED_MSHR_AWARE
-    ),
+    "unoptimized": "unopt",
+    "dyncta": "dyncta",
+    "lcs": "lcs",
+    "cobrra": "cobrra",
+    "dynmg": "dynmg",
+    "dynmg+cobrra": "dynmg+cobrra",
+    "dynmg+BMA": "dynmg+BMA",
 }
 
 #: The L2 capacity the paper normalises against.
@@ -68,36 +61,19 @@ class Fig9Result:
         return "\n\n".join(blocks)
 
 
-def _workload(model: str, seq_len: int) -> WorkloadConfig:
-    if model == "llama3-70b":
-        return llama3_70b_logit(seq_len)
-    if model == "llama3-405b":
-        return llama3_405b_logit(seq_len)
-    raise ValueError(f"unknown model {model!r}")
-
-
 def _grid_point(
-    system,
-    workload,
-    policy: PolicyConfig,
-    label: str,
     model: str,
     seq_len: int,
+    policy: str | PolicyConfig,
+    label: str,
     l2_mib: int,
     tier: ScaleTier,
     max_cycles: int | None,
 ) -> SweepPoint:
-    return resolved_point(
-        system, workload, policy, label,
-        {
-            "l2_mib": l2_mib,
-            "model": model,
-            "policy": label,
-            "seq_len": seq_len,
-            "tier": tier.name,
-        },
-        max_cycles=max_cycles,
+    scenario = Scenario.create(
+        model, policy, seq_len=seq_len, l2_mib=l2_mib, tier=tier, max_cycles=max_cycles
     )
+    return scenario.to_point(label=label, extra_coords=(("policy", label),))
 
 
 def run_fig9(
@@ -105,7 +81,7 @@ def run_fig9(
     models: tuple[str, ...] = ("llama3-70b", "llama3-405b"),
     seq_len: int = FIG9_SEQ_LEN,
     l2_sizes_mib: tuple[int, ...] = FIG9_L2_MIB,
-    policies: dict[str, PolicyConfig] | None = None,
+    policies: dict[str, str | PolicyConfig] | None = None,
     max_cycles: int | None = None,
     jobs: int = 1,
     store: ResultStore | None = None,
@@ -122,23 +98,14 @@ def run_fig9(
     grids: list[tuple[str, SweepPoint, list[tuple[int, dict[str, SweepPoint]]]]] = []
     points: list[SweepPoint] = []
     for model in models:
-        ref_system, workload = scale_experiment(
-            table5_system_with_l2(REFERENCE_L2_MIB), _workload(model, seq_len), tier
-        )
         ref_point = _grid_point(
-            ref_system, workload, PolicyConfig(), "reference",
-            model, seq_len, REFERENCE_L2_MIB, tier, max_cycles,
+            model, seq_len, "unopt", "reference", REFERENCE_L2_MIB, tier, max_cycles
         )
         points.append(ref_point)
         cells: list[tuple[int, dict[str, SweepPoint]]] = []
         for l2_mib in l2_sizes_mib:
-            system, workload = scale_experiment(
-                table5_system_with_l2(l2_mib), _workload(model, seq_len), tier
-            )
             cell = {
-                name: _grid_point(
-                    system, workload, policy, name, model, seq_len, l2_mib, tier, max_cycles
-                )
+                name: _grid_point(model, seq_len, policy, name, l2_mib, tier, max_cycles)
                 for name, policy in policies.items()
             }
             cells.append((l2_mib, cell))

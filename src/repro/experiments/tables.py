@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.api import Scenario
 from repro.config.policies import (
     ContentionThresholds,
     InCoreThrottleParams,
@@ -19,15 +20,13 @@ from repro.config.policies import (
     PolicyConfig,
     ThrottleKind,
 )
-from repro.config.presets import llama3_70b_logit, table5_system
-from repro.config.scale import ScaleTier, scale_experiment
+from repro.config.scale import ScaleTier
 from repro.sweep.executor import SweepReport, run_sweep
-from repro.sweep.spec import SweepPoint, resolved_point
+from repro.sweep.spec import SweepPoint
 from repro.sweep.store import ResultStore
 
-
-def _base(tier: ScaleTier, seq_len: int):
-    return scale_experiment(table5_system(), llama3_70b_logit(seq_len), tier)
+#: The workload every table sweep runs on (as in the paper's tuning runs).
+TABLE_WORKLOAD = "llama3-70b"
 
 
 def _run_table_grid(
@@ -38,18 +37,20 @@ def _run_table_grid(
     jobs: int,
     store: ResultStore | None,
 ) -> tuple[SweepReport, dict[str, SweepPoint], SweepPoint]:
-    """Submit the unoptimized baseline plus every swept policy as one sweep."""
+    """Submit the unoptimized baseline plus every swept policy as one sweep.
 
-    system, workload = _base(tier, seq_len)
+    The swept policies carry custom throttling parameters, so they enter the
+    :class:`Scenario` as explicit ``policy_config`` objects with the sweep
+    label as display name.
+    """
 
-    def point(label: str, policy: PolicyConfig) -> SweepPoint:
-        return resolved_point(
-            system, workload, policy, label,
-            {"model": workload.name, "policy": label, "seq_len": seq_len, "tier": tier.name},
-            max_cycles=max_cycles,
+    def point(label: str, policy: str | PolicyConfig) -> SweepPoint:
+        scenario = Scenario.create(
+            TABLE_WORKLOAD, policy, seq_len=seq_len, tier=tier, max_cycles=max_cycles
         )
+        return scenario.to_point(label=label, extra_coords=(("policy", label),))
 
-    baseline = point("unopt", PolicyConfig())
+    baseline = point("unopt", "unopt")
     cells = {label: point(label, policy) for label, policy in labelled_policies.items()}
     report = run_sweep(
         [baseline, *cells.values()], jobs=jobs, store=store

@@ -8,7 +8,6 @@ from repro.arbiter.base import BaseArbiter
 from repro.arbiter.factory import make_arbiter
 from repro.common.address import AddressMap
 from repro.common.mathutils import safe_div
-from repro.common.types import MemRequest, MemResponse
 from repro.config.policies import PolicyConfig
 from repro.config.system import L2Config
 from repro.llc.slice import DramSink, LLCSlice, ResponseSink

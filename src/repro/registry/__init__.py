@@ -1,0 +1,136 @@
+"""Scenario-component registries: the extension point of the whole stack.
+
+Four global registries name every pluggable piece of a simulation:
+
+* :data:`WORKLOADS` -- ``name -> builder(seq_len) -> WorkloadConfig``
+* :data:`SYSTEMS`   -- ``name -> builder() -> SystemConfig``
+* :data:`POLICIES`  -- ``label -> builder() -> PolicyConfig`` (case-insensitive,
+  with a compositional fallback for ``"throttle+arbitration"`` labels)
+* :data:`THROTTLES` -- ``ThrottleKind -> factory(PolicyConfig) -> controller``
+
+Registering a component makes it usable everywhere at once -- the CLI
+(``llamcat list/run/sweep``), declarative sweep grids, the figure harnesses and
+the :class:`repro.api.Simulation` builder all resolve names through here::
+
+    from repro.registry import register_workload
+
+    @register_workload("my-model", description="My model's decode Logit")
+    def my_model(seq_len: int = 8192) -> WorkloadConfig:
+        ...
+
+The built-in entries live in :mod:`repro.config.presets` (workloads, systems,
+policies) and :mod:`repro.throttle.factory` (throttle controllers); those
+modules are imported lazily on first lookup, so importing this package is
+cycle-free and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.registry.core import Registry, RegistryEntry
+
+if TYPE_CHECKING:  # real imports would be cyclic (presets registers through us)
+    from repro.config.system import SystemConfig
+    from repro.config.workload import WorkloadConfig
+
+
+def _policy_norm(label: str) -> str:
+    return label.strip().lower()
+
+
+WORKLOADS: Registry = Registry("workload", bootstrap=("repro.config.presets",))
+SYSTEMS: Registry = Registry("system", bootstrap=("repro.config.presets",))
+POLICIES: Registry = Registry(
+    "policy", bootstrap=("repro.config.presets",), normalize=_policy_norm
+)
+THROTTLES: Registry = Registry(
+    "throttle controller",
+    bootstrap=("repro.throttle.factory",),
+    normalize=_policy_norm,
+)
+
+
+# -- decorators (the public registration surface) ----------------------------------------
+def register_workload(name: str, **kwargs):
+    """Register a ``(seq_len) -> WorkloadConfig`` builder under ``name``."""
+
+    return WORKLOADS.register(name, **kwargs)
+
+
+def register_system(name: str, **kwargs):
+    """Register a ``() -> SystemConfig`` builder under ``name``."""
+
+    return SYSTEMS.register(name, **kwargs)
+
+
+def register_policy(name: str, **kwargs):
+    """Register a ``() -> PolicyConfig`` builder under a paper-style label."""
+
+    return POLICIES.register(name, **kwargs)
+
+
+def register_throttle(kind, **kwargs):
+    """Register a ``(PolicyConfig) -> ThrottleController`` factory.
+
+    ``kind`` may be a :class:`~repro.config.policies.ThrottleKind` member or
+    its string value.
+    """
+
+    name = getattr(kind, "value", kind)
+    return THROTTLES.register(name, **kwargs)
+
+
+# -- resolution helpers (name strings -> config objects) ---------------------------------
+def resolve_workload(name: str, seq_len: int | None = None) -> "WorkloadConfig":
+    """Build the workload registered under ``name``.
+
+    ``seq_len=None`` keeps the builder's own default sequence length.
+    """
+
+    builder = WORKLOADS.get(name)
+    if seq_len is not None:
+        return builder(seq_len)
+    try:
+        return builder()
+    except TypeError as exc:
+        raise ConfigError(
+            f"workload {name!r} has no default sequence length; pass seq_len "
+            f"explicitly ({exc})"
+        ) from exc
+
+
+def resolve_system(name: str) -> "SystemConfig":
+    """Build the system registered under ``name``."""
+
+    return SYSTEMS.get(name)()
+
+
+def resolve_policy(label: str):
+    """Build a policy from a registered label or a compositional one.
+
+    Canonical paper labels (``"dynmg+BMA"``, ``"unopt"``...) hit the registry;
+    other ``"+"``-joined combinations of known components are composed by the
+    registry's fallback parser.  Unknown names raise :class:`ConfigError`
+    listing the registered labels.
+    """
+
+    return POLICIES.get(label)()
+
+
+__all__ = [
+    "POLICIES",
+    "Registry",
+    "RegistryEntry",
+    "SYSTEMS",
+    "THROTTLES",
+    "WORKLOADS",
+    "register_policy",
+    "register_system",
+    "register_throttle",
+    "register_workload",
+    "resolve_policy",
+    "resolve_system",
+    "resolve_workload",
+]

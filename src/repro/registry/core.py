@@ -1,0 +1,219 @@
+"""Generic named registries with decorator-based registration.
+
+A :class:`Registry` maps names to objects (workload builders, system builders,
+policy builders, throttle-controller factories) and is the single mechanism
+behind every lookup-by-name in the reproduction.  Properties that make it
+suitable as a public extension point:
+
+* **Decorator registration** -- ``@REGISTRY.register("name")`` on a builder is
+  the complete act of adding a scenario component; the CLI, the sweep grid and
+  the :mod:`repro.api` builder all see it immediately.
+* **Lazy bootstrap** -- each registry names the modules that register the
+  built-in entries; they are imported on first use, so ``repro.registry`` never
+  imports ``repro.config`` at module load time (no import cycles).
+* **Uniform errors** -- every unknown name raises :class:`ConfigError` listing
+  the known names, regardless of which layer asked.
+* **Aliases and a compositional fallback** -- display-name aliases resolve to
+  the canonical entry; a registry may carry a ``fallback`` parser for names
+  that are composed rather than enumerated (e.g. policy labels such as
+  ``"lcs+MA"``).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.common.errors import ConfigError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class RegistryEntry(Generic[T]):
+    """One registered object plus its listing metadata."""
+
+    name: str
+    obj: T
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class Registry(Generic[T]):
+    """A named collection of pluggable components.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular noun used in error messages ("workload", ...).
+    bootstrap:
+        Module paths imported (once, lazily) before the first lookup; importing
+        them runs the built-in ``@register_*`` decorators.
+    normalize:
+        Optional canonicalisation applied to every registered and looked-up
+        name (e.g. ``str.lower`` for case-insensitive policy labels).
+    """
+
+    kind: str
+    bootstrap: tuple[str, ...] = ()
+    normalize: Callable[[str], str] | None = None
+    #: Optional parser tried when a name is not registered; it must return an
+    #: object or raise KeyError/ValueError (mapped to a uniform ConfigError).
+    fallback: Callable[[str], T] | None = None
+    _entries: dict[str, RegistryEntry[T]] = field(default_factory=dict)
+    _aliases: dict[str, str] = field(default_factory=dict)
+    _loaded: bool = False
+    _bootstrap_error: BaseException | None = None
+
+    # -- registration ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        obj: T | None = None,
+        *,
+        description: str = "",
+        aliases: tuple[str, ...] | list[str] = (),
+        replace: bool = False,
+    ):
+        """Register ``obj`` under ``name``; usable directly or as a decorator.
+
+        Raises :class:`ConfigError` if the name (or an alias) is already taken
+        and ``replace`` is false.
+        """
+
+        def _register(target: T) -> T:
+            key = self._norm(name)
+            alias_keys = tuple(self._norm(alias) for alias in aliases)
+            desc_text = description
+            if not desc_text:
+                doc = (getattr(target, "__doc__", "") or "").strip()
+                desc_text = doc.splitlines()[0] if doc else ""
+            taken = [
+                a for a in (key, *alias_keys)
+                if a in self._entries or a in self._aliases
+            ]
+            if taken and not replace:
+                raise ConfigError(
+                    f"{self.kind} {taken[0]!r} is already registered; "
+                    f"pass replace=True to override"
+                )
+            for stale in taken:
+                # The new entry shadows whatever held these names before --
+                # evict stale alias mappings and displaced entries (plus the
+                # displaced entries' own aliases) so lookups cannot resolve
+                # past the override.
+                owner_key = self._aliases.pop(stale, None)
+                if owner_key is not None and owner_key in self._entries:
+                    # The alias' owning entry survives; strip the alias from
+                    # its metadata so listings stay truthful.
+                    owner = self._entries[owner_key]
+                    self._entries[owner_key] = RegistryEntry(
+                        name=owner.name,
+                        obj=owner.obj,
+                        description=owner.description,
+                        aliases=tuple(
+                            a for a in owner.aliases if self._norm(a) != stale
+                        ),
+                    )
+                displaced = self._entries.pop(stale, None)
+                if displaced is not None:
+                    for alias in displaced.aliases:
+                        self._aliases.pop(self._norm(alias), None)
+            entry = RegistryEntry(
+                name=name, obj=target, description=desc_text, aliases=tuple(aliases)
+            )
+            self._entries[key] = entry
+            for alias in aliases:
+                self._aliases[self._norm(alias)] = key
+            return target
+
+        if obj is not None:
+            return _register(obj)
+        return _register
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry and its aliases (primarily for tests)."""
+
+        key = self._canonical_key(self._norm(name))
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            raise ConfigError(f"{self.kind} {name!r} is not registered")
+        for alias in entry.aliases:
+            self._aliases.pop(self._norm(alias), None)
+
+    # -- lookup ------------------------------------------------------------------------
+    def get(self, name: str) -> T:
+        """The object registered under ``name`` (or an alias, or the fallback)."""
+
+        return self.entry(name).obj
+
+    def entry(self, name: str) -> RegistryEntry[T]:
+        self._ensure_loaded()
+        key = self._canonical_key(self._norm(name))
+        found = self._entries.get(key)
+        if found is not None:
+            return found
+        if self.fallback is not None:
+            try:
+                return RegistryEntry(name=name, obj=self.fallback(name))
+            except (KeyError, ValueError):
+                pass
+        raise ConfigError(
+            f"unknown {self.kind} {name!r} (choose from {self.names()})"
+        )
+
+    def names(self) -> list[str]:
+        """Sorted canonical (display) names of every registered entry."""
+
+        self._ensure_loaded()
+        return sorted(entry.name for entry in self._entries.values())
+
+    def entries(self) -> Iterator[RegistryEntry[T]]:
+        self._ensure_loaded()
+        for key in sorted(self._entries):
+            yield self._entries[key]
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_loaded()
+        key = self._canonical_key(self._norm(name))
+        if key in self._entries:
+            return True
+        if self.fallback is not None:
+            try:
+                self.fallback(name)
+                return True
+            except (KeyError, ValueError):
+                return False
+        return False
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+    # -- internals ---------------------------------------------------------------------
+    def _norm(self, name: str) -> str:
+        return self.normalize(name) if self.normalize is not None else name
+
+    def _canonical_key(self, key: str) -> str:
+        return self._aliases.get(key, key)
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            if self._bootstrap_error is not None:
+                # Re-raise the original failure on every lookup instead of
+                # answering from a half-populated registry with misleading
+                # "unknown name" errors.
+                raise ConfigError(
+                    f"the {self.kind} registry failed to load its built-in "
+                    f"entries: {self._bootstrap_error}"
+                ) from self._bootstrap_error
+            return
+        self._loaded = True  # set first: bootstrap modules call register()
+        try:
+            for module in self.bootstrap:
+                importlib.import_module(module)
+        except BaseException as exc:
+            self._bootstrap_error = exc
+            raise

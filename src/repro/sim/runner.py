@@ -142,11 +142,15 @@ def compare_policies(
     policies: dict[str, PolicyConfig],
     baseline_label: str,
     max_cycles: int | None = None,
+    ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
+    constraints: DataflowConstraints | None = None,
 ) -> PolicyComparison:
     """Run every policy on the same workload and collect speedups.
 
     ``baseline_label`` must be one of the keys of ``policies``; every speedup is
     normalised against it (the paper normalises against the unoptimized run).
+    ``ordering`` and ``constraints`` apply to every run, so non-default
+    dataflow comparisons compare like with like.
     """
 
     if baseline_label not in policies:
@@ -154,7 +158,13 @@ def compare_policies(
     comparison = PolicyComparison(workload=workload.name, baseline_label=baseline_label)
     for label, policy in policies.items():
         comparison.results[label] = run_policy(
-            system, workload, policy, label=label, max_cycles=max_cycles
+            system,
+            workload,
+            policy,
+            label=label,
+            max_cycles=max_cycles,
+            ordering=ordering,
+            constraints=constraints,
         )
     return comparison
 

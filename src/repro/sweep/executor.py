@@ -122,6 +122,7 @@ def _execute_point(point: SweepPoint) -> tuple[SimResult | None, str | None, flo
             point.policy,
             label=point.label,
             ordering=point.ordering,
+            constraints=point.constraints,
             **kwargs,
         )
         return result, None, time.perf_counter() - start

@@ -1,12 +1,16 @@
 """Declarative sweep specifications.
 
 A :class:`SweepSpec` names a cartesian grid -- models x sequence lengths x
-policies x L2 capacities x one scale tier -- and expands it into fully resolved
-:class:`SweepPoint` job descriptors.  A point carries the *scaled* system,
-workload and policy configurations, so it is self-contained: the executor can
-run it in any worker process without re-reading presets, and its content hash
+policies x L2 capacities x one scale tier -- and expands it, via
+:class:`repro.api.Scenario`, into fully resolved :class:`SweepPoint` job
+descriptors.  A point carries the *scaled* system, workload and policy
+configurations, so it is self-contained: the executor can run it in any worker
+process without re-reading presets, and its content hash
 (:meth:`SweepPoint.key`) identifies the simulation independently of display
 labels, which is what makes the result store resumable and deduplicating.
+
+Model and policy names resolve through :mod:`repro.registry`, so a workload or
+policy registered anywhere is immediately sweepable.
 """
 
 from __future__ import annotations
@@ -15,41 +19,23 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field, fields, is_dataclass
-from typing import Callable, Iterable
+from typing import Iterable
 
 from repro.common.errors import ConfigError
 from repro.config.policies import PolicyConfig
-from repro.config.presets import (
-    FIG9_L2_MIB,
-    FIG9_SEQ_LEN,
-    llama3_405b_logit,
-    llama3_70b_attend,
-    llama3_70b_logit,
-    policy_by_label,
-    table5_system,
-    table5_system_with_l2,
-)
-from repro.config.scale import ScaleTier, scale_experiment
+from repro.config.presets import FIG9_L2_MIB, FIG9_SEQ_LEN
+from repro.config.scale import ScaleTier, parse_tier
 from repro.config.system import SystemConfig
 from repro.config.workload import WorkloadConfig
-from repro.dataflow.ordering import ThreadBlockOrdering
-
-#: Model-name -> workload-builder registry used by declarative specs / the CLI.
-WORKLOAD_BUILDERS: dict[str, Callable[[int], WorkloadConfig]] = {
-    "llama3-70b": llama3_70b_logit,
-    "llama3-405b": llama3_405b_logit,
-    "llama3-70b-attend": llama3_70b_attend,
-}
+from repro.dataflow.constraints import DataflowConstraints
+from repro.dataflow.ordering import ThreadBlockOrdering, parse_ordering
+from repro.registry import WORKLOADS, resolve_policy, resolve_workload
 
 
 def workload_for(model: str, seq_len: int) -> WorkloadConfig:
-    try:
-        builder = WORKLOAD_BUILDERS[model]
-    except KeyError:
-        raise ConfigError(
-            f"unknown model {model!r} (choose from {sorted(WORKLOAD_BUILDERS)})"
-        ) from None
-    return builder(seq_len)
+    """Build the registered workload ``model`` at ``seq_len`` (registry lookup)."""
+
+    return resolve_workload(model, seq_len)
 
 
 def config_to_jsonable(obj):
@@ -72,7 +58,8 @@ class SweepPoint:
 
     ``label`` and ``coords`` are display/grouping metadata only; the identity
     of the point is the content hash of everything that determines the
-    simulation outcome (system, workload, policy, ordering, max_cycles).
+    simulation outcome (system, workload, policy, ordering, constraints,
+    max_cycles).
     """
 
     label: str
@@ -80,6 +67,7 @@ class SweepPoint:
     workload: WorkloadConfig
     policy: PolicyConfig
     ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED
+    constraints: DataflowConstraints | None = None
     max_cycles: int | None = None
     #: Sorted (axis, value) pairs locating the point in its grid, e.g.
     #: (("l2_mib", 32), ("model", "llama3-70b"), ("policy", "dynmg")).
@@ -95,6 +83,7 @@ class SweepPoint:
             "workload": config_to_jsonable(self.workload),
             "policy": config_to_jsonable(self.policy),
             "ordering": self.ordering.value,
+            "constraints": config_to_jsonable(self.constraints),
             "max_cycles": self.max_cycles,
         }
 
@@ -103,7 +92,7 @@ class SweepPoint:
 
         Labels and grid coordinates are deliberately excluded: two grid cells
         that resolve to identical configurations (e.g. Fig 9's "reference" run
-        and its unoptimized @ 32MB cell) share one key and one simulation.
+        and its unoptimized @ 32MB cell) share one key and one simulation.
         """
 
         if self._key is None:
@@ -134,10 +123,11 @@ def resolved_point(
     coords: dict,
     max_cycles: int | None = None,
     ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
+    constraints: DataflowConstraints | None = None,
 ) -> SweepPoint:
     """Wrap an already-scaled (system, workload, policy) triple as a point.
 
-    The shared factory behind every experiment harness's grid expansion;
+    The low-level factory behind :meth:`repro.api.Scenario.to_point`;
     ``coords`` is the point's grid location (model / policy / seq_len / ...).
     """
 
@@ -147,6 +137,7 @@ def resolved_point(
         workload=workload,
         policy=policy,
         ordering=ordering,
+        constraints=constraints,
         max_cycles=max_cycles,
         coords=tuple(sorted(coords.items(), key=lambda kv: kv[0])),
     )
@@ -161,42 +152,35 @@ def sweep_point(
     label: str | None = None,
     ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
     max_cycles: int | None = None,
+    constraints: DataflowConstraints | None = None,
     extra_coords: tuple[tuple[str, object], ...] = (),
 ) -> SweepPoint:
-    """Resolve one grid cell into a :class:`SweepPoint` (presets + scaling)."""
+    """Resolve one grid cell into a :class:`SweepPoint` (via a Scenario)."""
 
-    if isinstance(policy, str):
-        policy_label, policy = policy, policy_by_label(policy)
-    else:
-        policy_label = policy.label
-    base = table5_system() if l2_mib is None else table5_system_with_l2(l2_mib)
-    system, workload = scale_experiment(base, workload_for(model, seq_len), tier)
-    return resolved_point(
-        system,
-        workload,
+    from repro.api import Scenario  # deferred: repro.api consumes this module
+
+    scenario = Scenario.create(
+        model,
         policy,
-        label if label is not None else policy_label,
-        {
-            "model": model,
-            "seq_len": seq_len,
-            "policy": policy_label,
-            "l2_mib": l2_mib,
-            "tier": tier.name,
-            **dict(extra_coords),
-        },
-        max_cycles=max_cycles,
+        seq_len=seq_len,
+        l2_mib=l2_mib,
+        tier=tier,
         ordering=ordering,
+        max_cycles=max_cycles,
+        constraints=constraints,
     )
+    return scenario.to_point(label=label, extra_coords=extra_coords)
 
 
 @dataclass(frozen=True, slots=True)
 class SweepSpec:
     """A declarative cartesian grid of simulation points.
 
-    Policies are paper-style labels (``"dynmg+BMA"``); ``l2_mib`` entries of
-    ``None`` mean the Table 5 default capacity.  Expansion order is the
-    deterministic nesting model -> l2 -> seq_len -> policy, so job submission
-    groups points that share a trace (same workload/seq-len) together.
+    Models and policies are registry names / paper-style labels
+    (``"dynmg+BMA"``); ``l2_mib`` entries of ``None`` mean the system's default
+    capacity.  Expansion order is the deterministic nesting
+    model -> l2 -> seq_len -> policy, so job submission groups points that
+    share a trace (same workload/seq-len) together.
     """
 
     models: tuple[str, ...]
@@ -212,12 +196,9 @@ class SweepSpec:
             if not getattr(self, axis):
                 raise ConfigError(f"SweepSpec.{axis} must be non-empty")
         for model in self.models:
-            if model not in WORKLOAD_BUILDERS:
-                raise ConfigError(
-                    f"unknown model {model!r} (choose from {sorted(WORKLOAD_BUILDERS)})"
-                )
+            WORKLOADS.get(model)  # raises ConfigError listing known workloads
         for policy in self.policies:
-            policy_by_label(policy)  # raises ValueError on malformed labels
+            resolve_policy(policy)  # raises ConfigError listing known policies
         if any(s <= 0 for s in self.seq_lens):
             raise ConfigError("seq_lens must be positive")
         if any(m is not None and m <= 0 for m in self.l2_mib):
@@ -228,27 +209,32 @@ class SweepSpec:
     def num_points(self) -> int:
         return len(self.models) * len(self.l2_mib) * len(self.seq_lens) * len(self.policies)
 
+    def scenarios(self) -> tuple:
+        """The grid as :class:`repro.api.Scenario` objects, in expansion order."""
+
+        from repro.api import Scenario  # deferred: repro.api consumes this module
+
+        self.validate()
+        return tuple(
+            Scenario(
+                workload=model,
+                policy=policy,
+                seq_len=seq_len,
+                l2_mib=l2,
+                tier=self.tier,
+                ordering=self.ordering,
+                max_cycles=self.max_cycles,
+            )
+            for model in self.models
+            for l2 in self.l2_mib
+            for seq_len in self.seq_lens
+            for policy in self.policies
+        )
+
     def expand(self) -> tuple[SweepPoint, ...]:
         """Expand the grid into fully resolved points, in deterministic order."""
 
-        self.validate()
-        points = []
-        for model in self.models:
-            for l2 in self.l2_mib:
-                for seq_len in self.seq_lens:
-                    for policy in self.policies:
-                        points.append(
-                            sweep_point(
-                                model,
-                                seq_len,
-                                policy,
-                                l2_mib=l2,
-                                tier=self.tier,
-                                ordering=self.ordering,
-                                max_cycles=self.max_cycles,
-                            )
-                        )
-        return tuple(points)
+        return tuple(scenario.to_point() for scenario in self.scenarios())
 
     # -- (de)serialization for CLI spec files -------------------------------------------
     def to_dict(self) -> dict:
@@ -269,13 +255,13 @@ class SweepSpec:
             seq_lens=tuple(data["seq_lens"]),
             policies=tuple(data["policies"]),
             l2_mib=tuple(data.get("l2_mib", (None,))),
-            tier=ScaleTier[data.get("tier", "CI")],
+            tier=parse_tier(data.get("tier", "CI")),
             max_cycles=data.get("max_cycles"),
-            ordering=ThreadBlockOrdering(data.get("ordering", "gqa-shared")),
+            ordering=parse_ordering(data.get("ordering", "gqa-shared")),
         ).validate()
 
 
-#: Fig 9's policy legend, as labels understood by :func:`policy_by_label`.
+#: Fig 9's policy legend, as labels understood by :func:`resolve_policy`.
 FIG9_POLICY_LABELS = (
     "unopt",
     "dyncta",

@@ -1,25 +1,44 @@
-"""Construct the throttle controller requested by a :class:`PolicyConfig`."""
+"""Construct the throttle controller requested by a :class:`PolicyConfig`.
+
+Each controller registers itself in :data:`repro.registry.THROTTLES` keyed by
+its :class:`ThrottleKind` value; :func:`make_throttle_controller` is a plain
+registry lookup.  A new controller therefore needs only a new enum member and
+one ``@register_throttle`` factory -- no dispatch code changes.
+"""
 
 from __future__ import annotations
 
-from repro.common.errors import ConfigError
 from repro.config.policies import PolicyConfig, ThrottleKind
+from repro.registry import THROTTLES, register_throttle
 from repro.throttle.base import NullThrottleController, ThrottleController
 from repro.throttle.dyncta import DynctaController
 from repro.throttle.dynmg import DynMgController
 from repro.throttle.lcs import LcsController
 
 
-def make_throttle_controller(policy: PolicyConfig) -> ThrottleController:
-    """Build the throttle controller for ``policy``."""
+@register_throttle(ThrottleKind.NONE, description="No throttling (unoptimized)")
+def _null_controller(policy: PolicyConfig) -> ThrottleController:
+    return NullThrottleController()
 
-    kind = policy.throttle
-    if kind == ThrottleKind.NONE:
-        return NullThrottleController()
-    if kind == ThrottleKind.DYNMG:
-        return DynMgController(policy.multigear, policy.incore)
-    if kind == ThrottleKind.DYNCTA:
-        return DynctaController(policy.dyncta)
-    if kind == ThrottleKind.LCS:
-        return LcsController(policy.lcs)
-    raise ConfigError(f"unsupported throttle kind {kind}")
+
+@register_throttle(
+    ThrottleKind.DYNMG, description="Two-level dynamic multi-gear (this paper)"
+)
+def _dynmg_controller(policy: PolicyConfig) -> ThrottleController:
+    return DynMgController(policy.multigear, policy.incore)
+
+
+@register_throttle(ThrottleKind.DYNCTA, description="DYNCTA baseline (PACT 2013)")
+def _dyncta_controller(policy: PolicyConfig) -> ThrottleController:
+    return DynctaController(policy.dyncta)
+
+
+@register_throttle(ThrottleKind.LCS, description="LCS baseline (HPCA 2014)")
+def _lcs_controller(policy: PolicyConfig) -> ThrottleController:
+    return LcsController(policy.lcs)
+
+
+def make_throttle_controller(policy: PolicyConfig) -> ThrottleController:
+    """Build the throttle controller for ``policy`` via the registry."""
+
+    return THROTTLES.get(policy.throttle.value)(policy)

@@ -1,0 +1,271 @@
+"""Tests for the unified scenario API (repro.api)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, Simulation, scenario_matrix
+from repro.common.errors import ConfigError
+from repro.config.policies import MultiGearParams, PolicyConfig, ThrottleKind
+from repro.config.presets import llama3_70b_logit, table5_system_with_l2
+from repro.config.scale import ScaleTier, scale_experiment
+from repro.dataflow.constraints import DataflowConstraints
+from repro.dataflow.ordering import ThreadBlockOrdering
+from repro.sweep.spec import sweep_point
+
+
+class TestScenarioResolution:
+    def test_resolves_same_configs_as_presets(self):
+        scenario = Scenario(
+            workload="llama3-70b", policy="dynmg+BMA", seq_len=4096,
+            l2_mib=32, tier=ScaleTier.CI,
+        )
+        resolved = scenario.resolve()
+        system, workload = scale_experiment(
+            table5_system_with_l2(32), llama3_70b_logit(4096), ScaleTier.CI
+        )
+        assert resolved.system == system
+        assert resolved.workload == workload
+        assert resolved.policy.throttle == ThrottleKind.DYNMG
+
+    def test_policy_config_escape_hatch_wins(self):
+        custom = PolicyConfig(
+            throttle=ThrottleKind.DYNMG,
+            multigear=MultiGearParams(sampling_period=777),
+        )
+        scenario = Scenario.create("llama3-70b", custom, seq_len=64, tier=ScaleTier.SMOKE)
+        assert scenario.policy == "dynmg"
+        assert scenario.resolve().policy.multigear.sampling_period == 777
+
+    def test_unknown_names_raise_config_error(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            Scenario(workload="gpt-7").validate()
+        with pytest.raises(ConfigError, match="unknown system"):
+            Scenario(workload="llama3-70b", system="cray-1").validate()
+        with pytest.raises(ConfigError, match="unknown policy"):
+            Scenario(workload="llama3-70b", policy="warpdrive").validate()
+
+    def test_invalid_scalars_rejected(self):
+        with pytest.raises(ConfigError, match="seq_len"):
+            Scenario(workload="llama3-70b", seq_len=0).validate()
+        with pytest.raises(ConfigError, match="l2_mib"):
+            Scenario(workload="llama3-70b", l2_mib=-1).validate()
+
+    def test_string_ordering_rejected_with_config_error(self):
+        with pytest.raises(ConfigError, match="ordering"):
+            Scenario(workload="llama3-70b", ordering="sequential").validate()
+
+    def test_simulation_of_coerces_ordering_strings(self):
+        simulation = Simulation.of(
+            "llama3-70b", seq_len=128, tier="smoke", ordering="sequential"
+        )
+        assert simulation.scenario.ordering is ThreadBlockOrdering.SEQUENTIAL
+        with pytest.raises(ConfigError, match="unknown thread-block ordering"):
+            Simulation.of("llama3-70b", ordering="bogus")
+
+    def test_requested_seq_len_uses_builder_default(self):
+        assert Scenario(workload="llama3-70b").requested_seq_len == 8192
+        assert Scenario(workload="llama3-70b", seq_len=128).requested_seq_len == 128
+
+
+class TestScenarioRoundTrip:
+    CASES = [
+        Scenario(workload="llama3-70b"),
+        Scenario(
+            workload="llama3-405b-attend",
+            policy="dynmg+BMA",
+            system="table5-32core",
+            seq_len=2048,
+            l2_mib=64,
+            tier=ScaleTier.SMOKE,
+            ordering=ThreadBlockOrdering.SEQUENTIAL,
+            constraints=DataflowConstraints(output_lines_per_block=2),
+            max_cycles=123_456,
+            label="fancy",
+        ),
+        Scenario.create(
+            "llama3-70b",
+            PolicyConfig(
+                throttle=ThrottleKind.DYNMG,
+                multigear=MultiGearParams(sampling_period=777),
+            ),
+            tier=ScaleTier.CI,
+        ),
+    ]
+
+    @pytest.mark.parametrize("scenario", CASES, ids=["defaults", "kitchen-sink", "policy-config"])
+    def test_from_dict_to_dict_round_trip(self, scenario):
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        for scenario in self.CASES:
+            json.dumps(scenario.to_dict(), sort_keys=True)
+
+
+class TestScenarioKey:
+    def test_key_agrees_with_sweep_point(self):
+        scenario = Scenario(
+            workload="llama3-70b", policy="dynmg", seq_len=2048,
+            l2_mib=16, tier=ScaleTier.CI,
+        )
+        point = sweep_point(
+            "llama3-70b", 2048, "dynmg", l2_mib=16, tier=ScaleTier.CI
+        )
+        assert scenario.key() == point.key()
+        assert scenario.to_point() == point
+
+    def test_key_ignores_display_label(self):
+        a = Scenario(workload="llama3-70b", seq_len=256, tier=ScaleTier.SMOKE)
+        b = Scenario(
+            workload="llama3-70b", seq_len=256, tier=ScaleTier.SMOKE, label="other"
+        )
+        assert a.key() == b.key()
+
+    def test_key_changes_with_constraints(self):
+        base = Scenario(workload="llama3-70b", seq_len=256, tier=ScaleTier.SMOKE)
+        constrained = Scenario(
+            workload="llama3-70b", seq_len=256, tier=ScaleTier.SMOKE,
+            constraints=DataflowConstraints(output_lines_per_block=2),
+        )
+        assert base.key() != constrained.key()
+
+
+class TestBuilder:
+    def test_fluent_builder_builds_scenario(self):
+        scenario = (
+            Simulation.builder()
+            .system("table5")
+            .workload("llama3-70b", seq_len=1024)
+            .policy("dynmg+BMA")
+            .tier("smoke")
+            .l2_mib(16)
+            .ordering("sequential")
+            .max_cycles(50_000)
+            .label("mine")
+            .build()
+        )
+        assert scenario == Scenario(
+            workload="llama3-70b",
+            policy="dynmg+BMA",
+            seq_len=1024,
+            l2_mib=16,
+            tier=ScaleTier.SMOKE,
+            ordering=ThreadBlockOrdering.SEQUENTIAL,
+            max_cycles=50_000,
+            label="mine",
+        )
+
+    def test_builder_requires_workload(self):
+        with pytest.raises(ConfigError, match="workload"):
+            Simulation.builder().policy("unopt").build()
+
+    def test_builder_rejects_unknown_tier(self):
+        with pytest.raises(ConfigError, match="unknown scale tier"):
+            Simulation.builder().workload("llama3-70b").tier("gigantic")
+
+    def test_builder_accepts_policy_config(self):
+        custom = PolicyConfig(throttle=ThrottleKind.LCS)
+        scenario = (
+            Simulation.builder().workload("llama3-70b").policy(custom).tier("smoke").build()
+        )
+        assert scenario.policy_config == custom
+        assert scenario.policy == "lcs"
+
+    def test_later_policy_label_overrides_earlier_config(self):
+        custom = PolicyConfig(throttle=ThrottleKind.DYNMG)
+        scenario = (
+            Simulation.builder()
+            .workload("llama3-70b")
+            .policy(custom)
+            .policy("lcs")
+            .tier("smoke")
+            .build()
+        )
+        assert scenario.policy_config is None
+        assert scenario.resolve().policy.throttle == ThrottleKind.LCS
+
+    def test_builder_run_matches_scenario_run(self):
+        result = (
+            Simulation.builder()
+            .workload("llama3-70b", seq_len=256)
+            .policy("unopt")
+            .tier("smoke")
+            .run()
+        )
+        again = Scenario(
+            workload="llama3-70b", seq_len=256, tier=ScaleTier.SMOKE
+        ).run()
+        assert result.cycles == again.cycles
+        assert result.cycles > 0
+
+
+class TestSimulationCompare:
+    def test_compare_includes_baseline(self):
+        simulation = Simulation.of("llama3-70b", seq_len=256, tier=ScaleTier.SMOKE)
+        comparison = simulation.compare(["dynmg"], baseline="unopt")
+        assert set(comparison.results) == {"unopt", "dynmg"}
+        assert comparison.speedup("unopt") == pytest.approx(1.0)
+
+    def test_compare_forwards_ordering_and_constraints(self, monkeypatch):
+        """Regression: compare_policies used to silently drop ordering/constraints."""
+
+        from repro.sim import runner as runner_module
+
+        captured = []
+
+        def fake_run_policy(system, workload, policy, label=None, max_cycles=None,
+                            ordering=ThreadBlockOrdering.GQA_SHARED, constraints=None):
+            captured.append((label, ordering, constraints))
+
+            class _Result:
+                cycles = 100
+
+                def speedup_over(self, other):
+                    return 1.0
+
+            return _Result()
+
+        monkeypatch.setattr(runner_module, "run_policy", fake_run_policy)
+        constraints = DataflowConstraints(output_lines_per_block=2)
+        simulation = Simulation.of(
+            "llama3-70b", seq_len=256, tier=ScaleTier.SMOKE,
+            ordering=ThreadBlockOrdering.SEQUENTIAL, constraints=constraints,
+        )
+        simulation.compare(["dynmg"], baseline="unopt")
+        assert len(captured) == 2
+        for _label, ordering, forwarded in captured:
+            assert ordering is ThreadBlockOrdering.SEQUENTIAL
+            assert forwarded == constraints
+
+
+class TestScenarioMatrix:
+    def test_matrix_is_cartesian(self):
+        scenarios = scenario_matrix(
+            workloads=("llama3-70b", "llama3-405b"),
+            policies=("unopt", "dynmg"),
+            tier="smoke",
+            seq_len=128,
+        )
+        assert len(scenarios) == 4
+        assert {(s.workload, s.policy) for s in scenarios} == {
+            ("llama3-70b", "unopt"),
+            ("llama3-70b", "dynmg"),
+            ("llama3-405b", "unopt"),
+            ("llama3-405b", "dynmg"),
+        }
+        assert all(s.tier is ScaleTier.SMOKE for s in scenarios)
+
+    def test_matrix_cells_drop_base_policy_config_and_label(self):
+        base = Scenario.create(
+            "llama3-70b",
+            PolicyConfig(throttle=ThrottleKind.DYNMG),
+            tier=ScaleTier.SMOKE,
+            label="base-label",
+        )
+        scenarios = scenario_matrix(("llama3-70b",), ("unopt", "lcs"), base=base)
+        by_policy = {s.policy: s for s in scenarios}
+        assert by_policy["unopt"].resolve().policy.throttle == ThrottleKind.NONE
+        assert by_policy["lcs"].resolve().policy.throttle == ThrottleKind.LCS
+        assert all(s.label is None for s in scenarios)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ConfigError
 from repro.config.policies import ArbitrationKind, ThrottleKind
 from repro.config.presets import (
     FIG7_SEQ_LENS,
@@ -87,5 +88,5 @@ class TestPolicyByLabel:
         assert policy.arbitration == arbitration
 
     def test_unknown_label_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError, match="unknown policy"):
             policy_by_label("dynmg+warp")

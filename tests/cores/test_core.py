@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.common.types import AccessType, MemResponse
+from repro.common.types import MemResponse
 from repro.config.system import CoreConfig, L1Config
 from repro.cores.core import VectorCore
 from repro.cores.l1 import L1Cache

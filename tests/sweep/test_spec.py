@@ -80,7 +80,7 @@ class TestGridExpansion:
             workload_for("gpt-7", 64)
 
     def test_malformed_policy_label_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             SweepSpec(
                 models=("llama3-70b",), seq_lens=(64,), policies=("warpdrive",)
             ).validate()

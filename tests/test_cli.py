@@ -80,6 +80,71 @@ class TestSweepCommand:
         assert "sweep results" in out
 
 
+class TestListCommand:
+    def test_list_workloads(self, capsys):
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("llama3-70b", "llama3-405b", "llama3-405b-attend"):
+            assert name in out
+
+    def test_list_systems(self, capsys):
+        assert main(["list", "systems"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+        assert "table5-32core" in out
+
+    def test_list_policies_shows_labels_and_aliases(self, capsys):
+        assert main(["list", "policies"]) == 0
+        out = capsys.readouterr().out
+        assert "dynmg+BMA" in out
+        assert "unoptimized" in out  # alias of unopt
+
+    def test_list_throttles(self, capsys):
+        assert main(["list", "throttles"]) == 0
+        out = capsys.readouterr().out
+        assert "dynmg" in out
+
+    def test_list_rejects_unknown_registry(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "gadgets"])
+
+
+class TestPluginLoading:
+    def test_llamcat_plugins_imports_and_registers(self, tmp_path, monkeypatch, capsys):
+        from repro.registry import WORKLOADS
+
+        (tmp_path / "my_models.py").write_text(
+            "from repro.registry import register_workload\n"
+            "from repro.config.presets import llama3_70b_logit\n"
+            "@register_workload('plugin-model', description='from a plugin')\n"
+            "def plugin_model(seq_len: int = 64):\n"
+            "    return llama3_70b_logit(seq_len)\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv("LLAMCAT_PLUGINS", "my_models")
+        try:
+            assert main(["list", "workloads"]) == 0
+            assert "plugin-model" in capsys.readouterr().out
+        finally:
+            if "plugin-model" in WORKLOADS:
+                WORKLOADS.unregister("plugin-model")
+
+    def test_unimportable_plugin_rejected(self, monkeypatch):
+        monkeypatch.setenv("LLAMCAT_PLUGINS", "no_such_module_xyz")
+        with pytest.raises(SystemExit, match="LLAMCAT_PLUGINS"):
+            main(["list", "workloads"])
+
+
+class TestRunCommand:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--policy", "warpdrive", "--seq-len", "64"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "cray-1", "--seq-len", "64"])
+
+
 class TestInfoAndHwcost:
     def test_info_prints_analytical_bounds(self, capsys):
         assert main(["info", "--model", "llama3-70b", "--seq-len", "512"]) == 0
