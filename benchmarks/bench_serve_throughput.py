@@ -1,0 +1,35 @@
+"""Serving throughput: a Poisson request stream under continuous batching.
+
+Times one `repro.serve` run end to end (arrival generation, scheduler
+iterations and the memoized cycle-engine step costs) and prints the latency /
+throughput headline metrics.  The step-cost table is the whole trick: the run
+takes hundreds of serving steps but only a handful of cycle-engine
+simulations, which is what makes request-level simulation affordable on top of
+a cycle-accurate model.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.serve import ServeScenario
+
+
+def test_serve_poisson_throughput(benchmark, tier):
+    scenario = ServeScenario(
+        workload="llama3-70b",
+        arrival="poisson",
+        rate=2000.0,
+        num_requests=32,
+        max_batch=4,
+        seed=0,
+        tier=tier,
+    ).validate()
+    metrics = run_once(benchmark, scenario.run)
+    print()
+    print(metrics.summary())
+    assert metrics.num_requests == 32
+    assert metrics.tokens_per_s > 0
+    # Percentiles must be ordered, and the memo table must be doing its job:
+    # far fewer cycle-engine runs than serving steps.
+    assert metrics.latency_percentile_ms(50) <= metrics.latency_percentile_ms(99)
+    assert metrics.meta["step_simulations"] < metrics.steps / 10

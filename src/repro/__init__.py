@@ -14,6 +14,8 @@ Python library:
 * ``repro.arbiter``   -- FCFS / B / MA / BMA / COBRRA request arbitration
 * ``repro.throttle``  -- dynmg / DYNCTA / LCS throttling controllers
 * ``repro.sim``       -- simulation engine, results, experiment runner
+* ``repro.serve``     -- request-stream serving simulation (continuous batching,
+  arrival processes, latency SLO metrics)
 * ``repro.experiments`` -- one module per paper figure / table
 * ``repro.hwcost``    -- §6.1 area model
 
@@ -37,7 +39,7 @@ alike.
 """
 
 from repro import config, registry
-from repro.api import Scenario, Simulation, run_scenario
+from repro.api import Scenario, ServeScenario, Simulation, run_scenario
 from repro.config import (
     PolicyConfig,
     ScaleTier,
@@ -58,6 +60,7 @@ __all__ = [
     "PolicyConfig",
     "ScaleTier",
     "Scenario",
+    "ServeScenario",
     "SimResult",
     "Simulation",
     "Simulator",

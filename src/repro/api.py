@@ -26,6 +26,10 @@ Quick start::
 
 Anything registered through :mod:`repro.registry` is immediately addressable
 here, from ``llamcat`` and from sweep grids, with zero further edits.
+
+The serving counterpart, :class:`~repro.serve.scenario.ServeScenario`, is
+re-exported here: it names one request-stream serving run (workload, arrival
+process, rate, SLOs) the same way a :class:`Scenario` names one kernel run.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from repro.config.workload import WorkloadConfig
 from repro.dataflow.constraints import DataflowConstraints
 from repro.dataflow.ordering import ThreadBlockOrdering, parse_ordering
 from repro.registry import resolve_policy, resolve_system, resolve_workload
+from repro.serve.scenario import ServeScenario, run_serve_scenario
 from repro.sim.results import SimResult
 from repro.sim.runner import PolicyComparison, compare_policies, run_policy
 from repro.sweep.spec import SweepPoint, config_to_jsonable, resolved_point
@@ -396,9 +401,11 @@ __all__ = [
     "DEFAULT_SYSTEM",
     "ResolvedScenario",
     "Scenario",
+    "ServeScenario",
     "Simulation",
     "SimulationBuilder",
     "parse_ordering",
     "run_scenario",
+    "run_serve_scenario",
     "scenario_matrix",
 ]

@@ -3,8 +3,10 @@
 Subcommands
 
 * ``run``   -- simulate one policy on one workload and print the summary
-* ``sweep`` -- run a grid of (model x seq-len x policy x L2) points in parallel
-* ``list``  -- list registered workloads / systems / policies / throttles
+* ``serve`` -- simulate serving a request stream with continuous batching
+* ``sweep`` -- run a grid of (model x seq-len x policy x L2) points in parallel,
+  or of serving points (``--serve`` with repeatable ``--rate``)
+* ``list``  -- list registered workloads / systems / policies / throttles / arrivals
 * ``fig7``  -- regenerate the Fig 7 speedup panels
 * ``fig8``  -- regenerate the Fig 8 mechanism statistics
 * ``fig9``  -- regenerate the Fig 9 cache-size sweep
@@ -34,7 +36,10 @@ from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.hwcost_exp import run_hwcost
 from repro.experiments.reporting import format_grid
-from repro.registry import POLICIES, SYSTEMS, THROTTLES, WORKLOADS
+from repro.registry import ARRIVALS, POLICIES, SYSTEMS, THROTTLES, WORKLOADS
+from repro.serve.metrics import REPORTED_PERCENTILES
+from repro.serve.scenario import ServeScenario
+from repro.serve.sweep import ServeSweepSpec
 from repro.sweep.executor import run_sweep
 from repro.sweep.spec import FIG9_POLICY_LABELS, SweepSpec
 from repro.sweep.store import ResultStore
@@ -45,7 +50,11 @@ LISTABLE_REGISTRIES = {
     "systems": SYSTEMS,
     "policies": POLICIES,
     "throttles": THROTTLES,
+    "arrivals": ARRIVALS,
 }
+
+#: Defaults of the serving sweep's traffic axis (requests/s).
+SERVE_SWEEP_RATES = (1000.0, 2000.0, 4000.0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +67,35 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--policy", default="dynmg+BMA", help='e.g. "unopt", "dynmg", "dynmg+BMA"')
     run_p.add_argument("--system", default="table5", help="registered system name")
     run_p.add_argument("--tier", default="ci")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="simulate serving a request stream (continuous batching, SLO metrics)",
+    )
+    serve_p.add_argument(
+        "--workload", "--model", dest="workload", default="llama3-70b",
+        help="registered workload name (e.g. llama3-70b-decode)",
+    )
+    serve_p.add_argument(
+        "--arrival", default="poisson",
+        help='registered arrival process, e.g. "poisson", "bursty", "closed-loop"',
+    )
+    serve_p.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="requests/s (open-loop) or user population (closed-loop)",
+    )
+    serve_p.add_argument("--num-requests", type=int, default=32)
+    serve_p.add_argument("--max-batch", type=int, default=4)
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--policy", default="unopt")
+    serve_p.add_argument("--system", default="table5", help="registered system name")
+    serve_p.add_argument("--tier", default="ci")
+    serve_p.add_argument("--slo-ttft-ms", type=float, default=None)
+    serve_p.add_argument("--slo-latency-ms", type=float, default=None)
+    serve_p.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI preset: smoke tier, 8 requests, batch <= 2",
+    )
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -80,6 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--l2-mib", type=int, action="append", dest="l2_mib",
         help=f"repeatable L2 capacities in MiB; default: {FIG9_L2_MIB}",
     )
+    sweep_p.add_argument(
+        "--serve", action="store_true",
+        help="sweep serving points (workloads x arrivals x rates x policies) "
+             "instead of kernel points",
+    )
+    sweep_p.add_argument(
+        "--rate", type=float, action="append", dest="rates",
+        help=f"repeatable serving arrival rates (requests/s); "
+             f"default: {SERVE_SWEEP_RATES} (only with --serve)",
+    )
+    sweep_p.add_argument(
+        "--arrival", action="append", dest="arrivals",
+        help='repeatable arrival-process names; default: "poisson" (only with --serve)',
+    )
+    sweep_p.add_argument("--num-requests", type=int, default=32,
+                         help="requests per serving point (only with --serve)")
+    sweep_p.add_argument("--max-batch", type=int, default=4,
+                         help="continuous-batching bound (only with --serve)")
+    sweep_p.add_argument("--seed", type=int, default=0,
+                         help="arrival-stream seed (only with --serve)")
     sweep_p.add_argument("--tier", default="ci")
     sweep_p.add_argument("--jobs", type=int, default=1, help="worker processes")
     sweep_p.add_argument(
@@ -123,7 +181,132 @@ def _validate_jobs(jobs: int) -> None:
         raise SystemExit(f"--jobs must be >= 1, got {jobs}")
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    tier = "smoke" if args.smoke else args.tier
+    scenario = ServeScenario(
+        workload=args.workload,
+        arrival=args.arrival,
+        rate=args.rate,
+        num_requests=8 if args.smoke else args.num_requests,
+        max_batch=min(args.max_batch, 2) if args.smoke else args.max_batch,
+        seed=args.seed,
+        policy=args.policy,
+        system=args.system,
+        tier=parse_tier(tier),
+        slo_ttft_ms=args.slo_ttft_ms,
+        slo_latency_ms=args.slo_latency_ms,
+    ).validate()
+    metrics = scenario.run()
+    print(metrics.summary())
+    print()
+    rows = [
+        {
+            "metric": f"p{point:g}",
+            "latency_ms": metrics.latency_percentile_ms(point),
+            "ttft_ms": metrics.ttft_percentile_ms(point),
+        }
+        for point in REPORTED_PERCENTILES
+    ]
+    print(format_grid(f"latency percentiles ({scenario.display_label})", rows))
+    print(
+        f"throughput: {metrics.tokens_per_s:.0f} tokens/s, "
+        f"{metrics.requests_per_s:.0f} requests/s "
+        f"({metrics.steps} serving steps, "
+        f"{metrics.meta.get('step_simulations', 0)} cycle-engine runs)"
+    )
+    if not scenario.slo().is_trivial:
+        print(f"SLO attainment: {metrics.slo_attainment:.1%}")
+    return 0
+
+
+def _run_serve_sweep_command(args: argparse.Namespace) -> int:
+    _validate_jobs(args.jobs)
+    spec = ServeSweepSpec(
+        workloads=tuple(args.models or ("llama3-70b",)),
+        rates=tuple(args.rates or SERVE_SWEEP_RATES),
+        arrivals=tuple(args.arrivals or ("poisson",)),
+        policies=tuple(args.policies or ("unopt",)),
+        num_requests=args.num_requests,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        tier=parse_tier(args.tier),
+        max_cycles=args.max_cycles,
+    ).validate()
+
+    points = spec.expand()
+    print(
+        f"serve sweep: {len(points)} points = {len(spec.workloads)} workloads x "
+        f"{len(spec.arrivals)} arrivals x {len(spec.rates)} rates x "
+        f"{len(spec.policies)} policies (tier={spec.tier.name}, jobs={args.jobs})"
+    )
+    store = ResultStore(args.store) if args.store else None
+    if store is not None and store.completed_count:
+        print(f"store: {store.path} ({store.completed_count} completed points on disk)")
+
+    def progress(done: int, total: int, outcome) -> None:
+        status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
+        print(
+            f"  [{done:>{len(str(total))}}/{total}] {outcome.point.describe():<60} "
+            f"{status} ({outcome.elapsed_s:.1f}s)"
+        )
+
+    report = run_sweep(
+        points,
+        jobs=args.jobs,
+        store=store,
+        progress=None if args.quiet else progress,
+        force=args.force,
+    )
+
+    rows = []
+    for outcome in report.outcomes:
+        point = outcome.point
+        row = {
+            "model": point.coord("model"),
+            "arrival": point.coord("arrival"),
+            "rate": point.coord("rate"),
+            "policy": point.coord("policy"),
+        }
+        if outcome.ok:
+            metrics = outcome.result
+            row.update(
+                {
+                    "p50_ms": metrics.latency_percentile_ms(50),
+                    "p95_ms": metrics.latency_percentile_ms(95),
+                    "p99_ms": metrics.latency_percentile_ms(99),
+                    "tokens_per_s": metrics.tokens_per_s,
+                    "slo": metrics.slo_attainment,
+                }
+            )
+        else:
+            row.update(
+                {"p50_ms": "FAILED", "p95_ms": "-", "p99_ms": "-",
+                 "tokens_per_s": "-", "slo": "-"}
+            )
+        rows.append(row)
+    print()
+    print(format_grid(f"serve sweep results (tier={spec.tier.name})", rows))
+    print(report.summary())
+    for failure in report.failures:
+        print(f"FAILED {failure.point.describe()}:\n{failure.error}")
+    return 1 if report.failures else 0
+
+
 def _run_sweep_command(args: argparse.Namespace) -> int:
+    # Axes are mode-specific; reject mixed flags instead of silently dropping
+    # them (e.g. `--rate` without `--serve` would otherwise launch the full
+    # kernel grid while ignoring the requested serving study).
+    if args.serve and (args.seq_lens or args.l2_mib):
+        raise SystemExit(
+            "--seq-len/--l2-mib are kernel-sweep axes; drop them or drop --serve"
+        )
+    if not args.serve and (args.rates or args.arrivals):
+        raise SystemExit(
+            "--rate/--arrival are serving-sweep axes; pass --serve to sweep "
+            "serving points"
+        )
+    if args.serve:
+        return _run_serve_sweep_command(args)
     _validate_jobs(args.jobs)
     spec = SweepSpec(
         models=tuple(args.models or ("llama3-70b", "llama3-405b")),
@@ -254,6 +437,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(result.summary())
         print(f"speedup over unoptimized: {baseline.cycles / result.cycles:.3f}x")
         return 0
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     if args.command == "sweep":
         return _run_sweep_command(args)

@@ -46,6 +46,41 @@ def speedup(baseline_cycles: float, optimized_cycles: float) -> float:
     return baseline_cycles / optimized_cycles
 
 
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean."""
+
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("mean of an empty sequence")
+    return sum(vals) / len(vals)
+
+
+def weighted_mean(values: Iterable[float], weights: Iterable[float]) -> float:
+    """Mean of ``values`` weighted by non-negative ``weights`` (not all zero)."""
+
+    vals = [float(v) for v in values]
+    wts = [float(w) for w in weights]
+    if not vals:
+        raise ValueError("weighted_mean of an empty sequence")
+    if len(vals) != len(wts):
+        raise ValueError(
+            f"weighted_mean needs one weight per value, got {len(vals)} values "
+            f"and {len(wts)} weights"
+        )
+    if any(w < 0 for w in wts):
+        raise ValueError(f"weighted_mean requires non-negative weights, got {wts}")
+    total = sum(wts)
+    if total == 0:
+        raise ValueError("weighted_mean requires at least one positive weight")
+    return sum(v * w for v, w in zip(vals, wts)) / total
+
+
+def percentile(values: Sequence[float], point: float) -> float:
+    """Linear-interpolation percentile of ``values`` at ``point`` in [0, 100]."""
+
+    return percentiles(values, (point,))[0]
+
+
 def percentiles(values: Sequence[float], points: Sequence[float]) -> list[float]:
     """Linear-interpolation percentiles of ``values`` at each point in [0, 100]."""
 

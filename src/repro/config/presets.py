@@ -66,7 +66,11 @@ def table5_32core_system() -> SystemConfig:
 # ---------------------------------------------------------------------------------
 
 
-@register_workload("llama3-70b", description="Llama3-70B decode Logit: H=8, G=8, D=128")
+@register_workload(
+    "llama3-70b",
+    aliases=("llama3-70b-decode",),
+    description="Llama3-70B decode Logit: H=8, G=8, D=128",
+)
 def llama3_70b_logit(seq_len: int = 8192) -> WorkloadConfig:
     """Logit operator of Llama3-70B decode: H=8, G=8, D=128."""
 
@@ -77,7 +81,11 @@ def llama3_70b_logit(seq_len: int = 8192) -> WorkloadConfig:
     ).validate()
 
 
-@register_workload("llama3-405b", description="Llama3-405B decode Logit: H=8, G=16, D=128")
+@register_workload(
+    "llama3-405b",
+    aliases=("llama3-405b-decode",),
+    description="Llama3-405B decode Logit: H=8, G=16, D=128",
+)
 def llama3_405b_logit(seq_len: int = 8192) -> WorkloadConfig:
     """Logit operator of Llama3-405B decode: H=8, G=16, D=128."""
 

@@ -1,12 +1,14 @@
 """Scenario-component registries: the extension point of the whole stack.
 
-Four global registries name every pluggable piece of a simulation:
+Five global registries name every pluggable piece of a simulation:
 
 * :data:`WORKLOADS` -- ``name -> builder(seq_len) -> WorkloadConfig``
 * :data:`SYSTEMS`   -- ``name -> builder() -> SystemConfig``
 * :data:`POLICIES`  -- ``label -> builder() -> PolicyConfig`` (case-insensitive,
   with a compositional fallback for ``"throttle+arbitration"`` labels)
 * :data:`THROTTLES` -- ``ThrottleKind -> factory(PolicyConfig) -> controller``
+* :data:`ARRIVALS`  -- ``name -> builder(sampler, rate, num_requests, **params)
+  -> ArrivalProcess`` (request streams for :mod:`repro.serve`)
 
 Registering a component makes it usable everywhere at once -- the CLI
 (``llamcat list/run/sweep``), declarative sweep grids, the figure harnesses and
@@ -50,6 +52,11 @@ THROTTLES: Registry = Registry(
     bootstrap=("repro.throttle.factory",),
     normalize=_policy_norm,
 )
+ARRIVALS: Registry = Registry(
+    "arrival process",
+    bootstrap=("repro.serve.arrival",),
+    normalize=_policy_norm,
+)
 
 
 # -- decorators (the public registration surface) ----------------------------------------
@@ -82,6 +89,17 @@ def register_throttle(kind, **kwargs):
     return THROTTLES.register(name, **kwargs)
 
 
+def register_arrival(name: str, **kwargs):
+    """Register an arrival-process builder for the serving simulator.
+
+    The builder signature is
+    ``(sampler, rate, num_requests, **params) -> ArrivalProcess`` -- see
+    :mod:`repro.serve.arrival` for the built-in generators.
+    """
+
+    return ARRIVALS.register(name, **kwargs)
+
+
 # -- resolution helpers (name strings -> config objects) ---------------------------------
 def resolve_workload(name: str, seq_len: int | None = None) -> "WorkloadConfig":
     """Build the workload registered under ``name``.
@@ -107,6 +125,12 @@ def resolve_system(name: str) -> "SystemConfig":
     return SYSTEMS.get(name)()
 
 
+def resolve_arrival(name: str):
+    """The arrival-process builder registered under ``name``."""
+
+    return ARRIVALS.get(name)
+
+
 def resolve_policy(label: str):
     """Build a policy from a registered label or a compositional one.
 
@@ -120,16 +144,19 @@ def resolve_policy(label: str):
 
 
 __all__ = [
+    "ARRIVALS",
     "POLICIES",
     "Registry",
     "RegistryEntry",
     "SYSTEMS",
     "THROTTLES",
     "WORKLOADS",
+    "register_arrival",
     "register_policy",
     "register_system",
     "register_throttle",
     "register_workload",
+    "resolve_arrival",
     "resolve_policy",
     "resolve_system",
     "resolve_workload",

@@ -1,0 +1,61 @@
+"""Request-stream serving simulation with continuous batching and SLO metrics.
+
+``repro.serve`` layers a request-level simulator on top of the cycle-accurate
+engine: arrival processes (:mod:`repro.serve.arrival`, pluggable through
+``@register_arrival``) generate a stream of decode requests, a
+continuous-batching scheduler re-forms the running batch every iteration, and
+each iteration's cost comes from the existing trace-driven simulator through a
+memoized step-cost table.  The metrics layer reports per-request latency,
+TTFT, TPOT, p50/p95/p99 percentiles, throughput and SLO attainment.
+
+Quick start::
+
+    from repro.serve import ServeScenario
+
+    metrics = ServeScenario(
+        workload="llama3-70b", arrival="poisson", rate=2000, seed=0
+    ).run()
+    print(metrics.summary())
+
+Serving points also sweep through the parallel executor::
+
+    from repro.serve import ServeSweepSpec
+    from repro.sweep import run_sweep
+
+    spec = ServeSweepSpec(workloads=("llama3-70b",), rates=(1000, 2000, 4000))
+    report = run_sweep(spec.expand(), jobs=4)
+"""
+
+from repro.serve.arrival import ArrivalProcess, OpenLoopArrivals
+from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
+from repro.serve.request import Request, RequestSampler
+from repro.serve.scenario import ServeScenario, run_serve_scenario
+from repro.serve.scheduler import (
+    BatchConfig,
+    ContinuousBatchScheduler,
+    bucket_context,
+)
+from repro.serve.simulator import ServingSimulator
+from repro.serve.stepcost import LinearStepCostModel, SimStepCostModel, StepCostModel
+from repro.serve.sweep import ServePoint, ServeSweepSpec
+
+__all__ = [
+    "ArrivalProcess",
+    "BatchConfig",
+    "ContinuousBatchScheduler",
+    "LinearStepCostModel",
+    "OpenLoopArrivals",
+    "Request",
+    "RequestMetrics",
+    "RequestSampler",
+    "ServeMetrics",
+    "ServePoint",
+    "ServeSLO",
+    "ServeScenario",
+    "ServeSweepSpec",
+    "ServingSimulator",
+    "SimStepCostModel",
+    "StepCostModel",
+    "bucket_context",
+    "run_serve_scenario",
+]

@@ -1,0 +1,212 @@
+"""Arrival processes: how request streams reach the serving simulator.
+
+An :class:`ArrivalProcess` produces the request stream of one serving run.
+Open-loop generators (Poisson, bursty, trace replay) timestamp every request up
+front in :meth:`~ArrivalProcess.initial`; the closed-loop generator models a
+fixed population of users, so each completion triggers the user's next request
+through :meth:`~ArrivalProcess.on_complete`.
+
+Builders are registered under :data:`repro.registry.ARRIVALS` via
+``@register_arrival`` with the uniform signature
+``(sampler, rate, num_requests, **params)``, which is what makes a new traffic
+pattern immediately addressable from ``llamcat serve --arrival <name>``,
+:class:`~repro.serve.scenario.ServeScenario` and serve sweep grids.  All
+randomness flows through :mod:`repro.common.rng`: one seed reproduces the
+stream (timings *and* sampled token budgets) bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.rng import derive_seed, make_rng
+from repro.registry import register_arrival
+from repro.serve.request import Request, RequestSampler
+
+#: Stream id for timing draws (size draws use the sampler's own stream).
+_TIMING_STREAM = 0xA7
+
+
+def _timing_rng(sampler: RequestSampler):
+    """An RNG for arrival timings, independent of the sampler's size stream."""
+
+    # The sampler's RNG state is reserved for token-budget draws; timings get
+    # their own derived stream so the two never perturb each other.
+    return make_rng(derive_seed(sampler.seed, _TIMING_STREAM))
+
+
+class ArrivalProcess:
+    """Base class: a (possibly reactive) stream of serving requests."""
+
+    name = "arrival"
+
+    def initial(self) -> tuple[Request, ...]:
+        """Every request known before the run starts, sorted by arrival time."""
+
+        raise NotImplementedError
+
+    def on_complete(self, request: Request, now_s: float) -> Request | None:
+        """React to ``request`` finishing at ``now_s`` (closed-loop feedback).
+
+        Open-loop processes return None; closed-loop processes may return the
+        completing user's next request.
+        """
+
+        return None
+
+
+def _validate_stream(rate: float, num_requests: int, kind: str) -> None:
+    if rate <= 0:
+        raise ConfigError(f"{kind} arrival rate must be positive, got {rate}")
+    if num_requests <= 0:
+        raise ConfigError(f"{kind} num_requests must be positive, got {num_requests}")
+
+
+class OpenLoopArrivals(ArrivalProcess):
+    """An arrival process fully described by a pre-computed request list."""
+
+    def __init__(self, name: str, requests: tuple[Request, ...]) -> None:
+        self.name = name
+        self._requests = tuple(sorted(requests, key=lambda r: (r.arrival_s, r.request_id)))
+
+    def initial(self) -> tuple[Request, ...]:
+        return self._requests
+
+
+@register_arrival("poisson", description="Open-loop Poisson arrivals at `rate` requests/s")
+def poisson_arrivals(
+    sampler: RequestSampler, rate: float, num_requests: int
+) -> ArrivalProcess:
+    """Memoryless open-loop traffic: exponential inter-arrival times."""
+
+    _validate_stream(rate, num_requests, "poisson")
+    rng = _timing_rng(sampler)
+    now = 0.0
+    requests = []
+    for _ in range(num_requests):
+        now += float(rng.exponential(1.0 / rate))
+        requests.append(sampler.sample(now))
+    return OpenLoopArrivals("poisson", tuple(requests))
+
+
+@register_arrival(
+    "bursty",
+    description="Poisson bursts of `burst_size` back-to-back requests (mean `rate` req/s)",
+)
+def bursty_arrivals(
+    sampler: RequestSampler,
+    rate: float,
+    num_requests: int,
+    burst_size: int = 8,
+    burst_factor: float = 16.0,
+) -> ArrivalProcess:
+    """Clustered open-loop traffic.
+
+    Bursts start as a Poisson process at ``rate / burst_size`` so the long-run
+    average stays at ``rate``; within a burst, requests arrive ``burst_factor``
+    times faster than the mean rate.  ``burst_factor`` must be > 1, otherwise
+    the process degenerates to plain Poisson.
+    """
+
+    _validate_stream(rate, num_requests, "bursty")
+    if burst_size <= 0:
+        raise ConfigError(f"burst_size must be positive, got {burst_size}")
+    if burst_factor <= 1.0:
+        raise ConfigError(f"burst_factor must be > 1, got {burst_factor}")
+    rng = _timing_rng(sampler)
+    intra_gap = 1.0 / (rate * burst_factor)
+    requests = []
+    burst_start = 0.0
+    while len(requests) < num_requests:
+        burst_start += float(rng.exponential(burst_size / rate))
+        for i in range(min(int(burst_size), num_requests - len(requests))):
+            requests.append(sampler.sample(burst_start + i * intra_gap))
+    return OpenLoopArrivals("bursty", tuple(requests))
+
+
+@register_arrival(
+    "trace",
+    aliases=("replay",),
+    description="Replay explicit arrival timestamps (`times=` parameter)",
+)
+def trace_arrivals(
+    sampler: RequestSampler,
+    rate: float,
+    num_requests: int,
+    times: tuple[float, ...] = (),
+) -> ArrivalProcess:
+    """Replay a recorded stream: one request per timestamp in ``times``.
+
+    ``rate`` is ignored (the trace fixes the timing); ``num_requests`` truncates
+    the trace when smaller than ``len(times)``.  Token budgets are still drawn
+    from the sampler, so the same trace can be replayed against any size
+    distribution.
+    """
+
+    if not times:
+        raise ConfigError("trace arrivals need a non-empty `times` parameter")
+    if num_requests <= 0:
+        raise ConfigError(f"trace num_requests must be positive, got {num_requests}")
+    stamps = sorted(float(t) for t in times)[:num_requests]
+    if stamps[0] < 0:
+        raise ConfigError(f"trace arrival times must be >= 0, got {stamps[0]}")
+    return OpenLoopArrivals("trace", tuple(sampler.sample(t) for t in stamps))
+
+
+class ClosedLoopArrivals(ArrivalProcess):
+    """A fixed population of users, each with at most one request in flight."""
+
+    name = "closed-loop"
+
+    def __init__(
+        self,
+        sampler: RequestSampler,
+        users: int,
+        num_requests: int,
+        think_time_s: float,
+    ) -> None:
+        if users <= 0:
+            raise ConfigError(f"closed-loop users must be positive, got {users}")
+        if num_requests <= 0:
+            raise ConfigError(f"closed-loop num_requests must be positive, got {num_requests}")
+        if think_time_s < 0:
+            raise ConfigError(f"think_time_s must be >= 0, got {think_time_s}")
+        self._sampler = sampler
+        self.users = users
+        self.num_requests = num_requests
+        self.think_time_s = think_time_s
+        self._issued = 0
+
+    def _issue(self, arrival_s: float) -> Request:
+        self._issued += 1
+        return self._sampler.sample(arrival_s)
+
+    def initial(self) -> tuple[Request, ...]:
+        first_wave = min(self.users, self.num_requests - self._issued)
+        return tuple(self._issue(0.0) for _ in range(first_wave))
+
+    def on_complete(self, request: Request, now_s: float) -> Request | None:
+        if self._issued >= self.num_requests:
+            return None
+        return self._issue(now_s + self.think_time_s)
+
+
+@register_arrival(
+    "closed-loop",
+    aliases=("closed",),
+    description="`users` concurrent users; each completion triggers the next request",
+)
+def closed_loop_arrivals(
+    sampler: RequestSampler,
+    rate: float,
+    num_requests: int,
+    users: int | None = None,
+    think_time_s: float = 0.0,
+) -> ArrivalProcess:
+    """Closed-loop traffic: concurrency is capped by the user population.
+
+    ``users`` defaults to ``int(rate)`` so the CLI's single ``--rate`` knob
+    selects the population size for this process.
+    """
+
+    population = int(rate) if users is None else int(users)
+    return ClosedLoopArrivals(sampler, population, num_requests, think_time_s)

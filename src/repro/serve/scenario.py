@@ -1,0 +1,223 @@
+"""ServeScenario: one serving simulation point, named by registry strings.
+
+The serving counterpart of :class:`repro.api.Scenario`: a frozen, serializable
+description of a serving run -- workload / system / policy / arrival-process
+names plus the traffic knobs (rate, request count, batch bound, seed, SLOs).
+Everything resolves through :mod:`repro.registry`, so a workload or arrival
+process registered anywhere is immediately servable from the Python API, the
+``llamcat serve`` subcommand and serve sweep grids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import NamedTuple
+
+from repro.common.errors import ConfigError
+from repro.config.policies import PolicyConfig
+from repro.config.scale import ScaleTier, parse_tier, scale_system
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+from repro.registry import resolve_arrival, resolve_policy, resolve_system, resolve_workload
+from repro.serve.metrics import ServeMetrics, ServeSLO
+from repro.serve.request import (
+    DEFAULT_OUTPUT_TOKENS,
+    DEFAULT_PROMPT_TOKENS,
+    RequestSampler,
+)
+from repro.serve.scheduler import SEQ_BUCKET_FLOOR, BatchConfig
+from repro.serve.simulator import ServingSimulator
+from repro.serve.stepcost import SimStepCostModel
+from repro.sim.runner import clear_trace_cache
+
+#: The system name a ServeScenario uses when none is given (matches
+#: :data:`repro.api.DEFAULT_SYSTEM`).
+DEFAULT_SERVE_SYSTEM = "table5"
+
+
+class ResolvedServeScenario(NamedTuple):
+    """Concrete, tier-scaled configuration objects behind a ServeScenario."""
+
+    system: SystemConfig
+    workload: WorkloadConfig
+    policy: PolicyConfig
+
+
+@dataclass(frozen=True, slots=True)
+class ServeScenario:
+    """One serving simulation point over a stream of decode requests."""
+
+    workload: str
+    arrival: str = "poisson"
+    #: Requests/s for open-loop processes; user population for closed-loop.
+    rate: float = 2000.0
+    num_requests: int = 32
+    max_batch: int = 4
+    seed: int = 0
+    policy: str = "unopt"
+    system: str = DEFAULT_SERVE_SYSTEM
+    tier: ScaleTier = ScaleTier.CI
+    prompt_tokens: tuple[int, int] = DEFAULT_PROMPT_TOKENS
+    output_tokens: tuple[int, int] = DEFAULT_OUTPUT_TOKENS
+    #: Extra keyword parameters for the arrival builder, as sorted pairs
+    #: (e.g. ``(("burst_size", 4),)`` for bursty traffic).
+    arrival_params: tuple[tuple[str, object], ...] = ()
+    slo_ttft_ms: float | None = None
+    slo_latency_ms: float | None = None
+    max_cycles: int | None = None
+    #: Display label (defaults to "<policy>@<arrival>"); never part of the key.
+    label: str | None = None
+
+    # -- validation / resolution -------------------------------------------------------
+    def validate(self) -> "ServeScenario":
+        if self.rate <= 0:
+            raise ConfigError(f"rate must be positive, got {self.rate}")
+        if self.num_requests <= 0:
+            raise ConfigError(f"num_requests must be positive, got {self.num_requests}")
+        if self.max_batch <= 0:
+            raise ConfigError(f"max_batch must be positive, got {self.max_batch}")
+        if not isinstance(self.tier, ScaleTier):
+            raise ConfigError(f"tier must be a ScaleTier, got {self.tier!r}")
+        self.slo().validate()
+        resolve_arrival(self.arrival)  # raises ConfigError on unknown names
+        self.resolve()
+        return self
+
+    def resolve(self) -> ResolvedServeScenario:
+        """Resolve names through the registries and tier-scale the system.
+
+        The workload keeps its builder-default sequence length: per-step
+        contexts come from the request stream, so only the shape family
+        (heads, head_dim, operator) matters here.
+        """
+
+        system = scale_system(resolve_system(self.system), self.tier)
+        workload = resolve_workload(self.workload)
+        policy = resolve_policy(self.policy)
+        return ResolvedServeScenario(system=system, workload=workload, policy=policy)
+
+    def slo(self) -> ServeSLO:
+        return ServeSLO(ttft_ms=self.slo_ttft_ms, latency_ms=self.slo_latency_ms)
+
+    @property
+    def display_label(self) -> str:
+        return self.label if self.label is not None else f"{self.policy}@{self.arrival}"
+
+    # -- identity ----------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        """The outcome-determining configuration as JSON-able data.
+
+        Display labels are excluded, mirroring :meth:`SweepPoint.key`: two
+        serving points that differ only in labelling share one simulation.
+        """
+
+        data = self.to_dict()
+        data.pop("label")
+        return data
+
+    def key(self) -> str:
+        """Content hash identifying this serving simulation (store/dedup key)."""
+
+        canonical = json.dumps(self.config_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- (de)serialization -------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "arrival": self.arrival,
+            "rate": self.rate,
+            "num_requests": self.num_requests,
+            "max_batch": self.max_batch,
+            "seed": self.seed,
+            "policy": self.policy,
+            "system": self.system,
+            "tier": self.tier.name,
+            "prompt_tokens": list(self.prompt_tokens),
+            "output_tokens": list(self.output_tokens),
+            "arrival_params": [[k, v] for k, v in self.arrival_params],
+            "slo_ttft_ms": self.slo_ttft_ms,
+            "slo_latency_ms": self.slo_latency_ms,
+            "max_cycles": self.max_cycles,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeScenario":
+        defaults = {f.name: f.default for f in fields(cls)}
+        return cls(
+            workload=data["workload"],
+            arrival=data.get("arrival", "poisson"),
+            rate=data.get("rate", defaults["rate"]),
+            num_requests=data.get("num_requests", defaults["num_requests"]),
+            max_batch=data.get("max_batch", defaults["max_batch"]),
+            seed=data.get("seed", 0),
+            policy=data.get("policy", "unopt"),
+            system=data.get("system", DEFAULT_SERVE_SYSTEM),
+            tier=parse_tier(data.get("tier", ScaleTier.CI.name)),
+            prompt_tokens=tuple(data.get("prompt_tokens", DEFAULT_PROMPT_TOKENS)),
+            output_tokens=tuple(data.get("output_tokens", DEFAULT_OUTPUT_TOKENS)),
+            arrival_params=tuple(
+                (k, v) for k, v in data.get("arrival_params", ())
+            ),
+            slo_ttft_ms=data.get("slo_ttft_ms"),
+            slo_latency_ms=data.get("slo_latency_ms"),
+            max_cycles=data.get("max_cycles"),
+            label=data.get("label"),
+        )
+
+    # -- execution ---------------------------------------------------------------------
+    def build_simulator(self) -> ServingSimulator:
+        """Assemble the arrival process, cost model and scheduler for this point."""
+
+        resolved = self.resolve()
+        sampler = RequestSampler(
+            seed=self.seed,
+            prompt_tokens=self.prompt_tokens,
+            output_tokens=self.output_tokens,
+        )
+        arrival = resolve_arrival(self.arrival)(
+            sampler, self.rate, self.num_requests, **dict(self.arrival_params)
+        )
+        cost_model = SimStepCostModel(
+            system=resolved.system,
+            workload=resolved.workload,
+            policy=resolved.policy,
+            tier=self.tier,
+            max_cycles=self.max_cycles,
+            seq_bucket_floor=SEQ_BUCKET_FLOOR,
+        )
+        return ServingSimulator(
+            arrival=arrival,
+            cost_model=cost_model,
+            frequency_ghz=resolved.system.frequency_ghz,
+            batch=BatchConfig(max_batch=self.max_batch),
+            slo=self.slo(),
+            label=self.display_label,
+            workload_name=self.workload,
+        )
+
+    def run(self) -> ServeMetrics:
+        """Simulate this serving point and return its metrics.
+
+        Long-lived processes run many scenarios back to back, so each run ends
+        by clearing the module-level trace cache: a serving run generates up to
+        ``max_batch x seq-buckets`` distinct step traces (large at high batch),
+        which would otherwise linger into -- and LRU-evict the traces of --
+        whatever runs next.  Within the run itself, traces are still shared
+        through :func:`~repro.sim.runner.cached_trace` and the memoized step
+        table.
+        """
+
+        try:
+            return self.build_simulator().run()
+        finally:
+            clear_trace_cache()
+
+
+def run_serve_scenario(scenario: ServeScenario) -> ServeMetrics:
+    """Module-level convenience: resolve and simulate one serving scenario."""
+
+    return scenario.run()

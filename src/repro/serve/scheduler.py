@@ -1,0 +1,143 @@
+"""Continuous batching: admit, grow, shrink -- one iteration at a time.
+
+The scheduler keeps a *running batch* of at most ``max_batch`` requests.  At
+every iteration boundary it admits waiting requests (FCFS by arrival time) into
+free batch slots and evicts requests whose output budget is exhausted -- the
+"continuous" in continuous batching: the batch is re-formed every step rather
+than waiting for the whole batch to drain.
+
+The batch's *effective workload shape* for a step is ``(batch, context)``:
+``batch`` requests, each contributing its own KV cache, at the longest context
+currently in the batch (shorter requests ride along, exactly like padded
+batched decode on real accelerators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.common.errors import ConfigError
+from repro.serve.request import Request
+
+#: Contexts are never simulated below this many tokens (matches the scale-tier
+#: floor in :mod:`repro.config.scale`, so tiered serve runs stay consistent).
+SEQ_BUCKET_FLOOR = 64
+
+
+def bucket_context(context_tokens: int, floor: int = SEQ_BUCKET_FLOOR) -> int:
+    """Round a context length up to the next power of two, at least ``floor``.
+
+    Bucketing is what makes the memoized step-cost table small: a request's
+    context grows by one token per step, but its bucket changes only O(log L)
+    times over its lifetime.
+    """
+
+    if floor <= 0:
+        raise ConfigError(f"bucket floor must be positive, got {floor}")
+    size = max(int(context_tokens), floor)
+    bucket = floor
+    while bucket < size:
+        bucket *= 2
+    return bucket
+
+
+@dataclass(slots=True)
+class ActiveRequest:
+    """Mutable progress of one admitted request."""
+
+    request: Request
+    admitted_s: float
+    generated: int = 0
+    first_token_s: float | None = None
+    finish_s: float | None = None
+
+    @property
+    def context_tokens(self) -> int:
+        return self.request.context_at(self.generated)
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_tokens
+
+
+@dataclass(frozen=True, slots=True)
+class BatchConfig:
+    """Knobs of the continuous-batching scheduler."""
+
+    max_batch: int = 4
+    seq_bucket_floor: int = SEQ_BUCKET_FLOOR
+
+    def validate(self) -> "BatchConfig":
+        if self.max_batch <= 0:
+            raise ConfigError(f"max_batch must be positive, got {self.max_batch}")
+        if self.seq_bucket_floor <= 0:
+            raise ConfigError(
+                f"seq_bucket_floor must be positive, got {self.seq_bucket_floor}"
+            )
+        return self
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchConfig":
+        return cls(**{f.name: data[f.name] for f in fields(cls) if f.name in data}).validate()
+
+
+@dataclass(slots=True)
+class ContinuousBatchScheduler:
+    """FCFS admission into a bounded, per-iteration re-formed batch."""
+
+    config: BatchConfig = field(default_factory=BatchConfig)
+    #: Requests that have arrived but not yet been admitted, FCFS order.
+    waiting: list = field(default_factory=list)
+    #: The running batch (at most ``config.max_batch`` entries).
+    running: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+
+    def enqueue(self, request) -> None:
+        """Add an arrived request to the admission queue (kept FCFS-sorted)."""
+
+        self.waiting.append(request)
+        self.waiting.sort(key=lambda r: (r.arrival_s, r.request_id))
+
+    def admit(self, now_s: float) -> list[ActiveRequest]:
+        """Admit waiting requests with ``arrival_s <= now_s`` into free slots."""
+
+        admitted: list[ActiveRequest] = []
+        while self.waiting and len(self.running) < self.config.max_batch:
+            if self.waiting[0].arrival_s > now_s:
+                break
+            request = self.waiting.pop(0)
+            active = ActiveRequest(request=request, admitted_s=now_s)
+            self.running.append(active)
+            admitted.append(active)
+        return admitted
+
+    def evict_finished(self, now_s: float) -> list[ActiveRequest]:
+        """Remove requests whose output budget is exhausted; stamp finish time."""
+
+        finished = [a for a in self.running if a.done]
+        for active in finished:
+            active.finish_s = now_s
+        self.running = [a for a in self.running if not a.done]
+        return finished
+
+    def batch_shape(self) -> tuple[int, int]:
+        """The effective ``(batch, context_bucket)`` of the next iteration."""
+
+        if not self.running:
+            raise ConfigError("batch_shape() on an empty batch")
+        context = max(a.context_tokens for a in self.running)
+        return len(self.running), bucket_context(context, self.config.seq_bucket_floor)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.running or self.waiting)
+
+    def next_arrival_s(self) -> float | None:
+        """Arrival time of the earliest waiting request (None when idle)."""
+
+        return self.waiting[0].arrival_s if self.waiting else None

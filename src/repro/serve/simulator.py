@@ -1,0 +1,138 @@
+"""The request-level serving simulator.
+
+:class:`ServingSimulator` composes the three serve components -- an arrival
+process, the continuous-batching scheduler and a step-cost model -- into an
+event loop whose inner step is one cycle-engine evaluation:
+
+1. admit arrived requests into free batch slots (FCFS);
+2. ask the cost model for the cycles of the batch's effective shape;
+3. advance the clock by ``cycles / frequency``, credit one output token to
+   every batched request, and evict the finished ones (notifying the arrival
+   process, which closes the loop for closed-loop traffic).
+
+When the batch is empty the clock jumps to the next arrival, so idle gaps cost
+nothing to simulate.  The loop is fully deterministic: a seeded arrival stream
+plus a deterministic cost model reproduces every timestamp bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.serve.arrival import ArrivalProcess
+from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
+from repro.serve.scheduler import BatchConfig, ContinuousBatchScheduler
+from repro.serve.stepcost import StepCostModel
+
+#: Hard cap on scheduler iterations -- a guard against a stream that can never
+#: drain (e.g. a zero-cost model paired with an infinite closed loop).
+MAX_STEPS = 10_000_000
+
+
+class ServingSimulator:
+    """Simulate serving one request stream on one accelerator."""
+
+    def __init__(
+        self,
+        arrival: ArrivalProcess,
+        cost_model: StepCostModel,
+        frequency_ghz: float,
+        batch: BatchConfig | None = None,
+        slo: ServeSLO | None = None,
+        label: str = "serve",
+        workload_name: str = "workload",
+    ) -> None:
+        if frequency_ghz <= 0:
+            raise ConfigError(f"frequency_ghz must be positive, got {frequency_ghz}")
+        self.arrival = arrival
+        self.cost_model = cost_model
+        self.frequency_ghz = frequency_ghz
+        self.batch_config = (batch if batch is not None else BatchConfig()).validate()
+        self.slo = (slo if slo is not None else ServeSLO()).validate()
+        self.label = label
+        self.workload_name = workload_name
+
+    def _cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / (self.frequency_ghz * 1e9)
+
+    def run(self) -> ServeMetrics:
+        scheduler = ContinuousBatchScheduler(config=self.batch_config)
+        for request in self.arrival.initial():
+            scheduler.enqueue(request.validate())
+        if not scheduler.has_work:
+            raise ConfigError(
+                f"arrival process {self.arrival.name!r} produced no requests"
+            )
+
+        now_s = 0.0
+        steps = 0
+        total_cycles = 0
+        first_arrival_s = min(r.arrival_s for r in scheduler.waiting)
+        completed: list[RequestMetrics] = []
+
+        while scheduler.has_work:
+            scheduler.admit(now_s)
+            if not scheduler.running:
+                # Idle: jump straight to the next arrival.
+                next_arrival = scheduler.next_arrival_s()
+                assert next_arrival is not None  # has_work and nothing running
+                now_s = max(now_s, next_arrival)
+                continue
+
+            if steps >= MAX_STEPS:
+                raise ConfigError(
+                    f"serving run exceeded {MAX_STEPS} steps without draining "
+                    f"({len(completed)} completed, {len(scheduler.running)} running, "
+                    f"{len(scheduler.waiting)} waiting)"
+                )
+
+            batch, context_bucket = scheduler.batch_shape()
+            cycles = self.cost_model.step_cycles(batch, context_bucket)
+            if cycles <= 0:
+                raise ConfigError(f"step cost model returned {cycles} cycles")
+            steps += 1
+            total_cycles += cycles
+            now_s += self._cycles_to_seconds(cycles)
+
+            for active in scheduler.running:
+                active.generated += 1
+                if active.first_token_s is None:
+                    active.first_token_s = now_s
+
+            for active in scheduler.evict_finished(now_s):
+                assert active.first_token_s is not None and active.finish_s is not None
+                completed.append(
+                    RequestMetrics(
+                        request_id=active.request.request_id,
+                        arrival_s=active.request.arrival_s,
+                        admitted_s=active.admitted_s,
+                        first_token_s=active.first_token_s,
+                        finish_s=active.finish_s,
+                        prompt_tokens=active.request.prompt_tokens,
+                        output_tokens=active.request.output_tokens,
+                    ).validate()
+                )
+                follow_up = self.arrival.on_complete(active.request, now_s)
+                if follow_up is not None:
+                    scheduler.enqueue(follow_up.validate())
+
+        completed.sort(key=lambda r: r.request_id)
+        meta = {
+            "arrival": self.arrival.name,
+            "max_batch": self.batch_config.max_batch,
+            "seq_bucket_floor": self.batch_config.seq_bucket_floor,
+        }
+        table_size = getattr(self.cost_model, "table_size", None)
+        if table_size is not None:
+            meta["step_cost_entries"] = table_size
+            meta["step_simulations"] = getattr(self.cost_model, "simulations", table_size)
+        return ServeMetrics(
+            label=self.label,
+            workload=self.workload_name,
+            frequency_ghz=self.frequency_ghz,
+            duration_s=max(0.0, now_s - first_arrival_s),
+            steps=steps,
+            total_cycles=total_cycles,
+            requests=tuple(completed),
+            slo=self.slo,
+            meta=meta,
+        )

@@ -1,0 +1,152 @@
+"""Per-iteration step costs: the bridge from serving steps to the cycle engine.
+
+One serving iteration decodes one token for every request in the batch.  Its
+cost is obtained by simulating the decode operator at the batch's effective
+shape: ``batch`` requests each contribute their own KV heads (a batch of B
+requests times H KV head groups is exactly B*H independent thread-block groups
+streaming disjoint KV caches), at the bucketed maximum context in the batch.
+
+Simulating every step would be ruinously slow -- a serving run takes thousands
+of steps but only ever visits a handful of distinct ``(batch, seq-bucket)``
+shapes, so :class:`SimStepCostModel` memoizes cycles per shape, keyed like the
+trace cache in :mod:`repro.sim.runner` (workload identity + line size +
+ordering + constraints, extended by the batch dimension and the policy).
+Repeated shapes cost a dictionary lookup; the underlying trace is additionally
+shared through :func:`~repro.sim.runner.cached_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigError
+from repro.config.policies import PolicyConfig
+from repro.config.scale import ScaleTier, scale_seq_len
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+from repro.dataflow.constraints import DataflowConstraints
+from repro.dataflow.ordering import ThreadBlockOrdering
+from repro.serve.scheduler import bucket_context
+from repro.sim.runner import _trace_key, cached_trace
+from repro.sim.simulator import simulate
+
+
+class StepCostModel:
+    """Interface: cycles to decode one token for ``batch`` requests."""
+
+    def step_cycles(self, batch: int, context_tokens: int) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class LinearStepCostModel(StepCostModel):
+    """An analytical stand-in: ``base + batch * (request + token * context)``.
+
+    Used by unit tests and quick what-if studies where the cycle engine's
+    fidelity is not needed; the serving loop is oblivious to which model backs
+    it.
+    """
+
+    base_cycles: int = 1000
+    cycles_per_request: int = 100
+    cycles_per_token: int = 1
+
+    def step_cycles(self, batch: int, context_tokens: int) -> int:
+        if batch <= 0 or context_tokens <= 0:
+            raise ConfigError(
+                f"step shape must be positive, got batch={batch} context={context_tokens}"
+            )
+        return self.base_cycles + batch * (
+            self.cycles_per_request + self.cycles_per_token * context_tokens
+        )
+
+
+class SimStepCostModel(StepCostModel):
+    """Cycle-engine-backed step costs with a memoized (batch, bucket) table.
+
+    ``system`` must already be tier-scaled (the serve scenario scales it once);
+    per-step contexts are scaled here with the same tier so the working-set :
+    capacity ratio the tiers preserve also holds inside a serving run.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        workload: WorkloadConfig,
+        policy: PolicyConfig,
+        tier: ScaleTier = ScaleTier.FULL,
+        ordering: ThreadBlockOrdering = ThreadBlockOrdering.GQA_SHARED,
+        constraints: DataflowConstraints | None = None,
+        max_cycles: int | None = None,
+        seq_bucket_floor: int = 64,
+    ) -> None:
+        self.system = system
+        self.workload = workload
+        self.policy = policy
+        self.tier = tier
+        self.ordering = ordering
+        self.constraints = constraints
+        self.max_cycles = max_cycles
+        self.seq_bucket_floor = seq_bucket_floor
+        self._table: dict[tuple, int] = {}
+        #: Cycle-engine runs actually performed (table misses); fidelity /
+        #: performance introspection for tests and the CLI.
+        self.simulations = 0
+
+    def batched_workload(self, batch: int, context_tokens: int) -> WorkloadConfig:
+        """The effective workload of one step: B*H KV heads at the seq bucket.
+
+        The batch is encoded *only* through the head dimension (B requests x H
+        KV heads = B*H independent head groups over disjoint KV caches);
+        ``batch_size`` stays 1 so the workload's byte/FLOP accessors count the
+        batched footprint exactly once.
+        """
+
+        if batch <= 0 or context_tokens <= 0:
+            raise ConfigError(
+                f"step shape must be positive, got batch={batch} context={context_tokens}"
+            )
+        bucket = bucket_context(
+            scale_seq_len(context_tokens, self.tier), self.seq_bucket_floor
+        )
+        shape = self.workload.shape
+        return replace(
+            self.workload,
+            shape=replace(shape, num_kv_heads=shape.num_kv_heads * batch, seq_len=bucket),
+        ).validate()
+
+    def _step_key(self, step_workload: WorkloadConfig, batch: int) -> tuple:
+        # The trace-cache key already identifies the workload shape, line size,
+        # ordering and constraints; the step cost additionally depends on the
+        # policy and the cycle cap.
+        return (
+            _trace_key(step_workload, self.system, self.ordering, self.constraints),
+            batch,
+            self.policy.label,
+            self.max_cycles,
+        )
+
+    def step_cycles(self, batch: int, context_tokens: int) -> int:
+        step_workload = self.batched_workload(batch, context_tokens)
+        key = self._step_key(step_workload, batch)
+        cycles = self._table.get(key)
+        if cycles is None:
+            trace = cached_trace(step_workload, self.system, self.ordering, self.constraints)
+            kwargs = {} if self.max_cycles is None else {"max_cycles": self.max_cycles}
+            result = simulate(
+                self.system,
+                self.policy,
+                trace=trace,
+                label=f"serve-step[b={batch}]",
+                **kwargs,
+            )
+            cycles = result.cycles
+            self._table[key] = cycles
+            self.simulations += 1
+        return cycles
+
+    @property
+    def table_size(self) -> int:
+        """Distinct (batch, seq-bucket) shapes simulated so far."""
+
+        return len(self._table)

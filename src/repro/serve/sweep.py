@@ -1,0 +1,203 @@
+"""Serving sweep grids: arrival-rate studies through the parallel executor.
+
+A :class:`ServeSweepSpec` names a cartesian grid -- workloads x arrival
+processes x rates x policies -- and expands it into :class:`ServePoint` job
+descriptors.  ServePoints satisfy the same contract as
+:class:`~repro.sweep.spec.SweepPoint` (``key()`` / ``label`` / ``describe()`` /
+``config_dict()`` / ``execute()``), so they run through the existing
+:func:`repro.sweep.executor.run_sweep` process pool and persist into the same
+JSON-lines :class:`~repro.sweep.store.ResultStore`, resumable and
+content-deduplicated exactly like kernel-level sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigError
+from repro.config.scale import ScaleTier, parse_tier
+from repro.registry import ARRIVALS, WORKLOADS, resolve_policy, resolve_system
+from repro.serve.metrics import ServeMetrics
+from repro.serve.request import DEFAULT_OUTPUT_TOKENS, DEFAULT_PROMPT_TOKENS
+from repro.serve.scenario import ServeScenario
+
+
+@dataclass(frozen=True, slots=True)
+class ServePoint:
+    """One fully described serving job, executable in any worker process.
+
+    The scenario names its components through the registries, which every
+    worker can resolve (built-in arrival processes bootstrap on first lookup),
+    so the point pickles small and needs no pre-resolved configuration.
+    """
+
+    label: str
+    scenario: ServeScenario
+    #: Sorted (axis, value) pairs locating the point in its grid.
+    coords: tuple[tuple[str, object], ...] = ()
+    #: Lazily memoized content hash.
+    _key: str | None = field(default=None, init=False, repr=False, compare=False)
+
+    def config_dict(self) -> dict:
+        return {"kind": "serve", "scenario": self.scenario.config_dict()}
+
+    def key(self) -> str:
+        """Content hash identifying this serving simulation (labels excluded)."""
+
+        if self._key is None:
+            object.__setattr__(self, "_key", self.scenario.key())
+        return self._key
+
+    def coord(self, axis: str, default=None):
+        for name, value in self.coords:
+            if name == axis:
+                return value
+        return default
+
+    def describe(self) -> str:
+        s = self.scenario
+        return (
+            f"{self.label}: serve {s.workload} {s.arrival}@{s.rate:g} "
+            f"n={s.num_requests} b<={s.max_batch} seed={s.seed}"
+        )
+
+    def execute(self) -> ServeMetrics:
+        """Run the serving simulation (the executor's worker entry point)."""
+
+        return replace(self.scenario.run(), label=self.label)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeSweepSpec:
+    """A declarative cartesian grid of serving points.
+
+    Workloads, arrival processes and policies are registry names; ``rates`` is
+    the traffic axis (requests/s open-loop, users closed-loop).  Expansion
+    order is workload -> arrival -> rate -> policy.
+    """
+
+    workloads: tuple[str, ...]
+    rates: tuple[float, ...]
+    arrivals: tuple[str, ...] = ("poisson",)
+    policies: tuple[str, ...] = ("unopt",)
+    num_requests: int = 32
+    max_batch: int = 4
+    seed: int = 0
+    system: str = "table5"
+    tier: ScaleTier = ScaleTier.CI
+    prompt_tokens: tuple[int, int] = DEFAULT_PROMPT_TOKENS
+    output_tokens: tuple[int, int] = DEFAULT_OUTPUT_TOKENS
+    slo_ttft_ms: float | None = None
+    slo_latency_ms: float | None = None
+    max_cycles: int | None = None
+
+    def validate(self) -> "ServeSweepSpec":
+        for axis in ("workloads", "rates", "arrivals", "policies"):
+            if not getattr(self, axis):
+                raise ConfigError(f"ServeSweepSpec.{axis} must be non-empty")
+        for workload in self.workloads:
+            WORKLOADS.get(workload)  # raises ConfigError listing known names
+        for arrival in self.arrivals:
+            ARRIVALS.get(arrival)
+        for policy in self.policies:
+            resolve_policy(policy)
+        resolve_system(self.system)
+        if any(r <= 0 for r in self.rates):
+            raise ConfigError("rates must be positive")
+        if self.num_requests <= 0:
+            raise ConfigError("num_requests must be positive")
+        if self.max_batch <= 0:
+            raise ConfigError("max_batch must be positive")
+        return self
+
+    @property
+    def num_points(self) -> int:
+        return (
+            len(self.workloads) * len(self.arrivals) * len(self.rates) * len(self.policies)
+        )
+
+    def scenarios(self) -> tuple[ServeScenario, ...]:
+        """The grid as :class:`ServeScenario` objects, in expansion order."""
+
+        self.validate()
+        return tuple(
+            ServeScenario(
+                workload=workload,
+                arrival=arrival,
+                rate=rate,
+                num_requests=self.num_requests,
+                max_batch=self.max_batch,
+                seed=self.seed,
+                policy=policy,
+                system=self.system,
+                tier=self.tier,
+                prompt_tokens=self.prompt_tokens,
+                output_tokens=self.output_tokens,
+                slo_ttft_ms=self.slo_ttft_ms,
+                slo_latency_ms=self.slo_latency_ms,
+                max_cycles=self.max_cycles,
+            )
+            for workload in self.workloads
+            for arrival in self.arrivals
+            for rate in self.rates
+            for policy in self.policies
+        )
+
+    def expand(self) -> tuple[ServePoint, ...]:
+        """Expand the grid into serving points, in deterministic order."""
+
+        points = []
+        for scenario in self.scenarios():
+            coords = {
+                "model": scenario.workload,
+                "arrival": scenario.arrival,
+                "rate": scenario.rate,
+                "policy": scenario.policy,
+                "tier": scenario.tier.name,
+            }
+            points.append(
+                ServePoint(
+                    label=f"{scenario.display_label}@{scenario.rate:g}",
+                    scenario=scenario,
+                    coords=tuple(sorted(coords.items(), key=lambda kv: kv[0])),
+                )
+            )
+        return tuple(points)
+
+    # -- (de)serialization for CLI spec files -------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "workloads": list(self.workloads),
+            "rates": list(self.rates),
+            "arrivals": list(self.arrivals),
+            "policies": list(self.policies),
+            "num_requests": self.num_requests,
+            "max_batch": self.max_batch,
+            "seed": self.seed,
+            "system": self.system,
+            "tier": self.tier.name,
+            "prompt_tokens": list(self.prompt_tokens),
+            "output_tokens": list(self.output_tokens),
+            "slo_ttft_ms": self.slo_ttft_ms,
+            "slo_latency_ms": self.slo_latency_ms,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeSweepSpec":
+        return cls(
+            workloads=tuple(data["workloads"]),
+            rates=tuple(data["rates"]),
+            arrivals=tuple(data.get("arrivals", ("poisson",))),
+            policies=tuple(data.get("policies", ("unopt",))),
+            num_requests=data.get("num_requests", 32),
+            max_batch=data.get("max_batch", 4),
+            seed=data.get("seed", 0),
+            system=data.get("system", "table5"),
+            tier=parse_tier(data.get("tier", "CI")),
+            prompt_tokens=tuple(data.get("prompt_tokens", DEFAULT_PROMPT_TOKENS)),
+            output_tokens=tuple(data.get("output_tokens", DEFAULT_OUTPUT_TOKENS)),
+            slo_ttft_ms=data.get("slo_ttft_ms"),
+            slo_latency_ms=data.get("slo_latency_ms"),
+            max_cycles=data.get("max_cycles"),
+        ).validate()

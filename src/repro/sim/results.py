@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import ClassVar
 
 from repro.common.mathutils import safe_div
 from repro.dram.system import DramStats
@@ -40,6 +41,9 @@ class SimResult:
     rate, MSHR hit rate, MSHR entry utilisation and DRAM bandwidth, plus enough
     raw counters to derive anything else the experiments need.
     """
+
+    #: Result-kind tag used by the sweep store to pick the right deserializer.
+    result_kind: ClassVar[str] = "sim"
 
     label: str
     workload: str

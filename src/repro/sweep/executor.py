@@ -1,11 +1,16 @@
 """Parallel sweep executor.
 
-Runs :class:`~repro.sweep.spec.SweepPoint` jobs across a process pool.  Each
-worker process keeps its own module-level trace cache (``repro.sim.runner``),
-so points that share a workload reuse the generated trace for free; jobs are
-submitted in the deterministic expansion order, which groups trace-sharing
-points together.  Failures are captured per point (with traceback) instead of
-aborting the sweep, and points whose content hash is already present in the
+Runs sweep-point jobs across a process pool.  A *point* is anything satisfying
+the small job contract -- ``key()`` (content hash), ``label``, ``describe()``,
+``config_dict()`` and ``execute() -> result`` -- which today means kernel-level
+:class:`~repro.sweep.spec.SweepPoint` and request-level
+:class:`~repro.serve.sweep.ServePoint` jobs; the two kinds mix freely in one
+submission and one result store.  Each worker process keeps its own
+module-level trace cache (``repro.sim.runner``), so points that share a
+workload reuse the generated trace for free; jobs are submitted in the
+deterministic expansion order, which groups trace-sharing points together.
+Failures are captured per point (with traceback) instead of aborting the
+sweep, and points whose content hash is already present in the
 :class:`~repro.sweep.store.ResultStore` are returned from disk without
 re-simulation.
 """
@@ -16,12 +21,18 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.sim.results import SimResult
-from repro.sim.runner import run_policy
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.sweep.store import ResultStore
+
+if TYPE_CHECKING:
+    from repro.serve.metrics import ServeMetrics
+
+    #: What a point's ``execute()`` returns: a labelled, ``to_dict``-serializable
+    #: result (``SimResult`` for kernel points, ``ServeMetrics`` for serve points).
+    PointResult = SimResult | ServeMetrics
 
 #: progress(done, total, outcome) -- invoked after every finished point.
 ProgressCallback = Callable[[int, int, "PointOutcome"], None]
@@ -32,7 +43,7 @@ class PointOutcome:
     """What happened to one sweep point."""
 
     point: SweepPoint
-    result: SimResult | None
+    result: "PointResult | None"
     error: str | None
     cached: bool
     elapsed_s: float
@@ -70,7 +81,7 @@ class SweepReport:
     def failures(self) -> list[PointOutcome]:
         return [o for o in self.outcomes if not o.ok]
 
-    def result_for(self, point: SweepPoint) -> SimResult:
+    def result_for(self, point: SweepPoint) -> PointResult:
         """The result of ``point``; raises KeyError if it failed or is absent.
 
         An exact point match wins (its result carries the point's own label);
@@ -79,7 +90,7 @@ class SweepReport:
         """
 
         key = point.key()
-        fallback: SimResult | None = None
+        fallback: PointResult | None = None
         for outcome in self.outcomes:
             if outcome.ok and outcome.point.key() == key:
                 assert outcome.result is not None
@@ -108,29 +119,17 @@ class SweepReport:
         )
 
 
-def _execute_point(point: SweepPoint) -> tuple[SimResult | None, str | None, float]:
-    """Worker entry point: simulate one point, capturing any failure."""
+def _execute_point(point: SweepPoint) -> "tuple[PointResult | None, str | None, float]":
+    """Worker entry point: run one point's ``execute()``, capturing any failure."""
 
     start = time.perf_counter()
     try:
-        kwargs = {}
-        if point.max_cycles is not None:
-            kwargs["max_cycles"] = point.max_cycles
-        result = run_policy(
-            point.system,
-            point.workload,
-            point.policy,
-            label=point.label,
-            ordering=point.ordering,
-            constraints=point.constraints,
-            **kwargs,
-        )
-        return result, None, time.perf_counter() - start
+        return point.execute(), None, time.perf_counter() - start
     except Exception:
         return None, traceback.format_exc(), time.perf_counter() - start
 
 
-def _with_label(result: SimResult, label: str) -> SimResult:
+def _with_label(result: PointResult, label: str) -> PointResult:
     """Relabel a shared/stored result for the point it is answering."""
 
     return result if result.label == label else replace(result, label=label)
@@ -163,7 +162,7 @@ def run_sweep(
 
     def finish(
         indices: list[int],
-        result: SimResult | None,
+        result: "PointResult | None",
         error: str | None,
         cached: bool,
         elapsed_s: float,

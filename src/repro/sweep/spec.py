@@ -114,6 +114,29 @@ class SweepPoint:
             f"L2={l2_mib:g}MiB policy={self.policy.label}"
         )
 
+    def execute(self):
+        """Simulate this point (the executor's uniform worker entry point).
+
+        Every sweepable point type (this class, serve points, ...) exposes
+        ``execute() -> result`` where the result carries a ``label`` field and
+        serializes via ``to_dict``/``from_dict``.
+        """
+
+        from repro.sim.runner import run_policy  # deferred: keeps spec import light
+
+        kwargs = {}
+        if self.max_cycles is not None:
+            kwargs["max_cycles"] = self.max_cycles
+        return run_policy(
+            self.system,
+            self.workload,
+            self.policy,
+            label=self.label,
+            ordering=self.ordering,
+            constraints=self.constraints,
+            **kwargs,
+        )
+
 
 def resolved_point(
     system: SystemConfig,

@@ -6,10 +6,18 @@ mid-write leaves at most one truncated trailing line, which is skipped on load,
 so every completed point survives and a re-run resumes from where the sweep
 died.  Records of failed points are kept for post-mortems but never count as
 cache hits, so failures are retried on the next invocation.
+
+Records are polymorphic over result type: each line carries a ``"kind"`` tag
+(``"sim"`` for kernel-level :class:`~repro.sim.results.SimResult`, ``"serve"``
+for request-level :class:`~repro.serve.metrics.ServeMetrics`) whose
+deserializer is resolved lazily, so kernel sweeps, serving sweeps and mixed
+stores all load through the same path.  Lines written before the tag existed
+default to ``"sim"``.
 """
 
 from __future__ import annotations
 
+import importlib
 import json
 import os
 from dataclasses import dataclass
@@ -19,6 +27,32 @@ from typing import Iterator
 from repro.sim.results import SimResult
 from repro.sweep.spec import SweepPoint
 
+#: kind tag -> "module:class" of the result type; resolved on first use so the
+#: store never imports the serve subsystem unless a serve record appears.
+RESULT_KINDS = {
+    "sim": "repro.sim.results:SimResult",
+    "serve": "repro.serve.metrics:ServeMetrics",
+}
+
+
+def result_class(kind: str):
+    """The result class registered for ``kind`` (lazy import by dotted path)."""
+
+    try:
+        target = RESULT_KINDS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown result kind {kind!r} (known: {sorted(RESULT_KINDS)})"
+        ) from None
+    module, _, attr = target.partition(":")
+    return getattr(importlib.import_module(module), attr)
+
+
+def result_kind_of(result) -> str:
+    """The kind tag of a result object (``result_kind`` attribute, "sim" default)."""
+
+    return getattr(type(result), "result_kind", "sim")
+
 
 @dataclass(frozen=True, slots=True)
 class StoreRecord:
@@ -27,7 +61,7 @@ class StoreRecord:
     key: str
     label: str
     status: str                    # "ok" | "error"
-    result: SimResult | None
+    result: "SimResult | object | None"
     error: str | None
     elapsed_s: float
     config: dict                   # the point's full config (reproducibility)
@@ -36,11 +70,16 @@ class StoreRecord:
     def ok(self) -> bool:
         return self.status == "ok"
 
+    @property
+    def kind(self) -> str:
+        return result_kind_of(self.result) if self.result is not None else "sim"
+
     def to_json_line(self) -> str:
         payload = {
             "key": self.key,
             "label": self.label,
             "status": self.status,
+            "kind": self.kind,
             "result": self.result.to_dict() if self.result is not None else None,
             "error": self.error,
             "elapsed_s": self.elapsed_s,
@@ -52,11 +91,13 @@ class StoreRecord:
     def from_json_line(cls, line: str) -> "StoreRecord":
         payload = json.loads(line)
         result = payload.get("result")
+        if result is not None:
+            result = result_class(payload.get("kind", "sim")).from_dict(result)
         return cls(
             key=payload["key"],
             label=payload.get("label", ""),
             status=payload["status"],
-            result=SimResult.from_dict(result) if result is not None else None,
+            result=result,
             error=payload.get("error"),
             elapsed_s=payload.get("elapsed_s", 0.0),
             config=payload.get("config", {}),
@@ -100,7 +141,7 @@ class ResultStore:
     def get(self, key: str) -> StoreRecord | None:
         return self._records.get(key)
 
-    def result_for(self, point: SweepPoint) -> SimResult | None:
+    def result_for(self, point: SweepPoint) -> "SimResult | object | None":
         """The stored result of ``point``, or None if absent/failed."""
 
         record = self._records.get(point.key())
@@ -127,7 +168,7 @@ class ResultStore:
     def put(
         self,
         point: SweepPoint,
-        result: SimResult | None = None,
+        result: "SimResult | object | None" = None,
         error: str | None = None,
         elapsed_s: float = 0.0,
     ) -> StoreRecord:

@@ -10,10 +10,13 @@ from repro.common.mathutils import (
     clamp,
     geomean,
     harmonic_mean,
+    mean,
+    percentile,
     percentiles,
     round_up,
     safe_div,
     speedup,
+    weighted_mean,
 )
 
 
@@ -107,6 +110,48 @@ class TestPercentiles:
             percentiles([], [50])
         with pytest.raises(ValueError):
             percentiles([1], [150])
+
+    def test_singular_percentile_interpolates_linearly(self):
+        # p95 over [1..4]: rank 2.85 -> 3.85 by linear interpolation.
+        assert percentile([1, 2, 3, 4], 95) == pytest.approx(3.85)
+        assert percentile([7], 99) == 7.0
+
+    def test_singular_percentile_order_independent(self):
+        assert percentile([4, 1, 3, 2], 50) == percentile([1, 2, 3, 4], 50)
+
+    def test_singular_percentile_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestMean:
+    def test_known_value(self):
+        assert mean([1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestWeightedMean:
+    def test_uniform_weights_match_mean(self):
+        assert weighted_mean([1, 2, 3], [1, 1, 1]) == pytest.approx(mean([1, 2, 3]))
+
+    def test_weights_shift_the_mean(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_zero_weight_excludes_a_value(self):
+        assert weighted_mean([1.0, 100.0], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            weighted_mean([], [])
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [-1.0])
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
 
 
 @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=30))

@@ -1,0 +1,151 @@
+"""Arrival processes: determinism, registry addressability, stream shapes."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.registry import ARRIVALS, resolve_arrival
+from repro.serve.arrival import (
+    bursty_arrivals,
+    closed_loop_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
+from repro.serve.request import RequestSampler
+
+
+def sampler(seed: int = 0) -> RequestSampler:
+    return RequestSampler(seed=seed, prompt_tokens=(64, 256), output_tokens=(4, 16))
+
+
+class TestPoisson:
+    def test_fixed_seed_fixed_arrival_times(self):
+        a = poisson_arrivals(sampler(seed=7), rate=1000.0, num_requests=16)
+        b = poisson_arrivals(sampler(seed=7), rate=1000.0, num_requests=16)
+        assert [r.arrival_s for r in a.initial()] == [r.arrival_s for r in b.initial()]
+        assert [r.prompt_tokens for r in a.initial()] == [
+            r.prompt_tokens for r in b.initial()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = poisson_arrivals(sampler(seed=0), rate=1000.0, num_requests=16)
+        b = poisson_arrivals(sampler(seed=1), rate=1000.0, num_requests=16)
+        assert [r.arrival_s for r in a.initial()] != [r.arrival_s for r in b.initial()]
+
+    def test_stream_is_sorted_with_unique_ids(self):
+        requests = poisson_arrivals(sampler(), rate=500.0, num_requests=32).initial()
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert sorted(r.request_id for r in requests) == list(range(32))
+
+    def test_mean_gap_tracks_rate(self):
+        requests = poisson_arrivals(sampler(), rate=100.0, num_requests=400).initial()
+        mean_gap = requests[-1].arrival_s / len(requests)
+        assert mean_gap == pytest.approx(1 / 100.0, rel=0.2)
+
+    def test_open_loop_has_no_feedback(self):
+        process = poisson_arrivals(sampler(), rate=100.0, num_requests=4)
+        assert process.on_complete(process.initial()[0], now_s=1.0) is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(sampler(), rate=0.0, num_requests=4)
+        with pytest.raises(ConfigError):
+            poisson_arrivals(sampler(), rate=10.0, num_requests=0)
+
+
+class TestBursty:
+    def test_deterministic(self):
+        a = bursty_arrivals(sampler(seed=3), rate=1000.0, num_requests=20, burst_size=4)
+        b = bursty_arrivals(sampler(seed=3), rate=1000.0, num_requests=20, burst_size=4)
+        assert [r.arrival_s for r in a.initial()] == [r.arrival_s for r in b.initial()]
+
+    def test_requests_cluster_into_bursts(self):
+        process = bursty_arrivals(
+            sampler(), rate=100.0, num_requests=12, burst_size=4, burst_factor=100.0
+        )
+        times = [r.arrival_s for r in process.initial()]
+        intra_gap = 1.0 / (100.0 * 100.0)
+        # Within a burst the spacing is exactly the intra-burst gap.
+        for start in (0, 4, 8):
+            burst = times[start : start + 4]
+            gaps = [b - a for a, b in zip(burst, burst[1:])]
+            assert all(g == pytest.approx(intra_gap) for g in gaps)
+
+    def test_rejects_degenerate_factor(self):
+        with pytest.raises(ConfigError):
+            bursty_arrivals(sampler(), rate=10.0, num_requests=4, burst_factor=1.0)
+
+
+class TestTraceReplay:
+    def test_replays_explicit_timestamps(self):
+        process = trace_arrivals(
+            sampler(), rate=1.0, num_requests=4, times=(0.3, 0.1, 0.2, 0.4)
+        )
+        assert [r.arrival_s for r in process.initial()] == [0.1, 0.2, 0.3, 0.4]
+
+    def test_num_requests_truncates(self):
+        process = trace_arrivals(
+            sampler(), rate=1.0, num_requests=2, times=(0.1, 0.2, 0.3)
+        )
+        assert len(process.initial()) == 2
+
+    def test_rejects_empty_and_negative_times(self):
+        with pytest.raises(ConfigError):
+            trace_arrivals(sampler(), rate=1.0, num_requests=4, times=())
+        with pytest.raises(ConfigError):
+            trace_arrivals(sampler(), rate=1.0, num_requests=4, times=(-0.1, 0.2))
+
+
+class TestClosedLoop:
+    def test_initial_wave_is_the_user_population(self):
+        process = closed_loop_arrivals(sampler(), rate=4, num_requests=10)
+        wave = process.initial()
+        assert len(wave) == 4
+        assert all(r.arrival_s == 0.0 for r in wave)
+
+    def test_completion_triggers_next_request_with_think_time(self):
+        process = closed_loop_arrivals(
+            sampler(), rate=2, num_requests=4, think_time_s=0.5
+        )
+        wave = process.initial()
+        follow = process.on_complete(wave[0], now_s=1.0)
+        assert follow is not None
+        assert follow.arrival_s == pytest.approx(1.5)
+
+    def test_request_budget_is_respected(self):
+        process = closed_loop_arrivals(sampler(), rate=2, num_requests=3)
+        wave = process.initial()
+        assert process.on_complete(wave[0], 1.0) is not None  # 3rd and last
+        assert process.on_complete(wave[1], 2.0) is None
+
+    def test_initial_wave_capped_by_budget(self):
+        process = closed_loop_arrivals(sampler(), rate=8, num_requests=3)
+        assert len(process.initial()) == 3
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert set(ARRIVALS.names()) >= {"poisson", "bursty", "closed-loop", "trace"}
+
+    def test_aliases_resolve(self):
+        assert resolve_arrival("replay") is resolve_arrival("trace")
+        assert resolve_arrival("closed") is resolve_arrival("closed-loop")
+
+    def test_unknown_arrival_lists_known_names(self):
+        with pytest.raises(ConfigError, match="poisson"):
+            resolve_arrival("tsunami")
+
+
+class TestRequestSampler:
+    def test_sizes_within_configured_ranges(self):
+        s = sampler()
+        for i in range(50):
+            request = s.sample(arrival_s=float(i))
+            assert 64 <= request.prompt_tokens <= 256
+            assert 4 <= request.output_tokens <= 16
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ConfigError):
+            RequestSampler(seed=0, prompt_tokens=(0, 10))
+        with pytest.raises(ConfigError):
+            RequestSampler(seed=0, output_tokens=(10, 5))

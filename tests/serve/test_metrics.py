@@ -1,0 +1,139 @@
+"""Serving metrics: derived aggregates, SLOs and serialization round-trips."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
+
+
+def record(
+    rid: int = 0,
+    arrival: float = 0.0,
+    admitted: float = 0.0,
+    first: float = 0.010,
+    finish: float = 0.100,
+    output: int = 10,
+) -> RequestMetrics:
+    return RequestMetrics(
+        request_id=rid,
+        arrival_s=arrival,
+        admitted_s=admitted,
+        first_token_s=first,
+        finish_s=finish,
+        prompt_tokens=128,
+        output_tokens=output,
+    ).validate()
+
+
+def metrics_of(requests, slo: ServeSLO = ServeSLO(), duration: float = 1.0) -> ServeMetrics:
+    return ServeMetrics(
+        label="test",
+        workload="tiny",
+        frequency_ghz=2.0,
+        duration_s=duration,
+        steps=100,
+        total_cycles=123456,
+        requests=tuple(requests),
+        slo=slo,
+    )
+
+
+class TestRequestMetrics:
+    def test_derived_latencies(self):
+        r = record(arrival=1.0, admitted=1.2, first=1.5, finish=2.4, output=10)
+        assert r.latency_s == pytest.approx(1.4)
+        assert r.queue_s == pytest.approx(0.2)
+        assert r.ttft_s == pytest.approx(0.5)
+        assert r.tpot_s == pytest.approx(0.9 / 9)
+
+    def test_single_token_tpot_is_zero(self):
+        assert record(output=1, first=0.1, finish=0.1).tpot_s == 0.0
+
+    def test_rejects_unordered_timestamps(self):
+        with pytest.raises(ConfigError):
+            record(arrival=2.0, admitted=1.0)
+
+    def test_round_trip(self):
+        r = record(rid=5)
+        assert RequestMetrics.from_dict(r.to_dict()) == r
+
+
+class TestServeSLO:
+    def test_trivial_slo_attains_everything(self):
+        assert ServeSLO().attained(record())
+        assert ServeSLO().is_trivial
+
+    def test_ttft_and_latency_objectives(self):
+        r = record(first=0.010, finish=0.100)      # ttft 10ms, latency 100ms
+        assert ServeSLO(ttft_ms=20).attained(r)
+        assert not ServeSLO(ttft_ms=5).attained(r)
+        assert ServeSLO(latency_ms=150).attained(r)
+        assert not ServeSLO(latency_ms=50).attained(r)
+        assert not ServeSLO(ttft_ms=20, latency_ms=50).attained(r)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            ServeSLO(ttft_ms=0).validate()
+
+    def test_round_trip(self):
+        slo = ServeSLO(ttft_ms=10.0, latency_ms=250.0)
+        assert ServeSLO.from_dict(slo.to_dict()) == slo
+
+
+class TestServeMetrics:
+    def test_percentiles_over_requests(self):
+        requests = [
+            record(rid=i, finish=0.100 + 0.010 * i) for i in range(10)
+        ]
+        m = metrics_of(requests)
+        assert m.latency_percentile_ms(0) == pytest.approx(100.0)
+        assert m.latency_percentile_ms(100) == pytest.approx(190.0)
+        assert m.latency_percentile_ms(50) == pytest.approx(145.0)
+
+    def test_throughput_aggregates(self):
+        m = metrics_of([record(rid=i, output=10) for i in range(4)], duration=2.0)
+        assert m.total_output_tokens == 40
+        assert m.tokens_per_s == pytest.approx(20.0)
+        assert m.requests_per_s == pytest.approx(2.0)
+
+    def test_tpot_weighted_by_decoded_tokens(self):
+        # 11 tokens over 1s (0.1 s/token) and 2 tokens over 0.3s (0.3 s/token):
+        # the weighted mean leans towards the longer request.
+        requests = [
+            record(rid=0, first=0.0, finish=1.0, output=11),
+            record(rid=1, first=0.0, finish=0.3, output=2),
+        ]
+        m = metrics_of(requests)
+        expected = (0.1 * 10 + 0.3 * 1) / 11 * 1e3
+        assert m.mean_tpot_ms == pytest.approx(expected)
+
+    def test_slo_attainment_fraction(self):
+        requests = [record(rid=0, finish=0.050), record(rid=1, finish=0.500)]
+        m = metrics_of(requests, slo=ServeSLO(latency_ms=100))
+        assert m.slo_attainment == pytest.approx(0.5)
+
+    def test_round_trip_preserves_percentiles(self):
+        m = metrics_of([record(rid=i, finish=0.1 + 0.01 * i) for i in range(7)],
+                       slo=ServeSLO(latency_ms=130))
+        rebuilt = ServeMetrics.from_dict(m.to_dict())
+        assert rebuilt == m
+        for point in (50, 95, 99):
+            assert rebuilt.latency_percentile_ms(point) == m.latency_percentile_ms(point)
+            assert rebuilt.ttft_percentile_ms(point) == m.ttft_percentile_ms(point)
+        assert rebuilt.slo_attainment == m.slo_attainment
+
+    def test_headline_metrics_survive_serialization(self):
+        m = metrics_of([record()])
+        payload = m.to_dict()
+        assert payload["metrics"]["tokens_per_s"] == pytest.approx(m.tokens_per_s)
+        assert payload["metrics"]["latency_p95_ms"] == pytest.approx(
+            m.latency_percentile_ms(95)
+        )
+
+    def test_summary_mentions_headlines(self):
+        text = metrics_of([record()]).summary()
+        assert "p50/p95/p99" in text
+        assert "tokens/s" in text
+
+    def test_result_kind_tag(self):
+        assert ServeMetrics.result_kind == "serve"

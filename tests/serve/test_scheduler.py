@@ -1,0 +1,112 @@
+"""Continuous-batching scheduler: admission, eviction, effective batch shape."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.serve.request import Request
+from repro.serve.scheduler import (
+    BatchConfig,
+    ContinuousBatchScheduler,
+    bucket_context,
+)
+
+
+def request(rid: int, arrival: float = 0.0, prompt: int = 100, output: int = 4) -> Request:
+    return Request(
+        request_id=rid, arrival_s=arrival, prompt_tokens=prompt, output_tokens=output
+    ).validate()
+
+
+def make_scheduler(max_batch: int = 2) -> ContinuousBatchScheduler:
+    return ContinuousBatchScheduler(config=BatchConfig(max_batch=max_batch))
+
+
+class TestBucketContext:
+    def test_floor_applies(self):
+        assert bucket_context(1) == 64
+        assert bucket_context(64) == 64
+
+    def test_rounds_up_to_powers_of_two(self):
+        assert bucket_context(65) == 128
+        assert bucket_context(128) == 128
+        assert bucket_context(129) == 256
+
+    def test_custom_floor(self):
+        assert bucket_context(5, floor=16) == 16
+        with pytest.raises(ConfigError):
+            bucket_context(5, floor=0)
+
+
+class TestAdmission:
+    def test_fcfs_up_to_max_batch(self):
+        scheduler = make_scheduler(max_batch=2)
+        for rid, arrival in ((2, 0.3), (0, 0.1), (1, 0.2)):
+            scheduler.enqueue(request(rid, arrival))
+        admitted = scheduler.admit(now_s=1.0)
+        assert [a.request.request_id for a in admitted] == [0, 1]
+        assert [r.request_id for r in scheduler.waiting] == [2]
+
+    def test_future_arrivals_not_admitted(self):
+        scheduler = make_scheduler()
+        scheduler.enqueue(request(0, arrival=5.0))
+        assert scheduler.admit(now_s=1.0) == []
+        assert scheduler.next_arrival_s() == 5.0
+
+    def test_admission_fills_freed_slots(self):
+        scheduler = make_scheduler(max_batch=1)
+        scheduler.enqueue(request(0, 0.0, output=1))
+        scheduler.enqueue(request(1, 0.0))
+        scheduler.admit(0.0)
+        assert len(scheduler.running) == 1
+        scheduler.running[0].generated = 1          # finish request 0
+        assert [a.request.request_id for a in scheduler.evict_finished(1.0)] == [0]
+        admitted = scheduler.admit(1.0)
+        assert [a.request.request_id for a in admitted] == [1]
+
+
+class TestEviction:
+    def test_finished_requests_are_stamped_and_removed(self):
+        scheduler = make_scheduler()
+        scheduler.enqueue(request(0, output=2))
+        scheduler.enqueue(request(1, output=4))
+        scheduler.admit(0.0)
+        for active in scheduler.running:
+            active.generated = 2
+        finished = scheduler.evict_finished(now_s=3.0)
+        assert [a.request.request_id for a in finished] == [0]
+        assert finished[0].finish_s == 3.0
+        assert [a.request.request_id for a in scheduler.running] == [1]
+
+
+class TestBatchShape:
+    def test_context_is_the_batch_maximum(self):
+        scheduler = make_scheduler()
+        scheduler.enqueue(request(0, prompt=100))
+        scheduler.enqueue(request(1, prompt=500))
+        scheduler.admit(0.0)
+        scheduler.running[0].generated = 3
+        batch, bucket = scheduler.batch_shape()
+        assert batch == 2
+        assert bucket == bucket_context(500)        # 512
+
+    def test_context_grows_with_generation(self):
+        scheduler = make_scheduler()
+        scheduler.enqueue(request(0, prompt=128, output=8))
+        scheduler.admit(0.0)
+        assert scheduler.batch_shape() == (1, 128)
+        scheduler.running[0].generated = 1
+        assert scheduler.batch_shape() == (1, 256)  # 129 -> next power of two
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scheduler().batch_shape()
+
+
+class TestBatchConfig:
+    def test_round_trip(self):
+        config = BatchConfig(max_batch=8, seq_bucket_floor=32)
+        assert BatchConfig.from_dict(config.to_dict()) == config
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            BatchConfig(max_batch=0).validate()

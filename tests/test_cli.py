@@ -80,11 +80,86 @@ class TestSweepCommand:
         assert "sweep results" in out
 
 
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workload == "llama3-70b"
+        assert args.arrival == "poisson"
+        assert args.rate == 2000.0
+        assert args.seed == 0
+        assert not args.smoke
+
+    def test_model_is_an_alias_for_workload(self):
+        args = build_parser().parse_args(["serve", "--model", "llama3-405b-decode"])
+        assert args.workload == "llama3-405b-decode"
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--arrival", "tsunami", "--smoke"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workload", "gpt-7", "--smoke"])
+
+    def test_smoke_run_prints_percentiles_and_throughput(self, capsys):
+        assert main(["serve", "--smoke", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "p50/p95/p99" in out
+        assert "latency percentiles" in out
+        assert "tokens/s" in out
+        assert "cycle-engine runs" in out
+
+
+class TestServeSweepCommand:
+    def test_serve_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--serve", "--rate", "1000", "--rate", "2000",
+             "--arrival", "poisson", "--num-requests", "8"]
+        )
+        assert args.serve
+        assert args.rates == [1000.0, 2000.0]
+        assert args.arrivals == ["poisson"]
+        assert args.num_requests == 8
+
+    def test_kernel_sweep_unaffected_by_default(self):
+        args = build_parser().parse_args(["sweep"])
+        assert not args.serve
+        assert args.rates is None
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--serve", "--arrival", "tsunami"])
+
+    def test_serve_axes_without_serve_rejected(self):
+        with pytest.raises(SystemExit, match="--serve"):
+            main(["sweep", "--rate", "1000"])
+        with pytest.raises(SystemExit, match="--serve"):
+            main(["sweep", "--arrival", "bursty"])
+
+    def test_kernel_axes_with_serve_rejected(self):
+        with pytest.raises(SystemExit, match="kernel-sweep"):
+            main(["sweep", "--serve", "--seq-len", "1024"])
+        with pytest.raises(SystemExit, match="kernel-sweep"):
+            main(["sweep", "--serve", "--l2-mib", "32"])
+
+
 class TestListCommand:
     def test_list_workloads(self, capsys):
         assert main(["list", "workloads"]) == 0
         out = capsys.readouterr().out
         for name in ("llama3-70b", "llama3-405b", "llama3-405b-attend"):
+            assert name in out
+
+    def test_list_workload_decode_aliases(self, capsys):
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "llama3-70b-decode" in out
+        assert "llama3-405b-decode" in out
+
+    def test_list_arrivals(self, capsys):
+        assert main(["list", "arrivals"]) == 0
+        out = capsys.readouterr().out
+        for name in ("poisson", "bursty", "closed-loop", "trace"):
             assert name in out
 
     def test_list_systems(self, capsys):
