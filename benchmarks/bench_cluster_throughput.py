@@ -1,0 +1,38 @@
+"""Cluster throughput: one request stream over a 4-replica fleet.
+
+Times one `repro.cluster` run end to end (arrival generation, routing, four
+independent continuous-batching schedulers and the shared memoized step-cost
+table) and prints the fleet headline metrics.  The shared table is the whole
+trick at fleet scale: replicas with the same system preset reuse one
+(batch, seq-bucket) cycle table, so a 4-replica fleet performs barely more
+cycle-engine runs than one accelerator would.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.cluster import ClusterScenario
+
+
+def test_cluster_round_robin_throughput(benchmark, tier):
+    scenario = ClusterScenario(
+        workload="llama3-70b",
+        arrival="poisson",
+        rate=4000.0,
+        num_requests=32,
+        replicas=4,
+        router="round-robin",
+        max_batch=4,
+        seed=0,
+        tier=tier,
+    ).validate()
+    metrics = run_once(benchmark, scenario.run)
+    print()
+    print(metrics.summary())
+    assert metrics.num_requests == 32
+    assert metrics.num_replicas == 4
+    assert metrics.tokens_per_s > 0
+    # Percentiles must be ordered, and the shared memo table must be doing its
+    # job: far fewer cycle-engine runs than fleet serving steps.
+    assert metrics.latency_percentile_ms(50) <= metrics.latency_percentile_ms(99)
+    assert metrics.meta["step_simulations"] < metrics.steps / 10

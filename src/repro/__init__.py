@@ -16,6 +16,8 @@ Python library:
 * ``repro.sim``       -- simulation engine, results, experiment runner
 * ``repro.serve``     -- request-stream serving simulation (continuous batching,
   arrival processes, latency SLO metrics)
+* ``repro.cluster``   -- multi-replica serving over ``repro.serve`` (pluggable
+  routers, heterogeneous fleets, fleet-level metrics)
 * ``repro.experiments`` -- one module per paper figure / table
 * ``repro.hwcost``    -- §6.1 area model
 
@@ -39,7 +41,7 @@ alike.
 """
 
 from repro import config, registry
-from repro.api import Scenario, ServeScenario, Simulation, run_scenario
+from repro.api import ClusterScenario, Scenario, ServeScenario, Simulation, run_scenario
 from repro.config import (
     PolicyConfig,
     ScaleTier,
@@ -57,6 +59,7 @@ from repro.sim import SimResult, Simulator, compare_policies, run_policy, simula
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClusterScenario",
     "PolicyConfig",
     "ScaleTier",
     "Scenario",

@@ -30,6 +30,9 @@ here, from ``llamcat`` and from sweep grids, with zero further edits.
 The serving counterpart, :class:`~repro.serve.scenario.ServeScenario`, is
 re-exported here: it names one request-stream serving run (workload, arrival
 process, rate, SLOs) the same way a :class:`Scenario` names one kernel run.
+So is the fleet counterpart, :class:`~repro.cluster.scenario.ClusterScenario`,
+which adds the replica count, the router and the per-replica system presets
+(heterogeneous fleets) on top.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, NamedTuple
 
+from repro.cluster.scenario import ClusterScenario, run_cluster_scenario
 from repro.common.errors import ConfigError
 from repro.config.policies import PolicyConfig
 from repro.config.scale import ScaleTier, parse_tier, scale_experiment
@@ -398,6 +402,7 @@ def scenario_matrix(
 
 
 __all__ = [
+    "ClusterScenario",
     "DEFAULT_SYSTEM",
     "ResolvedScenario",
     "Scenario",
@@ -405,6 +410,7 @@ __all__ = [
     "Simulation",
     "SimulationBuilder",
     "parse_ordering",
+    "run_cluster_scenario",
     "run_scenario",
     "run_serve_scenario",
     "scenario_matrix",

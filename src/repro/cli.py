@@ -2,11 +2,14 @@
 
 Subcommands
 
-* ``run``   -- simulate one policy on one workload and print the summary
-* ``serve`` -- simulate serving a request stream with continuous batching
-* ``sweep`` -- run a grid of (model x seq-len x policy x L2) points in parallel,
-  or of serving points (``--serve`` with repeatable ``--rate``)
-* ``list``  -- list registered workloads / systems / policies / throttles / arrivals
+* ``run``     -- simulate one policy on one workload and print the summary
+* ``serve``   -- simulate serving a request stream with continuous batching
+* ``cluster`` -- simulate a multi-replica fleet behind a pluggable router
+* ``sweep``   -- run a grid of (model x seq-len x policy x L2) points in parallel,
+  of serving points (``--serve`` with repeatable ``--rate``) or of cluster
+  points (``--cluster`` with repeatable ``--replicas``/``--router``)
+* ``list``    -- list registered workloads / systems / policies / throttles /
+  arrivals / routers
 * ``fig7``  -- regenerate the Fig 7 speedup panels
 * ``fig8``  -- regenerate the Fig 8 mechanism statistics
 * ``fig9``  -- regenerate the Fig 9 cache-size sweep
@@ -27,6 +30,8 @@ import sys
 from dataclasses import replace
 
 from repro.api import Scenario
+from repro.cluster.scenario import ClusterScenario
+from repro.cluster.sweep import ClusterSweepSpec
 from repro.common.errors import ConfigError
 from repro.config.presets import FIG9_L2_MIB, FIG9_SEQ_LEN
 from repro.config.scale import parse_tier
@@ -36,7 +41,7 @@ from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.hwcost_exp import run_hwcost
 from repro.experiments.reporting import format_grid
-from repro.registry import ARRIVALS, POLICIES, SYSTEMS, THROTTLES, WORKLOADS
+from repro.registry import ARRIVALS, POLICIES, ROUTERS, SYSTEMS, THROTTLES, WORKLOADS
 from repro.serve.metrics import REPORTED_PERCENTILES
 from repro.serve.scenario import ServeScenario
 from repro.serve.sweep import ServeSweepSpec
@@ -51,10 +56,14 @@ LISTABLE_REGISTRIES = {
     "policies": POLICIES,
     "throttles": THROTTLES,
     "arrivals": ARRIVALS,
+    "routers": ROUTERS,
 }
 
 #: Defaults of the serving sweep's traffic axis (requests/s).
 SERVE_SWEEP_RATES = (1000.0, 2000.0, 4000.0)
+
+#: Defaults of the cluster sweep's fleet-size axis.
+CLUSTER_SWEEP_REPLICAS = (2, 4)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +106,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast CI preset: smoke tier, 8 requests, batch <= 2",
     )
 
+    cluster_p = sub.add_parser(
+        "cluster",
+        help="simulate a multi-replica serving fleet behind a pluggable router",
+    )
+    cluster_p.add_argument(
+        "--workload", "--model", dest="workload", default="llama3-70b",
+        help="registered workload name (e.g. llama3-70b-decode)",
+    )
+    cluster_p.add_argument(
+        "--arrival", default="poisson",
+        help='registered arrival process, e.g. "poisson", "bursty", "closed-loop"',
+    )
+    cluster_p.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="requests/s (open-loop) or user population (closed-loop)",
+    )
+    cluster_p.add_argument("--num-requests", type=int, default=32)
+    cluster_p.add_argument("--replicas", type=int, default=2,
+                           help="fleet size (accelerator replicas)")
+    cluster_p.add_argument(
+        "--router", default="round-robin",
+        help='registered router, e.g. "round-robin", "least-outstanding", '
+             '"join-shortest-queue", "weighted"',
+    )
+    cluster_p.add_argument("--max-batch", type=int, default=4,
+                           help="per-replica continuous-batching bound")
+    cluster_p.add_argument("--seed", type=int, default=0)
+    cluster_p.add_argument("--policy", default="unopt")
+    cluster_p.add_argument(
+        "--system", action="append", dest="systems",
+        help="repeatable system preset; one name is broadcast to every "
+             "replica, N names give a heterogeneous fleet (default: table5)",
+    )
+    cluster_p.add_argument("--tier", default="ci")
+    cluster_p.add_argument("--slo-ttft-ms", type=float, default=None)
+    cluster_p.add_argument("--slo-latency-ms", type=float, default=None)
+    cluster_p.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI preset: smoke tier, 8 requests, 2 replicas, batch <= 2",
+    )
+
     sweep_p = sub.add_parser(
         "sweep",
         help="run a grid of simulation points in parallel (Fig 9-style by default)",
@@ -124,20 +174,35 @@ def build_parser() -> argparse.ArgumentParser:
              "instead of kernel points",
     )
     sweep_p.add_argument(
+        "--cluster", action="store_true",
+        help="sweep cluster points (workloads x arrivals x rates x replicas x "
+             "routers x policies) instead of kernel points",
+    )
+    sweep_p.add_argument(
         "--rate", type=float, action="append", dest="rates",
         help=f"repeatable serving arrival rates (requests/s); "
-             f"default: {SERVE_SWEEP_RATES} (only with --serve)",
+             f"default: {SERVE_SWEEP_RATES} (only with --serve/--cluster)",
     )
     sweep_p.add_argument(
         "--arrival", action="append", dest="arrivals",
-        help='repeatable arrival-process names; default: "poisson" (only with --serve)',
+        help='repeatable arrival-process names; default: "poisson" '
+             "(only with --serve/--cluster)",
+    )
+    sweep_p.add_argument(
+        "--replicas", type=int, action="append", dest="replica_counts",
+        help=f"repeatable fleet sizes; default: {CLUSTER_SWEEP_REPLICAS} "
+             "(only with --cluster)",
+    )
+    sweep_p.add_argument(
+        "--router", action="append", dest="routers",
+        help='repeatable router names; default: "round-robin" (only with --cluster)',
     )
     sweep_p.add_argument("--num-requests", type=int, default=32,
-                         help="requests per serving point (only with --serve)")
+                         help="requests per serving point (only with --serve/--cluster)")
     sweep_p.add_argument("--max-batch", type=int, default=4,
-                         help="continuous-batching bound (only with --serve)")
+                         help="continuous-batching bound (only with --serve/--cluster)")
     sweep_p.add_argument("--seed", type=int, default=0,
-                         help="arrival-stream seed (only with --serve)")
+                         help="arrival-stream seed (only with --serve/--cluster)")
     sweep_p.add_argument("--tier", default="ci")
     sweep_p.add_argument("--jobs", type=int, default=1, help="worker processes")
     sweep_p.add_argument(
@@ -219,6 +284,141 @@ def _serve_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_command(args: argparse.Namespace) -> int:
+    tier = "smoke" if args.smoke else args.tier
+    replicas = min(args.replicas, 2) if args.smoke else args.replicas
+    systems = tuple(args.systems) if args.systems else ("table5",)
+    if args.smoke and len(systems) > 1:
+        systems = systems[:replicas]
+    scenario = ClusterScenario(
+        workload=args.workload,
+        arrival=args.arrival,
+        rate=args.rate,
+        num_requests=8 if args.smoke else args.num_requests,
+        replicas=replicas,
+        router=args.router,
+        max_batch=min(args.max_batch, 2) if args.smoke else args.max_batch,
+        seed=args.seed,
+        policy=args.policy,
+        systems=systems,
+        tier=parse_tier(tier),
+        slo_ttft_ms=args.slo_ttft_ms,
+        slo_latency_ms=args.slo_latency_ms,
+    ).validate()
+    metrics = scenario.run()
+    print(metrics.summary())
+    print()
+    replica_rows = [
+        {
+            "replica": replica.replica_id,
+            "system": replica.system,
+            "requests": replica.num_requests,
+            "routed": replica.routed,
+            "steps": replica.steps,
+            "tokens": replica.output_tokens,
+            "utilization": replica.utilization(metrics.duration_s),
+        }
+        for replica in metrics.replicas
+    ]
+    print(format_grid(f"fleet ({scenario.display_label})", replica_rows))
+    print()
+    rows = [
+        {
+            "metric": f"p{point:g}",
+            "latency_ms": metrics.latency_percentile_ms(point),
+            "ttft_ms": metrics.ttft_percentile_ms(point),
+        }
+        for point in REPORTED_PERCENTILES
+    ]
+    print(format_grid("merged latency percentiles", rows))
+    print(
+        f"fleet throughput: {metrics.tokens_per_s:.0f} tokens/s, "
+        f"{metrics.requests_per_s:.0f} requests/s "
+        f"(imbalance {metrics.load_imbalance:.2f}, "
+        f"{metrics.steps} fleet steps, "
+        f"{metrics.meta.get('step_simulations', 0)} cycle-engine runs)"
+    )
+    if not scenario.slo().is_trivial:
+        print(f"SLO attainment: {metrics.slo_attainment:.1%}")
+    return 0
+
+
+def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
+    _validate_jobs(args.jobs)
+    spec = ClusterSweepSpec(
+        workloads=tuple(args.models or ("llama3-70b",)),
+        rates=tuple(args.rates or SERVE_SWEEP_RATES),
+        replica_counts=tuple(args.replica_counts or CLUSTER_SWEEP_REPLICAS),
+        routers=tuple(args.routers or ("round-robin",)),
+        arrivals=tuple(args.arrivals or ("poisson",)),
+        policies=tuple(args.policies or ("unopt",)),
+        num_requests=args.num_requests,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        tier=parse_tier(args.tier),
+        max_cycles=args.max_cycles,
+    ).validate()
+
+    points = spec.expand()
+    print(
+        f"cluster sweep: {len(points)} points = {len(spec.workloads)} workloads x "
+        f"{len(spec.arrivals)} arrivals x {len(spec.rates)} rates x "
+        f"{len(spec.replica_counts)} fleet sizes x {len(spec.routers)} routers x "
+        f"{len(spec.policies)} policies (tier={spec.tier.name}, jobs={args.jobs})"
+    )
+    store = ResultStore(args.store) if args.store else None
+    if store is not None and store.completed_count:
+        print(f"store: {store.path} ({store.completed_count} completed points on disk)")
+
+    def progress(done: int, total: int, outcome) -> None:
+        status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
+        print(
+            f"  [{done:>{len(str(total))}}/{total}] {outcome.point.describe():<60} "
+            f"{status} ({outcome.elapsed_s:.1f}s)"
+        )
+
+    report = run_sweep(
+        points,
+        jobs=args.jobs,
+        store=store,
+        progress=None if args.quiet else progress,
+        force=args.force,
+    )
+
+    rows = []
+    for outcome in report.outcomes:
+        point = outcome.point
+        row = {
+            "model": point.coord("model"),
+            "rate": point.coord("rate"),
+            "replicas": point.coord("replicas"),
+            "router": point.coord("router"),
+        }
+        if outcome.ok:
+            metrics = outcome.result
+            row.update(
+                {
+                    "p50_ms": metrics.latency_percentile_ms(50),
+                    "p99_ms": metrics.latency_percentile_ms(99),
+                    "tokens_per_s": metrics.tokens_per_s,
+                    "imbalance": metrics.load_imbalance,
+                    "slo": metrics.slo_attainment,
+                }
+            )
+        else:
+            row.update(
+                {"p50_ms": "FAILED", "p99_ms": "-", "tokens_per_s": "-",
+                 "imbalance": "-", "slo": "-"}
+            )
+        rows.append(row)
+    print()
+    print(format_grid(f"cluster sweep results (tier={spec.tier.name})", rows))
+    print(report.summary())
+    for failure in report.failures:
+        print(f"FAILED {failure.point.describe()}:\n{failure.error}")
+    return 1 if report.failures else 0
+
+
 def _run_serve_sweep_command(args: argparse.Namespace) -> int:
     _validate_jobs(args.jobs)
     spec = ServeSweepSpec(
@@ -296,15 +496,25 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     # Axes are mode-specific; reject mixed flags instead of silently dropping
     # them (e.g. `--rate` without `--serve` would otherwise launch the full
     # kernel grid while ignoring the requested serving study).
-    if args.serve and (args.seq_lens or args.l2_mib):
+    if args.serve and args.cluster:
+        raise SystemExit("--serve and --cluster are mutually exclusive sweep modes")
+    if (args.serve or args.cluster) and (args.seq_lens or args.l2_mib):
         raise SystemExit(
-            "--seq-len/--l2-mib are kernel-sweep axes; drop them or drop --serve"
+            "--seq-len/--l2-mib are kernel-sweep axes; drop them or drop "
+            "--serve/--cluster"
         )
-    if not args.serve and (args.rates or args.arrivals):
+    if not args.cluster and (args.replica_counts or args.routers):
         raise SystemExit(
-            "--rate/--arrival are serving-sweep axes; pass --serve to sweep "
-            "serving points"
+            "--replicas/--router are cluster-sweep axes; pass --cluster to "
+            "sweep cluster points"
         )
+    if not (args.serve or args.cluster) and (args.rates or args.arrivals):
+        raise SystemExit(
+            "--rate/--arrival are serving-sweep axes; pass --serve or "
+            "--cluster to sweep serving points"
+        )
+    if args.cluster:
+        return _run_cluster_sweep_command(args)
     if args.serve:
         return _run_serve_sweep_command(args)
     _validate_jobs(args.jobs)
@@ -440,6 +650,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _serve_command(args)
+
+    if args.command == "cluster":
+        return _cluster_command(args)
 
     if args.command == "sweep":
         return _run_sweep_command(args)

@@ -1,0 +1,60 @@
+"""Cluster-scale serving: a fleet of replicas behind a pluggable router.
+
+``repro.cluster`` layers multi-replica serving on top of :mod:`repro.serve`:
+N accelerator replicas -- homogeneous or mixed system presets -- each run
+their own continuous-batching scheduler and memoized step-cost table, while a
+router registered under :data:`repro.registry.ROUTERS` (round-robin,
+least-outstanding, join-shortest-queue, weighted) spreads one shared arrival
+stream across the fleet.  :class:`ClusterMetrics` aggregates fleet throughput,
+merged latency percentiles, per-replica utilization and the load-imbalance
+factor.
+
+Quick start::
+
+    from repro.cluster import ClusterScenario
+
+    metrics = ClusterScenario(
+        workload="llama3-70b", replicas=4, router="least-outstanding",
+        arrival="poisson", rate=4000, seed=0,
+    ).run()
+    print(metrics.summary())
+
+Cluster points also sweep through the parallel executor::
+
+    from repro.cluster import ClusterSweepSpec
+    from repro.sweep import run_sweep
+
+    spec = ClusterSweepSpec(
+        workloads=("llama3-70b",), rates=(2000, 4000),
+        replica_counts=(2, 4), routers=("round-robin", "join-shortest-queue"),
+    )
+    report = run_sweep(spec.expand(), jobs=4)
+"""
+
+from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
+from repro.cluster.router import (
+    JoinShortestQueueRouter,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    Router,
+    WeightedRouter,
+)
+from repro.cluster.scenario import ClusterScenario, run_cluster_scenario
+from repro.cluster.simulator import ClusterSimulator, ReplicaSim
+from repro.cluster.sweep import ClusterPoint, ClusterSweepSpec
+
+__all__ = [
+    "ClusterMetrics",
+    "ClusterPoint",
+    "ClusterScenario",
+    "ClusterSimulator",
+    "ClusterSweepSpec",
+    "JoinShortestQueueRouter",
+    "LeastOutstandingRouter",
+    "ReplicaMetrics",
+    "ReplicaSim",
+    "RoundRobinRouter",
+    "Router",
+    "WeightedRouter",
+    "run_cluster_scenario",
+]

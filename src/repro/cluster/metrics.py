@@ -1,0 +1,276 @@
+"""Cluster metrics: per-replica accounting merged into fleet-level aggregates.
+
+The authoritative data is one :class:`ReplicaMetrics` per replica, each holding
+the :class:`~repro.serve.metrics.RequestMetrics` records of the requests that
+replica completed plus its own step/cycle/busy-time counters.  Everything the
+evaluation reports at fleet level -- merged p50/p95/p99 latency and TTFT,
+fleet tokens/s and requests/s, per-replica utilization and the load-imbalance
+factor -- is derived on demand through :mod:`repro.common.mathutils`, exactly
+like :class:`~repro.serve.metrics.ServeMetrics` derives its aggregates.
+
+:class:`ClusterMetrics` serializes with ``to_dict``/``from_dict`` and carries
+``result_kind = "cluster"``, so cluster points flow through the sweep result
+store next to kernel (``"sim"``) and single-accelerator (``"serve"``) records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import ClassVar
+
+from repro.common.errors import ConfigError
+from repro.common.mathutils import mean, percentile, percentiles, safe_div, weighted_mean
+from repro.serve.metrics import REPORTED_PERCENTILES, RequestMetrics, ServeSLO
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaMetrics:
+    """One replica's share of a cluster run."""
+
+    replica_id: int
+    system: str
+    frequency_ghz: float
+    #: Scheduler iterations this replica executed.
+    steps: int
+    #: Total simulated cycles across this replica's iterations.
+    total_cycles: int
+    #: Wall-clock seconds the replica spent mid-step (vs. idle).
+    busy_s: float
+    #: Requests the router sent here (>= len(requests) only transiently;
+    #: equal once the run drains).
+    routed: int
+    requests: tuple[RequestMetrics, ...] = ()
+
+    def validate(self) -> "ReplicaMetrics":
+        if self.replica_id < 0:
+            raise ConfigError(f"replica_id must be >= 0, got {self.replica_id}")
+        if self.frequency_ghz <= 0:
+            raise ConfigError(f"frequency_ghz must be positive, got {self.frequency_ghz}")
+        if self.busy_s < 0:
+            raise ConfigError(f"busy_s must be >= 0, got {self.busy_s}")
+        if self.routed < len(self.requests):
+            raise ConfigError(
+                f"replica {self.replica_id} completed {len(self.requests)} requests "
+                f"but was routed only {self.routed}"
+            )
+        return self
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def output_tokens(self) -> int:
+        return sum(r.output_tokens for r in self.requests)
+
+    def utilization(self, duration_s: float) -> float:
+        """Fraction of ``duration_s`` this replica spent executing steps."""
+
+        return min(1.0, safe_div(self.busy_s, duration_s))
+
+    def to_dict(self) -> dict:
+        return {
+            "replica_id": self.replica_id,
+            "system": self.system,
+            "frequency_ghz": self.frequency_ghz,
+            "steps": self.steps,
+            "total_cycles": self.total_cycles,
+            "busy_s": self.busy_s,
+            "routed": self.routed,
+            "requests": [r.to_dict() for r in self.requests],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplicaMetrics":
+        return cls(
+            replica_id=data["replica_id"],
+            system=data["system"],
+            frequency_ghz=data["frequency_ghz"],
+            steps=data["steps"],
+            total_cycles=data["total_cycles"],
+            busy_s=data["busy_s"],
+            routed=data["routed"],
+            requests=tuple(RequestMetrics.from_dict(r) for r in data["requests"]),
+        ).validate()
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterMetrics:
+    """Complete result of one multi-replica serving simulation."""
+
+    #: Result-kind tag used by the sweep store to pick the right deserializer.
+    result_kind: ClassVar[str] = "cluster"
+
+    label: str
+    workload: str
+    router: str
+    #: Wall-clock span of the run: first arrival to last finish, seconds.
+    duration_s: float
+    replicas: tuple[ReplicaMetrics, ...] = ()
+    slo: ServeSLO = field(default_factory=ServeSLO)
+    meta: dict = field(default_factory=dict)
+
+    # -- fleet-level series ------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def requests(self) -> tuple[RequestMetrics, ...]:
+        """Every completed request in the fleet, merged and id-sorted."""
+
+        merged = [r for replica in self.replicas for r in replica.requests]
+        return tuple(sorted(merged, key=lambda r: r.request_id))
+
+    @property
+    def num_requests(self) -> int:
+        return sum(replica.num_requests for replica in self.replicas)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(replica.output_tokens for replica in self.replicas)
+
+    @property
+    def steps(self) -> int:
+        return sum(replica.steps for replica in self.replicas)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(replica.total_cycles for replica in self.replicas)
+
+    # -- headline aggregates -----------------------------------------------------------
+    def latency_percentile_ms(self, point: float) -> float:
+        return percentile([r.latency_s for r in self.requests], point) * 1e3
+
+    def ttft_percentile_ms(self, point: float) -> float:
+        return percentile([r.ttft_s for r in self.requests], point) * 1e3
+
+    @property
+    def mean_tpot_ms(self) -> float:
+        """Fleet decode pace, weighted by each request's decoded tokens."""
+
+        requests = self.requests
+        weights = [max(0, r.output_tokens - 1) for r in requests]
+        if not requests or sum(weights) == 0:
+            return 0.0
+        return weighted_mean([r.tpot_s for r in requests], weights) * 1e3
+
+    @property
+    def tokens_per_s(self) -> float:
+        """Fleet throughput: completed output tokens over the makespan."""
+
+        return safe_div(self.total_output_tokens, self.duration_s)
+
+    @property
+    def requests_per_s(self) -> float:
+        return safe_div(self.num_requests, self.duration_s)
+
+    @property
+    def utilizations(self) -> list[float]:
+        """Per-replica busy fraction of the fleet makespan, replica order."""
+
+        return [replica.utilization(self.duration_s) for replica in self.replicas]
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean completed output tokens across replicas (1.0 = balanced).
+
+        The classic imbalance factor: how much hotter the hottest replica ran
+        than the fleet average.  0.0 when the fleet completed nothing.
+        """
+
+        tokens = [replica.output_tokens for replica in self.replicas]
+        if not tokens or sum(tokens) == 0:
+            return 0.0
+        return max(tokens) / mean(tokens)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of fleet requests meeting every objective (1.0 if none)."""
+
+        requests = self.requests
+        if not requests or self.slo.is_trivial:
+            return 1.0
+        return sum(1 for r in requests if self.slo.attained(r)) / len(requests)
+
+    # -- formatting --------------------------------------------------------------------
+    def headline_metrics(self) -> dict:
+        # Merge the per-replica records once and batch the percentile points
+        # over one sort each -- this runs on every store write (to_dict).
+        requests = self.requests
+        out = {
+            "label": self.label,
+            "workload": self.workload,
+            "router": self.router,
+            "num_replicas": self.num_replicas,
+            "num_requests": len(requests),
+            "duration_s": self.duration_s,
+            "steps": self.steps,
+            "total_cycles": self.total_cycles,
+            "tokens_per_s": self.tokens_per_s,
+            "requests_per_s": self.requests_per_s,
+            "mean_tpot_ms": self.mean_tpot_ms,
+            "load_imbalance": self.load_imbalance,
+            "slo_attainment": self.slo_attainment,
+            "utilizations": self.utilizations,
+        }
+        if requests:
+            latency = percentiles([r.latency_s for r in requests], REPORTED_PERCENTILES)
+            ttft = percentiles([r.ttft_s for r in requests], REPORTED_PERCENTILES)
+            for point, lat_ms, ttft_ms in zip(REPORTED_PERCENTILES, latency, ttft):
+                out[f"latency_p{point:g}_ms"] = lat_ms * 1e3
+                out[f"ttft_p{point:g}_ms"] = ttft_ms * 1e3
+        return out
+
+    def summary(self) -> str:
+        requests = self.requests
+        if not requests:
+            return f"[{self.label}] {self.workload}: no completed requests"
+        p50, p95, p99 = (
+            p * 1e3
+            for p in percentiles([r.latency_s for r in requests], REPORTED_PERCENTILES)
+        )
+        return (
+            f"[{self.label}] {self.workload} x{self.num_replicas} via {self.router}: "
+            f"{len(requests)} requests in {self.duration_s * 1e3:.2f} ms "
+            f"({self.steps} fleet steps), "
+            f"latency p50/p95/p99 = {p50:.3f}/{p95:.3f}/{p99:.3f} ms, "
+            f"TTFT p95 {percentile([r.ttft_s for r in requests], 95) * 1e3:.3f} ms, "
+            f"{self.tokens_per_s:.0f} tokens/s, {self.requests_per_s:.0f} req/s, "
+            f"imbalance {self.load_imbalance:.2f}, SLO {self.slo_attainment:.1%}"
+        )
+
+    # -- serialization (sweep result store) --------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping that round-trips via :meth:`from_dict`.
+
+        The per-replica records are authoritative; the derived fleet
+        aggregates ride along under ``"metrics"`` for human consumers and are
+        recomputed on demand after a reload.
+        """
+
+        return {
+            "label": self.label,
+            "workload": self.workload,
+            "router": self.router,
+            "duration_s": self.duration_s,
+            "replicas": [replica.to_dict() for replica in self.replicas],
+            "slo": self.slo.to_dict(),
+            "meta": dict(self.meta),
+            "metrics": self.headline_metrics(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterMetrics":
+        return cls(
+            label=data["label"],
+            workload=data["workload"],
+            router=data["router"],
+            duration_s=data["duration_s"],
+            replicas=tuple(ReplicaMetrics.from_dict(r) for r in data["replicas"]),
+            slo=ServeSLO.from_dict(data.get("slo", {})),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def with_label(self, label: str) -> "ClusterMetrics":
+        return self if label == self.label else replace(self, label=label)

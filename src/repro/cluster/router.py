@@ -1,0 +1,144 @@
+"""Request routers: how a shared arrival stream is spread over replicas.
+
+A :class:`Router` makes one decision per request: which replica receives it.
+The decision happens at the request's arrival time, so state-aware routers
+(least-outstanding, join-shortest-queue) observe exactly the queues a real
+front-end load balancer would see.  Routers are deliberately deterministic --
+ties break towards the lowest replica index -- so a seeded cluster run
+reproduces every routing decision bit-for-bit.
+
+Builders are registered under :data:`repro.registry.ROUTERS` via
+``@register_router`` with the uniform signature ``(num_replicas, **params)``,
+which makes a new routing discipline immediately addressable from
+``llamcat cluster --router <name>``, :class:`~repro.cluster.scenario.ClusterScenario`
+and cluster sweep grids.
+
+The replica objects handed to :meth:`Router.select` expose two load signals:
+
+* ``queue_depth``  -- requests routed but not yet admitted into the batch;
+* ``outstanding``  -- queued plus currently running requests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ConfigError
+from repro.registry import register_router
+from repro.serve.request import Request
+
+
+class Router:
+    """Base class: assign each arriving request to one replica."""
+
+    name = "router"
+
+    def __init__(self, num_replicas: int) -> None:
+        if num_replicas <= 0:
+            raise ConfigError(f"num_replicas must be positive, got {num_replicas}")
+        self.num_replicas = num_replicas
+
+    def select(self, request: Request, replicas: Sequence, now_s: float) -> int:
+        """The replica index in ``[0, num_replicas)`` that receives ``request``."""
+
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in arrival order, oblivious to load."""
+
+    name = "round-robin"
+
+    def __init__(self, num_replicas: int) -> None:
+        super().__init__(num_replicas)
+        self._next = 0
+
+    def select(self, request: Request, replicas: Sequence, now_s: float) -> int:
+        chosen = self._next
+        self._next = (self._next + 1) % self.num_replicas
+        return chosen
+
+
+class LeastOutstandingRouter(Router):
+    """Send each request to the replica with the fewest in-flight requests.
+
+    "In flight" counts both the queued and the running requests, which is what
+    a front-end tracking issued-minus-completed per backend actually knows.
+    """
+
+    name = "least-outstanding"
+
+    def select(self, request: Request, replicas: Sequence, now_s: float) -> int:
+        return min(range(self.num_replicas), key=lambda i: (replicas[i].outstanding, i))
+
+
+class JoinShortestQueueRouter(Router):
+    """Send each request to the replica with the shortest admission queue.
+
+    Unlike least-outstanding this ignores the running batch: a replica that is
+    busy but has an empty queue looks as attractive as an idle one, which
+    mirrors queue-length-only dispatching (the classic JSQ policy).
+    """
+
+    name = "join-shortest-queue"
+
+    def select(self, request: Request, replicas: Sequence, now_s: float) -> int:
+        return min(range(self.num_replicas), key=lambda i: (replicas[i].queue_depth, i))
+
+
+class WeightedRouter(Router):
+    """Smooth weighted round-robin over per-replica weights.
+
+    The classic nginx algorithm: every pick adds each replica's weight to its
+    running credit, routes to the highest credit (lowest index on ties) and
+    subtracts the weight total from the winner.  Over any window the share of
+    requests a replica receives is proportional to its weight, without the
+    bursts a naive weighted cycle would produce.  With equal weights this
+    degenerates to plain round-robin.
+    """
+
+    name = "weighted"
+
+    def __init__(self, num_replicas: int, weights: Sequence[float] = ()) -> None:
+        super().__init__(num_replicas)
+        expanded = tuple(float(w) for w in weights) if weights else (1.0,) * num_replicas
+        if len(expanded) != num_replicas:
+            raise ConfigError(
+                f"weighted router needs one weight per replica, got "
+                f"{len(expanded)} weights for {num_replicas} replicas"
+            )
+        if any(w <= 0 for w in expanded):
+            raise ConfigError(f"router weights must be positive, got {expanded}")
+        self.weights = expanded
+        self._credit = [0.0] * num_replicas
+
+    def select(self, request: Request, replicas: Sequence, now_s: float) -> int:
+        for i, weight in enumerate(self.weights):
+            self._credit[i] += weight
+        chosen = max(range(self.num_replicas), key=lambda i: (self._credit[i], -i))
+        self._credit[chosen] -= sum(self.weights)
+        return chosen
+
+
+@register_router("round-robin", aliases=("rr",),
+                 description="Cycle through replicas in arrival order")
+def round_robin_router(num_replicas: int) -> Router:
+    return RoundRobinRouter(num_replicas)
+
+
+@register_router("least-outstanding", aliases=("lor",),
+                 description="Fewest in-flight (queued + running) requests wins")
+def least_outstanding_router(num_replicas: int) -> Router:
+    return LeastOutstandingRouter(num_replicas)
+
+
+@register_router("join-shortest-queue", aliases=("jsq",),
+                 description="Shortest admission queue wins (running batch ignored)")
+def join_shortest_queue_router(num_replicas: int) -> Router:
+    return JoinShortestQueueRouter(num_replicas)
+
+
+@register_router("weighted", aliases=("wrr",),
+                 description="Smooth weighted round-robin (`weights=` parameter)")
+def weighted_router(num_replicas: int, weights: Sequence[float] = ()) -> Router:
+    return WeightedRouter(num_replicas, weights=weights)

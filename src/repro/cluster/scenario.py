@@ -1,0 +1,266 @@
+"""ClusterScenario: one multi-replica serving point, named by registry strings.
+
+The cluster counterpart of :class:`~repro.serve.scenario.ServeScenario`: a
+frozen, content-hashed description of a fleet run -- workload / policy /
+arrival / router names, the per-replica system presets (the heterogeneous-fleet
+axis) and the traffic knobs.  Everything resolves through
+:mod:`repro.registry`, so a router or system preset registered anywhere is
+immediately servable from the Python API, ``llamcat cluster`` and cluster
+sweep grids.
+
+Replicas that share a system preset also share one memoized
+:class:`~repro.serve.stepcost.SimStepCostModel`: a 16-replica homogeneous
+fleet simulates each distinct ``(batch, seq-bucket)`` shape once, not 16
+times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.simulator import ClusterSimulator, ReplicaSim
+from repro.common.errors import ConfigError
+from repro.config.scale import ScaleTier, parse_tier, scale_system
+from repro.registry import (
+    resolve_arrival,
+    resolve_policy,
+    resolve_router,
+    resolve_system,
+    resolve_workload,
+)
+from repro.serve.metrics import ServeSLO
+from repro.serve.request import (
+    DEFAULT_OUTPUT_TOKENS,
+    DEFAULT_PROMPT_TOKENS,
+    RequestSampler,
+)
+from repro.serve.scenario import DEFAULT_SERVE_SYSTEM
+from repro.serve.scheduler import SEQ_BUCKET_FLOOR, BatchConfig
+from repro.serve.stepcost import SimStepCostModel
+from repro.sim.runner import clear_trace_cache
+
+#: The router a ClusterScenario uses when none is given.
+DEFAULT_ROUTER = "round-robin"
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterScenario:
+    """One fleet-level serving simulation point.
+
+    ``systems`` is the heterogeneous-fleet axis: a single preset name is
+    replicated across all ``replicas``; a tuple of exactly ``replicas`` names
+    gives each replica its own (tier-scaled) accelerator.
+    """
+
+    workload: str
+    arrival: str = "poisson"
+    #: Requests/s for open-loop processes; user population for closed-loop.
+    rate: float = 2000.0
+    num_requests: int = 32
+    replicas: int = 2
+    router: str = DEFAULT_ROUTER
+    #: Per-replica maximum batch (each replica batches independently).
+    max_batch: int = 4
+    seed: int = 0
+    policy: str = "unopt"
+    #: One system preset per replica; a single name is broadcast to the fleet.
+    systems: tuple[str, ...] = (DEFAULT_SERVE_SYSTEM,)
+    tier: ScaleTier = ScaleTier.CI
+    prompt_tokens: tuple[int, int] = DEFAULT_PROMPT_TOKENS
+    output_tokens: tuple[int, int] = DEFAULT_OUTPUT_TOKENS
+    #: Extra keyword parameters for the arrival builder, as sorted pairs.
+    arrival_params: tuple[tuple[str, object], ...] = ()
+    #: Extra keyword parameters for the router builder (e.g. ``weights``).
+    router_params: tuple[tuple[str, object], ...] = ()
+    slo_ttft_ms: float | None = None
+    slo_latency_ms: float | None = None
+    max_cycles: int | None = None
+    #: Display label (defaults to "<router>x<replicas>@<arrival>"); never hashed.
+    label: str | None = None
+
+    # -- validation / resolution -------------------------------------------------------
+    def validate(self) -> "ClusterScenario":
+        if self.rate <= 0:
+            raise ConfigError(f"rate must be positive, got {self.rate}")
+        if self.num_requests <= 0:
+            raise ConfigError(f"num_requests must be positive, got {self.num_requests}")
+        if self.replicas <= 0:
+            raise ConfigError(f"replicas must be positive, got {self.replicas}")
+        if self.max_batch <= 0:
+            raise ConfigError(f"max_batch must be positive, got {self.max_batch}")
+        if not isinstance(self.tier, ScaleTier):
+            raise ConfigError(f"tier must be a ScaleTier, got {self.tier!r}")
+        if not self.systems:
+            raise ConfigError("ClusterScenario.systems must be non-empty")
+        if len(self.systems) not in (1, self.replicas):
+            raise ConfigError(
+                f"systems must name 1 preset (homogeneous fleet) or exactly "
+                f"{self.replicas} (one per replica), got {len(self.systems)}"
+            )
+        self.slo().validate()
+        resolve_arrival(self.arrival)   # raises ConfigError on unknown names
+        resolve_router(self.router)
+        resolve_workload(self.workload)
+        resolve_policy(self.policy)
+        for system in self.systems:
+            resolve_system(system)
+        return self
+
+    def replica_systems(self) -> tuple[str, ...]:
+        """The fleet's system preset names, one entry per replica."""
+
+        if len(self.systems) == 1:
+            return self.systems * self.replicas
+        return self.systems
+
+    def slo(self) -> ServeSLO:
+        return ServeSLO(ttft_ms=self.slo_ttft_ms, latency_ms=self.slo_latency_ms)
+
+    @property
+    def display_label(self) -> str:
+        if self.label is not None:
+            return self.label
+        return f"{self.router}x{self.replicas}@{self.arrival}"
+
+    # -- identity ----------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        """The outcome-determining configuration as JSON-able data.
+
+        Display labels are excluded, mirroring :meth:`ServeScenario.config_dict`:
+        two cluster points that differ only in labelling share one simulation.
+        """
+
+        data = self.to_dict()
+        data.pop("label")
+        return data
+
+    def key(self) -> str:
+        """Content hash identifying this cluster simulation (store/dedup key)."""
+
+        canonical = json.dumps(self.config_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- (de)serialization -------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "arrival": self.arrival,
+            "rate": self.rate,
+            "num_requests": self.num_requests,
+            "replicas": self.replicas,
+            "router": self.router,
+            "max_batch": self.max_batch,
+            "seed": self.seed,
+            "policy": self.policy,
+            "systems": list(self.systems),
+            "tier": self.tier.name,
+            "prompt_tokens": list(self.prompt_tokens),
+            "output_tokens": list(self.output_tokens),
+            "arrival_params": [[k, v] for k, v in self.arrival_params],
+            "router_params": [[k, v] for k, v in self.router_params],
+            "slo_ttft_ms": self.slo_ttft_ms,
+            "slo_latency_ms": self.slo_latency_ms,
+            "max_cycles": self.max_cycles,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterScenario":
+        defaults = {f.name: f.default for f in fields(cls)}
+        return cls(
+            workload=data["workload"],
+            arrival=data.get("arrival", "poisson"),
+            rate=data.get("rate", defaults["rate"]),
+            num_requests=data.get("num_requests", defaults["num_requests"]),
+            replicas=data.get("replicas", defaults["replicas"]),
+            router=data.get("router", DEFAULT_ROUTER),
+            max_batch=data.get("max_batch", defaults["max_batch"]),
+            seed=data.get("seed", 0),
+            policy=data.get("policy", "unopt"),
+            systems=tuple(data.get("systems", (DEFAULT_SERVE_SYSTEM,))),
+            tier=parse_tier(data.get("tier", ScaleTier.CI.name)),
+            prompt_tokens=tuple(data.get("prompt_tokens", DEFAULT_PROMPT_TOKENS)),
+            output_tokens=tuple(data.get("output_tokens", DEFAULT_OUTPUT_TOKENS)),
+            arrival_params=tuple((k, v) for k, v in data.get("arrival_params", ())),
+            router_params=tuple((k, v) for k, v in data.get("router_params", ())),
+            slo_ttft_ms=data.get("slo_ttft_ms"),
+            slo_latency_ms=data.get("slo_latency_ms"),
+            max_cycles=data.get("max_cycles"),
+            label=data.get("label"),
+        )
+
+    # -- execution ---------------------------------------------------------------------
+    def build_simulator(self) -> ClusterSimulator:
+        """Assemble the arrival stream, router and replica fleet for this point."""
+
+        self.validate()
+        workload = resolve_workload(self.workload)
+        policy = resolve_policy(self.policy)
+        sampler = RequestSampler(
+            seed=self.seed,
+            prompt_tokens=self.prompt_tokens,
+            output_tokens=self.output_tokens,
+        )
+        arrival = resolve_arrival(self.arrival)(
+            sampler, self.rate, self.num_requests, **dict(self.arrival_params)
+        )
+        router = resolve_router(self.router)(
+            self.replicas, **dict(self.router_params)
+        )
+        # One cost model (and thus one memo table) per distinct system preset:
+        # homogeneous fleets simulate each step shape exactly once.
+        cost_models: dict[str, SimStepCostModel] = {}
+        frequencies: dict[str, float] = {}
+        for name in dict.fromkeys(self.replica_systems()):
+            system = scale_system(resolve_system(name), self.tier)
+            frequencies[name] = system.frequency_ghz
+            cost_models[name] = SimStepCostModel(
+                system=system,
+                workload=workload,
+                policy=policy,
+                tier=self.tier,
+                max_cycles=self.max_cycles,
+                seq_bucket_floor=SEQ_BUCKET_FLOOR,
+            )
+        fleet = [
+            ReplicaSim(
+                replica_id=i,
+                cost_model=cost_models[name],
+                frequency_ghz=frequencies[name],
+                batch=BatchConfig(max_batch=self.max_batch),
+                system_name=name,
+            )
+            for i, name in enumerate(self.replica_systems())
+        ]
+        return ClusterSimulator(
+            arrival=arrival,
+            router=router,
+            replicas=fleet,
+            slo=self.slo(),
+            label=self.display_label,
+            workload_name=self.workload,
+            router_name=self.router,
+        )
+
+    def run(self) -> ClusterMetrics:
+        """Simulate this cluster point and return its fleet metrics.
+
+        Like :meth:`ServeScenario.run`, the module-level trace cache is
+        cleared afterwards: a fleet visits up to ``max_batch x seq-buckets``
+        distinct step shapes per distinct system preset, which would otherwise
+        linger into whatever a long-lived process runs next.
+        """
+
+        try:
+            return self.build_simulator().run()
+        finally:
+            clear_trace_cache()
+
+
+def run_cluster_scenario(scenario: ClusterScenario) -> ClusterMetrics:
+    """Module-level convenience: resolve and simulate one cluster scenario."""
+
+    return scenario.run()

@@ -1,0 +1,278 @@
+"""The multi-replica serving simulator.
+
+:class:`ClusterSimulator` runs N accelerator replicas against one shared
+arrival stream.  Each replica is a full single-accelerator serving pipeline --
+its own :class:`~repro.serve.scheduler.ContinuousBatchScheduler` and step-cost
+model -- while a pluggable :class:`~repro.cluster.router.Router` decides, at
+each request's arrival instant, which replica receives it.
+
+The event loop interleaves two event kinds on one clock:
+
+1. **arrival** -- the next request of the shared stream is routed (the router
+   observes replica queues exactly as they stand at that instant) and
+   enqueued on the chosen replica;
+2. **step end** -- a replica finishes one batched decode iteration: every
+   batched request is credited a token, finished requests are evicted (and
+   reported to the arrival process, closing the loop for closed-loop traffic),
+   and the replica immediately re-forms its batch and starts the next step.
+
+Replicas advance independently between events -- a busy replica never blocks
+an idle one -- so the fleet behaves like N asynchronous serving loops glued
+together by the router.  Determinism is preserved end to end: replicas are
+visited in index order, event ties resolve step-ends before arrivals, and the
+arrival heap orders equal timestamps by request id, so a seeded run reproduces
+every routing decision and timestamp bit-for-bit.
+
+Homogeneous replicas share one memoized step-cost model (the cluster scenario
+builds one per *distinct* system preset), so a 16-replica fleet pays for the
+distinct ``(batch, seq-bucket)`` shapes it visits, not for 16 copies of them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
+from repro.cluster.router import Router
+from repro.common.errors import ConfigError
+from repro.serve.arrival import ArrivalProcess
+from repro.serve.metrics import RequestMetrics, ServeSLO
+from repro.serve.scheduler import BatchConfig, ContinuousBatchScheduler
+from repro.serve.simulator import MAX_STEPS, complete_step
+from repro.serve.stepcost import StepCostModel
+
+
+class ReplicaSim:
+    """One accelerator replica: a scheduler plus a step-cost model and a clock.
+
+    Exposes the two load signals routers read (``queue_depth``,
+    ``outstanding``) and accumulates the counters that become its
+    :class:`~repro.cluster.metrics.ReplicaMetrics`.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        cost_model: StepCostModel,
+        frequency_ghz: float,
+        batch: BatchConfig | None = None,
+        system_name: str = "system",
+    ) -> None:
+        if frequency_ghz <= 0:
+            raise ConfigError(f"frequency_ghz must be positive, got {frequency_ghz}")
+        self.replica_id = replica_id
+        self.cost_model = cost_model
+        self.frequency_ghz = frequency_ghz
+        self.system_name = system_name
+        self.scheduler = ContinuousBatchScheduler(
+            config=(batch if batch is not None else BatchConfig()).validate()
+        )
+        #: End time of the in-flight step; None while idle.
+        self.step_end_s: float | None = None
+        self.steps = 0
+        self.total_cycles = 0
+        self.busy_s = 0.0
+        self.routed = 0
+        self.completed: list[RequestMetrics] = []
+
+    # -- load signals (read by routers) ------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self.step_end_s is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests routed here but not yet admitted into the batch."""
+
+        return len(self.scheduler.waiting)
+
+    @property
+    def outstanding(self) -> int:
+        """Queued plus running requests (issued minus completed)."""
+
+        return len(self.scheduler.waiting) + len(self.scheduler.running)
+
+    @property
+    def has_work(self) -> bool:
+        return self.scheduler.has_work
+
+    # -- event-loop hooks --------------------------------------------------------------
+    def enqueue(self, request) -> None:
+        self.routed += 1
+        self.scheduler.enqueue(request)
+
+    def maybe_start_step(self, now_s: float) -> bool:
+        """Admit waiting requests and launch one iteration if any are running."""
+
+        if self.busy:
+            return False
+        self.scheduler.admit(now_s)
+        if not self.scheduler.running:
+            return False
+        batch, context_bucket = self.scheduler.batch_shape()
+        cycles = self.cost_model.step_cycles(batch, context_bucket)
+        if cycles <= 0:
+            raise ConfigError(f"step cost model returned {cycles} cycles")
+        self.steps += 1
+        self.total_cycles += cycles
+        duration_s = cycles / (self.frequency_ghz * 1e9)
+        self.busy_s += duration_s
+        self.step_end_s = now_s + duration_s
+        return True
+
+    def finish_step(self) -> list:
+        """Complete the in-flight iteration via the shared step-completion path.
+
+        Returns the evicted :class:`~repro.serve.scheduler.ActiveRequest`
+        objects so the cluster loop can feed completions back into the arrival
+        process.
+        """
+
+        assert self.step_end_s is not None
+        end_s = self.step_end_s
+        self.step_end_s = None
+        finished = []
+        for active, record in complete_step(self.scheduler, end_s):
+            self.completed.append(record)
+            finished.append(active)
+        return finished
+
+    def metrics(self) -> ReplicaMetrics:
+        return ReplicaMetrics(
+            replica_id=self.replica_id,
+            system=self.system_name,
+            frequency_ghz=self.frequency_ghz,
+            steps=self.steps,
+            total_cycles=self.total_cycles,
+            busy_s=self.busy_s,
+            routed=self.routed,
+            requests=tuple(sorted(self.completed, key=lambda r: r.request_id)),
+        ).validate()
+
+
+class ClusterSimulator:
+    """Simulate serving one request stream on a fleet of replicas."""
+
+    def __init__(
+        self,
+        arrival: ArrivalProcess,
+        router: Router,
+        replicas: Sequence[ReplicaSim],
+        slo: ServeSLO | None = None,
+        label: str = "cluster",
+        workload_name: str = "workload",
+        router_name: str | None = None,
+    ) -> None:
+        if not replicas:
+            raise ConfigError("a cluster needs at least one replica")
+        if router.num_replicas != len(replicas):
+            raise ConfigError(
+                f"router expects {router.num_replicas} replicas, fleet has {len(replicas)}"
+            )
+        self.arrival = arrival
+        self.router = router
+        self.replicas = list(replicas)
+        self.slo = (slo if slo is not None else ServeSLO()).validate()
+        self.label = label
+        self.workload_name = workload_name
+        self.router_name = router_name if router_name is not None else router.name
+
+    def _route(self, request, now_s: float) -> ReplicaSim:
+        chosen = self.router.select(request, self.replicas, now_s)
+        if not 0 <= chosen < len(self.replicas):
+            raise ConfigError(
+                f"router {self.router_name!r} chose replica {chosen} "
+                f"of a {len(self.replicas)}-replica fleet"
+            )
+        return self.replicas[chosen]
+
+    def run(self) -> ClusterMetrics:
+        # The pending heap orders un-routed requests by (arrival, id); ids are
+        # unique, so heap order -- and thus every routing decision -- is total.
+        pending: list[tuple[float, int, object]] = []
+        for request in self.arrival.initial():
+            request = request.validate()
+            heapq.heappush(pending, (request.arrival_s, request.request_id, request))
+        if not pending:
+            raise ConfigError(
+                f"arrival process {self.arrival.name!r} produced no requests"
+            )
+        first_arrival_s = pending[0][0]
+
+        now_s = 0.0
+        while True:
+            # Route everything that has arrived by now: the router sees queue
+            # depths as they stand after earlier same-instant completions.
+            while pending and pending[0][0] <= now_s:
+                _, _, request = heapq.heappop(pending)
+                self._route(request, now_s).enqueue(request)
+
+            # Launch steps on every idle replica with admissible work.
+            for replica in self.replicas:
+                replica.maybe_start_step(now_s)
+
+            # Advance the clock to the next event (step end or arrival).
+            event_times = [r.step_end_s for r in self.replicas if r.step_end_s is not None]
+            if pending:
+                event_times.append(pending[0][0])
+            if not event_times:
+                break  # fleet drained and the stream is exhausted
+
+            # Runaway guard, checked only while work remains so a run that
+            # drains in exactly the budget still returns.  Each replica gets
+            # the single-accelerator step budget (the fleet cap scales with
+            # its size, matching ServingSimulator per replica).
+            fleet_steps = sum(replica.steps for replica in self.replicas)
+            if fleet_steps >= MAX_STEPS * len(self.replicas):
+                completed = sum(len(r.completed) for r in self.replicas)
+                outstanding = sum(r.outstanding for r in self.replicas)
+                raise ConfigError(
+                    f"cluster run exceeded {MAX_STEPS * len(self.replicas)} "
+                    f"fleet steps without draining ({completed} completed, "
+                    f"{outstanding} outstanding)"
+                )
+            now_s = min(event_times)
+
+            # Step-ends resolve before same-instant arrivals, so a request
+            # arriving exactly as a batch slot frees observes the freed slot.
+            for replica in self.replicas:
+                if replica.step_end_s is not None and replica.step_end_s <= now_s:
+                    for active in replica.finish_step():
+                        follow_up = self.arrival.on_complete(active.request, now_s)
+                        if follow_up is not None:
+                            follow_up = follow_up.validate()
+                            heapq.heappush(
+                                pending,
+                                (follow_up.arrival_s, follow_up.request_id, follow_up),
+                            )
+
+        replica_metrics = tuple(replica.metrics() for replica in self.replicas)
+        last_finish_s = max(
+            (r.finish_s for replica in replica_metrics for r in replica.requests),
+            default=first_arrival_s,
+        )
+        meta = {
+            "arrival": self.arrival.name,
+            "router": self.router_name,
+            "num_replicas": len(self.replicas),
+            "routed": [replica.routed for replica in self.replicas],
+        }
+        # Homogeneous fleets share cost models; report the distinct tables.
+        tables = {id(r.cost_model): r.cost_model for r in self.replicas}
+        sizes = [getattr(m, "table_size", None) for m in tables.values()]
+        if all(size is not None for size in sizes):
+            meta["step_cost_entries"] = sum(sizes)
+            meta["step_simulations"] = sum(
+                getattr(m, "simulations", getattr(m, "table_size", 0))
+                for m in tables.values()
+            )
+        return ClusterMetrics(
+            label=self.label,
+            workload=self.workload_name,
+            router=self.router_name,
+            duration_s=max(0.0, last_finish_s - first_arrival_s),
+            replicas=replica_metrics,
+            slo=self.slo,
+            meta=meta,
+        )

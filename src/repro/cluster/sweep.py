@@ -1,0 +1,224 @@
+"""Cluster sweep grids: fleet-sizing and routing studies through the executor.
+
+A :class:`ClusterSweepSpec` names a cartesian grid -- workloads x arrivals x
+rates x replica counts x routers x policies -- and expands it into
+:class:`ClusterPoint` job descriptors.  ClusterPoints satisfy the same
+contract as :class:`~repro.sweep.spec.SweepPoint` (``key()`` / ``label`` /
+``describe()`` / ``config_dict()`` / ``execute()``), so they run through the
+existing :func:`repro.sweep.executor.run_sweep` process pool and persist into
+the same JSON-lines :class:`~repro.sweep.store.ResultStore` under the
+``"cluster"`` kind tag, resumable and content-deduplicated exactly like kernel
+and serve sweeps -- the three kinds mix freely in one store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.scenario import ClusterScenario
+from repro.common.errors import ConfigError
+from repro.config.scale import ScaleTier, parse_tier
+from repro.registry import ARRIVALS, ROUTERS, WORKLOADS, resolve_policy, resolve_system
+from repro.serve.request import DEFAULT_OUTPUT_TOKENS, DEFAULT_PROMPT_TOKENS
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterPoint:
+    """One fully described cluster job, executable in any worker process.
+
+    The scenario names its components through the registries (routers
+    bootstrap on first lookup in each worker), so the point pickles small and
+    needs no pre-resolved configuration.
+    """
+
+    label: str
+    scenario: ClusterScenario
+    #: Sorted (axis, value) pairs locating the point in its grid.
+    coords: tuple[tuple[str, object], ...] = ()
+    #: Lazily memoized content hash.
+    _key: str | None = field(default=None, init=False, repr=False, compare=False)
+
+    def config_dict(self) -> dict:
+        return {"kind": "cluster", "scenario": self.scenario.config_dict()}
+
+    def key(self) -> str:
+        """Content hash identifying this cluster simulation (labels excluded)."""
+
+        if self._key is None:
+            object.__setattr__(self, "_key", self.scenario.key())
+        return self._key
+
+    def coord(self, axis: str, default=None):
+        for name, value in self.coords:
+            if name == axis:
+                return value
+        return default
+
+    def describe(self) -> str:
+        s = self.scenario
+        return (
+            f"{self.label}: cluster {s.workload} x{s.replicas} {s.router} "
+            f"{s.arrival}@{s.rate:g} n={s.num_requests} b<={s.max_batch} seed={s.seed}"
+        )
+
+    def execute(self) -> ClusterMetrics:
+        """Run the cluster simulation (the executor's worker entry point)."""
+
+        return replace(self.scenario.run(), label=self.label)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSweepSpec:
+    """A declarative cartesian grid of cluster points.
+
+    Workloads, arrival processes, routers and policies are registry names;
+    ``rates`` is the traffic axis and ``replica_counts`` the fleet-size axis.
+    Expansion order is workload -> arrival -> rate -> replicas -> router ->
+    policy.  Grid sweeps are homogeneous (one ``system`` preset broadcast to
+    every replica); heterogeneous fleets are a per-scenario concern --
+    construct :class:`ClusterScenario` directly for those.
+    """
+
+    workloads: tuple[str, ...]
+    rates: tuple[float, ...]
+    replica_counts: tuple[int, ...] = (2,)
+    routers: tuple[str, ...] = ("round-robin",)
+    arrivals: tuple[str, ...] = ("poisson",)
+    policies: tuple[str, ...] = ("unopt",)
+    num_requests: int = 32
+    max_batch: int = 4
+    seed: int = 0
+    system: str = "table5"
+    tier: ScaleTier = ScaleTier.CI
+    prompt_tokens: tuple[int, int] = DEFAULT_PROMPT_TOKENS
+    output_tokens: tuple[int, int] = DEFAULT_OUTPUT_TOKENS
+    slo_ttft_ms: float | None = None
+    slo_latency_ms: float | None = None
+    max_cycles: int | None = None
+
+    def validate(self) -> "ClusterSweepSpec":
+        for axis in ("workloads", "rates", "replica_counts", "routers", "arrivals", "policies"):
+            if not getattr(self, axis):
+                raise ConfigError(f"ClusterSweepSpec.{axis} must be non-empty")
+        for workload in self.workloads:
+            WORKLOADS.get(workload)  # raises ConfigError listing known names
+        for arrival in self.arrivals:
+            ARRIVALS.get(arrival)
+        for router in self.routers:
+            ROUTERS.get(router)
+        for policy in self.policies:
+            resolve_policy(policy)
+        resolve_system(self.system)
+        if any(r <= 0 for r in self.rates):
+            raise ConfigError("rates must be positive")
+        if any(n <= 0 for n in self.replica_counts):
+            raise ConfigError("replica_counts must be positive")
+        if self.num_requests <= 0:
+            raise ConfigError("num_requests must be positive")
+        if self.max_batch <= 0:
+            raise ConfigError("max_batch must be positive")
+        return self
+
+    @property
+    def num_points(self) -> int:
+        return (
+            len(self.workloads) * len(self.arrivals) * len(self.rates)
+            * len(self.replica_counts) * len(self.routers) * len(self.policies)
+        )
+
+    def scenarios(self) -> tuple[ClusterScenario, ...]:
+        """The grid as :class:`ClusterScenario` objects, in expansion order."""
+
+        self.validate()
+        return tuple(
+            ClusterScenario(
+                workload=workload,
+                arrival=arrival,
+                rate=rate,
+                num_requests=self.num_requests,
+                replicas=replicas,
+                router=router,
+                max_batch=self.max_batch,
+                seed=self.seed,
+                policy=policy,
+                systems=(self.system,),
+                tier=self.tier,
+                prompt_tokens=self.prompt_tokens,
+                output_tokens=self.output_tokens,
+                slo_ttft_ms=self.slo_ttft_ms,
+                slo_latency_ms=self.slo_latency_ms,
+                max_cycles=self.max_cycles,
+            )
+            for workload in self.workloads
+            for arrival in self.arrivals
+            for rate in self.rates
+            for replicas in self.replica_counts
+            for router in self.routers
+            for policy in self.policies
+        )
+
+    def expand(self) -> tuple[ClusterPoint, ...]:
+        """Expand the grid into cluster points, in deterministic order."""
+
+        points = []
+        for scenario in self.scenarios():
+            coords = {
+                "model": scenario.workload,
+                "arrival": scenario.arrival,
+                "rate": scenario.rate,
+                "replicas": scenario.replicas,
+                "router": scenario.router,
+                "policy": scenario.policy,
+                "tier": scenario.tier.name,
+            }
+            points.append(
+                ClusterPoint(
+                    label=f"{scenario.display_label}@{scenario.rate:g}",
+                    scenario=scenario,
+                    coords=tuple(sorted(coords.items(), key=lambda kv: kv[0])),
+                )
+            )
+        return tuple(points)
+
+    # -- (de)serialization for CLI spec files -------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "workloads": list(self.workloads),
+            "rates": list(self.rates),
+            "replica_counts": list(self.replica_counts),
+            "routers": list(self.routers),
+            "arrivals": list(self.arrivals),
+            "policies": list(self.policies),
+            "num_requests": self.num_requests,
+            "max_batch": self.max_batch,
+            "seed": self.seed,
+            "system": self.system,
+            "tier": self.tier.name,
+            "prompt_tokens": list(self.prompt_tokens),
+            "output_tokens": list(self.output_tokens),
+            "slo_ttft_ms": self.slo_ttft_ms,
+            "slo_latency_ms": self.slo_latency_ms,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSweepSpec":
+        return cls(
+            workloads=tuple(data["workloads"]),
+            rates=tuple(data["rates"]),
+            replica_counts=tuple(data.get("replica_counts", (2,))),
+            routers=tuple(data.get("routers", ("round-robin",))),
+            arrivals=tuple(data.get("arrivals", ("poisson",))),
+            policies=tuple(data.get("policies", ("unopt",))),
+            num_requests=data.get("num_requests", 32),
+            max_batch=data.get("max_batch", 4),
+            seed=data.get("seed", 0),
+            system=data.get("system", "table5"),
+            tier=parse_tier(data.get("tier", "CI")),
+            prompt_tokens=tuple(data.get("prompt_tokens", DEFAULT_PROMPT_TOKENS)),
+            output_tokens=tuple(data.get("output_tokens", DEFAULT_OUTPUT_TOKENS)),
+            slo_ttft_ms=data.get("slo_ttft_ms"),
+            slo_latency_ms=data.get("slo_latency_ms"),
+            max_cycles=data.get("max_cycles"),
+        ).validate()

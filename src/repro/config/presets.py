@@ -61,6 +61,28 @@ def table5_32core_system() -> SystemConfig:
     return system.validate()
 
 
+@register_system(
+    "table5-8core",
+    description="Table 5 scaled down: 8 cores, 8 MB L2 in 4 slices",
+)
+def table5_8core_system() -> SystemConfig:
+    """A scaled-down Table 5 variant: half the cores, L2 capacity and slices.
+
+    The per-slice geometry (sets, MSHR entries, queue depths) and the
+    core:slice ratio match the paper's system, so contention behaviour stays
+    comparable.  Useful as the weak member of a heterogeneous serving fleet
+    (``repro.cluster`` mixes system presets across replicas).
+    """
+
+    base = table5_system()
+    system = replace(
+        base,
+        core=replace(base.core, num_cores=8),
+        l2=replace(base.l2, size_bytes=8 * MIB, num_slices=4),
+    )
+    return system.validate()
+
+
 # ---------------------------------------------------------------------------------
 # Workload presets (§6.2.2)
 # ---------------------------------------------------------------------------------

@@ -9,6 +9,8 @@ Five global registries name every pluggable piece of a simulation:
 * :data:`THROTTLES` -- ``ThrottleKind -> factory(PolicyConfig) -> controller``
 * :data:`ARRIVALS`  -- ``name -> builder(sampler, rate, num_requests, **params)
   -> ArrivalProcess`` (request streams for :mod:`repro.serve`)
+* :data:`ROUTERS`   -- ``name -> builder(num_replicas, **params) -> Router``
+  (replica dispatch for :mod:`repro.cluster`)
 
 Registering a component makes it usable everywhere at once -- the CLI
 (``llamcat list/run/sweep``), declarative sweep grids, the figure harnesses and
@@ -57,6 +59,11 @@ ARRIVALS: Registry = Registry(
     bootstrap=("repro.serve.arrival",),
     normalize=_policy_norm,
 )
+ROUTERS: Registry = Registry(
+    "router",
+    bootstrap=("repro.cluster.router",),
+    normalize=_policy_norm,
+)
 
 
 # -- decorators (the public registration surface) ----------------------------------------
@@ -100,6 +107,16 @@ def register_arrival(name: str, **kwargs):
     return ARRIVALS.register(name, **kwargs)
 
 
+def register_router(name: str, **kwargs):
+    """Register a replica-routing builder for the cluster simulator.
+
+    The builder signature is ``(num_replicas, **params) -> Router`` -- see
+    :mod:`repro.cluster.router` for the built-in disciplines.
+    """
+
+    return ROUTERS.register(name, **kwargs)
+
+
 # -- resolution helpers (name strings -> config objects) ---------------------------------
 def resolve_workload(name: str, seq_len: int | None = None) -> "WorkloadConfig":
     """Build the workload registered under ``name``.
@@ -131,6 +148,12 @@ def resolve_arrival(name: str):
     return ARRIVALS.get(name)
 
 
+def resolve_router(name: str):
+    """The replica-router builder registered under ``name``."""
+
+    return ROUTERS.get(name)
+
+
 def resolve_policy(label: str):
     """Build a policy from a registered label or a compositional one.
 
@@ -146,6 +169,7 @@ def resolve_policy(label: str):
 __all__ = [
     "ARRIVALS",
     "POLICIES",
+    "ROUTERS",
     "Registry",
     "RegistryEntry",
     "SYSTEMS",
@@ -153,11 +177,13 @@ __all__ = [
     "WORKLOADS",
     "register_arrival",
     "register_policy",
+    "register_router",
     "register_system",
     "register_throttle",
     "register_workload",
     "resolve_arrival",
     "resolve_policy",
+    "resolve_router",
     "resolve_system",
     "resolve_workload",
 ]

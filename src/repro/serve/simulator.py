@@ -20,12 +20,49 @@ from __future__ import annotations
 from repro.common.errors import ConfigError
 from repro.serve.arrival import ArrivalProcess
 from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
-from repro.serve.scheduler import BatchConfig, ContinuousBatchScheduler
+from repro.serve.scheduler import ActiveRequest, BatchConfig, ContinuousBatchScheduler
 from repro.serve.stepcost import StepCostModel
 
 #: Hard cap on scheduler iterations -- a guard against a stream that can never
 #: drain (e.g. a zero-cost model paired with an infinite closed loop).
 MAX_STEPS = 10_000_000
+
+
+def complete_step(
+    scheduler: ContinuousBatchScheduler, end_s: float
+) -> list[tuple[ActiveRequest, RequestMetrics]]:
+    """Finish one batched iteration ending at ``end_s``.
+
+    Credits one output token to every running request, stamps first-token
+    times, evicts the requests whose output budget is exhausted and returns
+    them paired with their finished :class:`RequestMetrics` record.  The one
+    definition of step-completion semantics, shared by the single-accelerator
+    loop here and every :class:`~repro.cluster.simulator.ReplicaSim` in a
+    cluster fleet -- the two must never disagree on how a step completes.
+    """
+
+    for active in scheduler.running:
+        active.generated += 1
+        if active.first_token_s is None:
+            active.first_token_s = end_s
+    finished = []
+    for active in scheduler.evict_finished(end_s):
+        assert active.first_token_s is not None and active.finish_s is not None
+        finished.append(
+            (
+                active,
+                RequestMetrics(
+                    request_id=active.request.request_id,
+                    arrival_s=active.request.arrival_s,
+                    admitted_s=active.admitted_s,
+                    first_token_s=active.first_token_s,
+                    finish_s=active.finish_s,
+                    prompt_tokens=active.request.prompt_tokens,
+                    output_tokens=active.request.output_tokens,
+                ).validate(),
+            )
+        )
+    return finished
 
 
 class ServingSimulator:
@@ -93,24 +130,8 @@ class ServingSimulator:
             total_cycles += cycles
             now_s += self._cycles_to_seconds(cycles)
 
-            for active in scheduler.running:
-                active.generated += 1
-                if active.first_token_s is None:
-                    active.first_token_s = now_s
-
-            for active in scheduler.evict_finished(now_s):
-                assert active.first_token_s is not None and active.finish_s is not None
-                completed.append(
-                    RequestMetrics(
-                        request_id=active.request.request_id,
-                        arrival_s=active.request.arrival_s,
-                        admitted_s=active.admitted_s,
-                        first_token_s=active.first_token_s,
-                        finish_s=active.finish_s,
-                        prompt_tokens=active.request.prompt_tokens,
-                        output_tokens=active.request.output_tokens,
-                    ).validate()
-                )
+            for active, record in complete_step(scheduler, now_s):
+                completed.append(record)
                 follow_up = self.arrival.on_complete(active.request, now_s)
                 if follow_up is not None:
                     scheduler.enqueue(follow_up.validate())

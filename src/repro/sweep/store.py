@@ -9,10 +9,11 @@ cache hits, so failures are retried on the next invocation.
 
 Records are polymorphic over result type: each line carries a ``"kind"`` tag
 (``"sim"`` for kernel-level :class:`~repro.sim.results.SimResult`, ``"serve"``
-for request-level :class:`~repro.serve.metrics.ServeMetrics`) whose
-deserializer is resolved lazily, so kernel sweeps, serving sweeps and mixed
-stores all load through the same path.  Lines written before the tag existed
-default to ``"sim"``.
+for request-level :class:`~repro.serve.metrics.ServeMetrics`, ``"cluster"``
+for fleet-level :class:`~repro.cluster.metrics.ClusterMetrics`) whose
+deserializer is resolved lazily, so kernel sweeps, serving sweeps, cluster
+sweeps and mixed stores all load through the same path.  Lines written before
+the tag existed default to ``"sim"``.
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ from repro.sweep.spec import SweepPoint
 RESULT_KINDS = {
     "sim": "repro.sim.results:SimResult",
     "serve": "repro.serve.metrics:ServeMetrics",
+    "cluster": "repro.cluster.metrics:ClusterMetrics",
 }
 
 

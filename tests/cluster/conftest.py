@@ -1,0 +1,51 @@
+"""Fixtures for the cluster subsystem: linear-cost fleets that run in microseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import SYSTEMS, WORKLOADS, register_system, register_workload
+from repro.serve.request import RequestSampler
+from repro.serve.scheduler import BatchConfig
+from repro.serve.stepcost import LinearStepCostModel
+from repro.cluster.simulator import ReplicaSim
+
+
+def linear_fleet(
+    num_replicas: int,
+    max_batch: int = 2,
+    frequency_ghz: float = 2.0,
+    cost_model: LinearStepCostModel | None = None,
+) -> list[ReplicaSim]:
+    """A homogeneous fleet backed by the analytical step-cost stand-in."""
+
+    model = cost_model if cost_model is not None else LinearStepCostModel()
+    return [
+        ReplicaSim(
+            replica_id=i,
+            cost_model=model,
+            frequency_ghz=frequency_ghz,
+            batch=BatchConfig(max_batch=max_batch),
+            system_name="linear",
+        )
+        for i in range(num_replicas)
+    ]
+
+
+def make_sampler(seed: int = 0) -> RequestSampler:
+    """Small token budgets keep linear-cost cluster runs instantaneous."""
+
+    return RequestSampler(seed=seed, prompt_tokens=(32, 64), output_tokens=(2, 6))
+
+
+@pytest.fixture()
+def tiny_cluster_names(tiny_system, tiny_workload):
+    """Register the tiny system/workload under cluster-test names (and clean up)."""
+
+    register_system("cluster-tiny-sys")(lambda: tiny_system)
+    register_workload("cluster-tiny")(
+        lambda seq_len=64: tiny_workload.with_seq_len(seq_len)
+    )
+    yield {"system": "cluster-tiny-sys", "workload": "cluster-tiny"}
+    SYSTEMS.unregister("cluster-tiny-sys")
+    WORKLOADS.unregister("cluster-tiny")

@@ -1,0 +1,173 @@
+"""ClusterMetrics: fleet aggregation, imbalance, serialization."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
+from repro.serve.metrics import RequestMetrics, ServeSLO
+
+
+def request_record(rid: int, finish: float = 1.0, output: int = 4) -> RequestMetrics:
+    return RequestMetrics(
+        request_id=rid,
+        arrival_s=0.0,
+        admitted_s=0.1,
+        first_token_s=0.2,
+        finish_s=finish,
+        prompt_tokens=64,
+        output_tokens=output,
+    ).validate()
+
+
+def replica(rid: int, requests=(), busy_s: float = 0.5, system: str = "table5") -> ReplicaMetrics:
+    return ReplicaMetrics(
+        replica_id=rid,
+        system=system,
+        frequency_ghz=2.0,
+        steps=10,
+        total_cycles=1000,
+        busy_s=busy_s,
+        routed=len(requests),
+        requests=tuple(requests),
+    ).validate()
+
+
+def cluster(replicas, duration_s: float = 1.0, slo: ServeSLO | None = None) -> ClusterMetrics:
+    return ClusterMetrics(
+        label="test",
+        workload="wl",
+        router="round-robin",
+        duration_s=duration_s,
+        replicas=tuple(replicas),
+        slo=slo if slo is not None else ServeSLO(),
+    )
+
+
+class TestFleetAggregation:
+    def test_requests_merge_sorted_by_id(self):
+        metrics = cluster([
+            replica(0, [request_record(3), request_record(0)]),
+            replica(1, [request_record(2), request_record(1)]),
+        ])
+        assert [r.request_id for r in metrics.requests] == [0, 1, 2, 3]
+        assert metrics.num_requests == 4
+
+    def test_fleet_counters_sum_over_replicas(self):
+        metrics = cluster([replica(0, [request_record(0)]), replica(1, [request_record(1)])])
+        assert metrics.steps == 20
+        assert metrics.total_cycles == 2000
+        assert metrics.total_output_tokens == 8
+
+    def test_throughput_is_tokens_over_makespan(self):
+        metrics = cluster([replica(0, [request_record(0, output=10)])], duration_s=2.0)
+        assert metrics.tokens_per_s == 5.0
+        assert metrics.requests_per_s == 0.5
+
+    def test_zero_duration_throughput_is_zero(self):
+        metrics = cluster([replica(0, [request_record(0)])], duration_s=0.0)
+        assert metrics.tokens_per_s == 0.0
+
+    def test_utilizations_per_replica_and_capped(self):
+        metrics = cluster(
+            [replica(0, busy_s=0.25), replica(1, busy_s=2.0)], duration_s=1.0
+        )
+        assert metrics.utilizations == [0.25, 1.0]
+
+
+class TestLoadImbalance:
+    def test_balanced_fleet_is_one(self):
+        metrics = cluster([
+            replica(0, [request_record(0)]), replica(1, [request_record(1)]),
+        ])
+        assert metrics.load_imbalance == 1.0
+
+    def test_hot_replica_raises_the_factor(self):
+        metrics = cluster([
+            replica(0, [request_record(0, output=30)]),
+            replica(1, [request_record(1, output=10)]),
+        ])
+        # max 30 / mean 20
+        assert metrics.load_imbalance == pytest.approx(1.5)
+
+    def test_empty_fleet_is_zero(self):
+        assert cluster([replica(0), replica(1)]).load_imbalance == 0.0
+
+
+class TestPercentilesAndSLO:
+    def test_percentiles_are_ordered(self):
+        metrics = cluster([
+            replica(0, [request_record(i, finish=0.5 + 0.1 * i) for i in range(0, 6, 2)]),
+            replica(1, [request_record(i, finish=0.5 + 0.1 * i) for i in range(1, 6, 2)]),
+        ])
+        p50 = metrics.latency_percentile_ms(50)
+        p95 = metrics.latency_percentile_ms(95)
+        p99 = metrics.latency_percentile_ms(99)
+        assert p50 <= p95 <= p99
+
+    def test_slo_attainment_over_merged_requests(self):
+        slo = ServeSLO(latency_ms=700.0)   # 0.7 s
+        metrics = cluster(
+            [
+                replica(0, [request_record(0, finish=0.5)]),
+                replica(1, [request_record(1, finish=1.0)]),
+            ],
+            slo=slo,
+        )
+        assert metrics.slo_attainment == 0.5
+
+    def test_trivial_slo_is_full_attainment(self):
+        assert cluster([replica(0, [request_record(0)])]).slo_attainment == 1.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        metrics = cluster([
+            replica(0, [request_record(0), request_record(2)]),
+            replica(1, [request_record(1)], system="table5-8core"),
+        ])
+        rebuilt = ClusterMetrics.from_dict(metrics.to_dict())
+        assert rebuilt == metrics
+        assert rebuilt.headline_metrics() == metrics.headline_metrics()
+
+    def test_headline_metrics_carry_fleet_aggregates(self):
+        metrics = cluster([replica(0, [request_record(0)]), replica(1)])
+        headline = metrics.headline_metrics()
+        assert headline["num_replicas"] == 2
+        assert headline["router"] == "round-robin"
+        assert "load_imbalance" in headline
+        assert "latency_p99_ms" in headline
+
+    def test_with_label(self):
+        metrics = cluster([replica(0)])
+        assert metrics.with_label("test") is metrics
+        assert metrics.with_label("other").label == "other"
+
+    def test_summary_mentions_router_and_fleet(self):
+        metrics = cluster([replica(0, [request_record(0)]), replica(1)])
+        assert "round-robin" in metrics.summary()
+        assert "x2" in metrics.summary()
+
+    def test_empty_fleet_summary(self):
+        assert "no completed requests" in cluster([replica(0)]).summary()
+
+
+class TestValidation:
+    def test_replica_rejects_more_completed_than_routed(self):
+        with pytest.raises(ConfigError):
+            ReplicaMetrics(
+                replica_id=0, system="s", frequency_ghz=1.0, steps=1,
+                total_cycles=1, busy_s=0.0, routed=0,
+                requests=(request_record(0),),
+            ).validate()
+
+    def test_replica_rejects_bad_scalars(self):
+        with pytest.raises(ConfigError):
+            ReplicaMetrics(
+                replica_id=-1, system="s", frequency_ghz=1.0, steps=0,
+                total_cycles=0, busy_s=0.0, routed=0,
+            ).validate()
+        with pytest.raises(ConfigError):
+            ReplicaMetrics(
+                replica_id=0, system="s", frequency_ghz=0.0, steps=0,
+                total_cycles=0, busy_s=0.0, routed=0,
+            ).validate()

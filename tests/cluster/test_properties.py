@@ -1,0 +1,158 @@
+"""Seeded property-based fuzz tests for serve/cluster metric invariants.
+
+Hypothesis drives randomized traffic configurations through the (linear-cost)
+serving and cluster simulators and asserts the invariants every metrics object
+must satisfy regardless of configuration:
+
+* percentile monotonicity -- p50 <= p95 <= p99 for latency and TTFT;
+* request-count conservation -- every submitted request completes exactly
+  once, whichever router spreads the stream;
+* throughput consistency -- ``tokens_per_s`` is exactly completed output
+  tokens over the makespan (and 0 only for a 0-length makespan);
+* utilization bounds and imbalance >= 1 whenever the fleet did any work.
+
+``derandomize=True`` makes every run draw the same example sequence: the fuzz
+corpus is part of the pinned behaviour, like the golden fixtures, so CI never
+flakes on a novel example.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis", reason="property tests need hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cluster.simulator import ClusterSimulator  # noqa: E402
+from repro.registry import ROUTERS, resolve_router  # noqa: E402
+from repro.serve.arrival import poisson_arrivals  # noqa: E402
+from repro.serve.request import RequestSampler  # noqa: E402
+from repro.serve.scheduler import BatchConfig  # noqa: E402
+from repro.serve.simulator import ServingSimulator  # noqa: E402
+from repro.serve.stepcost import LinearStepCostModel  # noqa: E402
+
+from tests.cluster.conftest import linear_fleet  # noqa: E402
+
+#: One shared profile: deterministic example sequence, no wall-clock deadline
+#: (the simulators are fast, but CI boxes stutter).
+settings.register_profile("repro-seeded", derandomize=True, deadline=None, max_examples=25)
+settings.load_profile("repro-seeded")
+
+ROUTER_NAMES = ("round-robin", "least-outstanding", "join-shortest-queue", "weighted")
+
+
+def sampler(seed: int) -> RequestSampler:
+    return RequestSampler(seed=seed, prompt_tokens=(16, 128), output_tokens=(1, 8))
+
+
+def serve_run(seed: int, rate: float, num_requests: int, max_batch: int):
+    return ServingSimulator(
+        arrival=poisson_arrivals(sampler(seed), rate=rate, num_requests=num_requests),
+        cost_model=LinearStepCostModel(),
+        frequency_ghz=2.0,
+        batch=BatchConfig(max_batch=max_batch),
+    ).run()
+
+
+def cluster_run(seed: int, rate: float, num_requests: int, max_batch: int,
+                num_replicas: int, router: str):
+    return ClusterSimulator(
+        arrival=poisson_arrivals(sampler(seed), rate=rate, num_requests=num_requests),
+        router=resolve_router(router)(num_replicas),
+        replicas=linear_fleet(num_replicas, max_batch=max_batch),
+        router_name=router,
+    ).run()
+
+
+serve_configs = st.tuples(
+    st.integers(min_value=0, max_value=2**31 - 1),       # seed
+    st.floats(min_value=10.0, max_value=1e6),            # rate
+    st.integers(min_value=1, max_value=24),              # num_requests
+    st.integers(min_value=1, max_value=6),               # max_batch
+)
+
+cluster_configs = st.tuples(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.floats(min_value=10.0, max_value=1e6),
+    st.integers(min_value=1, max_value=24),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=5),               # num_replicas
+    st.sampled_from(ROUTER_NAMES),
+)
+
+
+class TestServeMetricsInvariants:
+    @given(config=serve_configs)
+    def test_percentiles_monotone_and_requests_conserved(self, config):
+        seed, rate, num_requests, max_batch = config
+        metrics = serve_run(seed, rate, num_requests, max_batch)
+        assert metrics.num_requests == num_requests
+        assert sorted(r.request_id for r in metrics.requests) == list(range(num_requests))
+        assert (
+            metrics.latency_percentile_ms(50)
+            <= metrics.latency_percentile_ms(95)
+            <= metrics.latency_percentile_ms(99)
+        )
+        assert (
+            metrics.ttft_percentile_ms(50)
+            <= metrics.ttft_percentile_ms(95)
+            <= metrics.ttft_percentile_ms(99)
+        )
+
+    @given(config=serve_configs)
+    def test_throughput_is_tokens_over_makespan(self, config):
+        seed, rate, num_requests, max_batch = config
+        metrics = serve_run(seed, rate, num_requests, max_batch)
+        assert metrics.duration_s > 0
+        assert metrics.tokens_per_s == pytest.approx(
+            metrics.total_output_tokens / metrics.duration_s
+        )
+        assert metrics.total_output_tokens == sum(
+            r.output_tokens for r in metrics.requests
+        )
+
+    @given(config=serve_configs)
+    def test_timestamps_ordered_for_every_request(self, config):
+        seed, rate, num_requests, max_batch = config
+        metrics = serve_run(seed, rate, num_requests, max_batch)
+        for r in metrics.requests:
+            assert r.arrival_s <= r.admitted_s <= r.first_token_s <= r.finish_s
+
+
+class TestClusterMetricsInvariants:
+    @given(config=cluster_configs)
+    def test_percentiles_monotone(self, config):
+        metrics = cluster_run(*config)
+        assert (
+            metrics.latency_percentile_ms(50)
+            <= metrics.latency_percentile_ms(95)
+            <= metrics.latency_percentile_ms(99)
+        )
+
+    @given(config=cluster_configs)
+    def test_requests_conserved_for_any_router(self, config):
+        num_requests = config[2]
+        metrics = cluster_run(*config)
+        assert metrics.num_requests == num_requests
+        assert sorted(r.request_id for r in metrics.requests) == list(range(num_requests))
+
+    @given(config=serve_configs)
+    def test_request_count_identical_across_all_registered_routers(self, config):
+        seed, rate, num_requests, max_batch = config
+        completions = {}
+        for entry in ROUTERS.entries():
+            metrics = cluster_run(seed, rate, num_requests, max_batch, 3, entry.name)
+            completions[entry.name] = sorted(r.request_id for r in metrics.requests)
+        baseline = completions[next(iter(completions))]
+        assert all(ids == baseline for ids in completions.values())
+
+    @given(config=cluster_configs)
+    def test_throughput_utilization_and_imbalance(self, config):
+        metrics = cluster_run(*config)
+        assert metrics.duration_s > 0
+        assert metrics.tokens_per_s == pytest.approx(
+            metrics.total_output_tokens / metrics.duration_s
+        )
+        for utilization in metrics.utilizations:
+            assert 0.0 <= utilization <= 1.0
+        assert metrics.load_imbalance >= 1.0          # some tokens always complete
+        assert sum(metrics.meta["routed"]) == metrics.num_requests

@@ -1,0 +1,122 @@
+"""Router disciplines: selection order, load signals, registry integration."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.router import (
+    JoinShortestQueueRouter,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    WeightedRouter,
+)
+from repro.registry import ROUTERS, register_router, resolve_router
+from repro.serve.request import Request
+
+
+class StubReplica:
+    """Just the two load signals routers are allowed to read."""
+
+    def __init__(self, queue_depth: int = 0, running: int = 0) -> None:
+        self.queue_depth = queue_depth
+        self.outstanding = queue_depth + running
+
+
+def req(rid: int = 0) -> Request:
+    return Request(request_id=rid, arrival_s=0.0, prompt_tokens=8, output_tokens=2)
+
+
+def picks(router, replicas, count: int) -> list[int]:
+    return [router.select(req(i), replicas, 0.0) for i in range(count)]
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        replicas = [StubReplica() for _ in range(3)]
+        assert picks(RoundRobinRouter(3), replicas, 7) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_ignores_load(self):
+        replicas = [StubReplica(queue_depth=100), StubReplica()]
+        assert picks(RoundRobinRouter(2), replicas, 2) == [0, 1]
+
+
+class TestLeastOutstanding:
+    def test_picks_fewest_in_flight(self):
+        replicas = [StubReplica(queue_depth=2), StubReplica(running=1), StubReplica(queue_depth=3)]
+        assert LeastOutstandingRouter(3).select(req(), replicas, 0.0) == 1
+
+    def test_counts_running_requests(self):
+        # Queue-empty but busy replica loses to a fully idle one.
+        replicas = [StubReplica(running=2), StubReplica()]
+        assert LeastOutstandingRouter(2).select(req(), replicas, 0.0) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        replicas = [StubReplica(), StubReplica(), StubReplica()]
+        assert LeastOutstandingRouter(3).select(req(), replicas, 0.0) == 0
+
+
+class TestJoinShortestQueue:
+    def test_picks_shortest_queue(self):
+        replicas = [StubReplica(queue_depth=4), StubReplica(queue_depth=1), StubReplica(queue_depth=2)]
+        assert JoinShortestQueueRouter(3).select(req(), replicas, 0.0) == 1
+
+    def test_running_batch_is_invisible(self):
+        # JSQ only sees queues: a busy replica with an empty queue still wins.
+        replicas = [StubReplica(running=8), StubReplica(queue_depth=1)]
+        assert JoinShortestQueueRouter(2).select(req(), replicas, 0.0) == 0
+
+
+class TestWeighted:
+    def test_equal_weights_degenerate_to_round_robin(self):
+        replicas = [StubReplica() for _ in range(3)]
+        assert picks(WeightedRouter(3), replicas, 6) == [0, 1, 2, 0, 1, 2]
+
+    def test_shares_are_proportional_to_weights(self):
+        replicas = [StubReplica(), StubReplica()]
+        router = WeightedRouter(2, weights=(3.0, 1.0))
+        chosen = picks(router, replicas, 40)
+        assert chosen.count(0) == 30
+        assert chosen.count(1) == 10
+
+    def test_smooth_interleaving(self):
+        # The smooth algorithm spreads the heavy replica's picks out instead
+        # of bursting: weights (2, 1) give [0, 1, 0] repeating, not [0, 0, 1].
+        replicas = [StubReplica(), StubReplica()]
+        assert picks(WeightedRouter(2, weights=(2.0, 1.0)), replicas, 6) == [0, 1, 0, 0, 1, 0]
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ConfigError):
+            WeightedRouter(2, weights=(1.0,))
+        with pytest.raises(ConfigError):
+            WeightedRouter(2, weights=(1.0, -1.0))
+
+
+class TestRegistry:
+    def test_builtin_routers_registered(self):
+        for name in ("round-robin", "least-outstanding", "join-shortest-queue", "weighted"):
+            assert name in ROUTERS
+
+    def test_aliases_resolve(self):
+        assert resolve_router("rr") is resolve_router("round-robin")
+        assert resolve_router("jsq") is resolve_router("join-shortest-queue")
+        assert resolve_router("lor") is resolve_router("least-outstanding")
+        assert resolve_router("wrr") is resolve_router("weighted")
+
+    def test_unknown_router_lists_known_names(self):
+        with pytest.raises(ConfigError, match="round-robin"):
+            resolve_router("carrier-pigeon")
+
+    def test_custom_router_registers_and_unregisters(self):
+        @register_router("always-zero", description="test-only")
+        def always_zero(num_replicas: int):
+            router = RoundRobinRouter(num_replicas)
+            router.select = lambda request, replicas, now_s: 0
+            return router
+
+        try:
+            assert resolve_router("always-zero")(3).select(req(), [], 0.0) == 0
+        finally:
+            ROUTERS.unregister("always-zero")
+
+    def test_rejects_nonpositive_fleet(self):
+        with pytest.raises(ConfigError):
+            RoundRobinRouter(0)

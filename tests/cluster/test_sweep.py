@@ -1,0 +1,95 @@
+"""Cluster sweep grids through the parallel executor and result store."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config.scale import ScaleTier
+from repro.cluster import ClusterSweepSpec
+from repro.sweep.executor import run_sweep
+from repro.sweep.store import ResultStore
+
+
+def tiny_spec(names, **overrides) -> ClusterSweepSpec:
+    defaults = dict(
+        workloads=(names["workload"],),
+        rates=(40_000.0,),
+        replica_counts=(1, 2),
+        routers=("round-robin",),
+        num_requests=4,
+        max_batch=2,
+        system=names["system"],
+        tier=ScaleTier.FULL,
+        prompt_tokens=(32, 64),
+        output_tokens=(2, 4),
+    )
+    defaults.update(overrides)
+    return ClusterSweepSpec(**defaults).validate()
+
+
+class TestClusterSweep:
+    def test_grid_runs_and_resumes_through_the_store(self, tiny_cluster_names, tmp_path):
+        spec = tiny_spec(tiny_cluster_names)
+        points = spec.expand()
+        assert len(points) == 2
+        store = ResultStore(tmp_path / "cluster.jsonl")
+        report = run_sweep(points, jobs=1, store=store)
+        assert report.num_ok == 2 and report.num_simulated == 2
+        metrics = report.result_for(points[0])
+        assert metrics.num_requests == 4
+        assert {r.kind for r in store.records()} == {"cluster"}
+
+        # Second run resumes entirely from disk, bit-identical.
+        resumed = run_sweep(points, jobs=1, store=ResultStore(store.path))
+        assert resumed.num_cached == 2
+        assert resumed.result_for(points[0]).to_dict() == metrics.to_dict()
+
+    def test_spec_round_trip_and_validation(self):
+        spec = ClusterSweepSpec(
+            workloads=("llama3-70b",), rates=(1000.0, 2000.0),
+            replica_counts=(2, 4), routers=("round-robin", "jsq"),
+            arrivals=("poisson",), policies=("unopt",),
+        )
+        assert ClusterSweepSpec.from_dict(spec.to_dict()) == spec
+        assert spec.num_points == 8
+        with pytest.raises(ConfigError):
+            ClusterSweepSpec(workloads=("llama3-70b",), rates=()).validate()
+        with pytest.raises(ConfigError):
+            ClusterSweepSpec(
+                workloads=("llama3-70b",), rates=(1.0,), routers=("pigeon",)
+            ).validate()
+        with pytest.raises(ConfigError):
+            ClusterSweepSpec(
+                workloads=("llama3-70b",), rates=(1.0,), replica_counts=(0,)
+            ).validate()
+
+    def test_labels_and_coords(self):
+        spec = ClusterSweepSpec(
+            workloads=("llama3-70b",), rates=(1000.0,), replica_counts=(4,),
+            routers=("join-shortest-queue",),
+        )
+        point = spec.expand()[0]
+        assert point.coord("rate") == 1000.0
+        assert point.coord("replicas") == 4
+        assert point.coord("router") == "join-shortest-queue"
+        assert "cluster" in point.describe()
+        assert point.config_dict()["kind"] == "cluster"
+
+    def test_expansion_order_is_deterministic(self):
+        spec = ClusterSweepSpec(
+            workloads=("llama3-70b",), rates=(1000.0,),
+            replica_counts=(2, 4), routers=("round-robin", "weighted"),
+        )
+        labels = [p.label for p in spec.expand()]
+        assert labels == [
+            "round-robinx2@poisson@1000",
+            "weightedx2@poisson@1000",
+            "round-robinx4@poisson@1000",
+            "weightedx4@poisson@1000",
+        ]
+
+    def test_key_dedup_between_identical_scenarios(self):
+        spec = ClusterSweepSpec(
+            workloads=("llama3-70b",), rates=(1000.0,), replica_counts=(2,),
+        )
+        a, b = spec.expand()[0], spec.expand()[0]
+        assert a.key() == b.key()

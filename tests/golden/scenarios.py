@@ -1,0 +1,72 @@
+"""The scenarios whose metrics are pinned by golden fixtures.
+
+These are exactly the configurations the CLI smoke presets run
+(``llamcat serve --smoke --seed 0`` and ``llamcat cluster --smoke --seed 0``),
+so the fixtures pin the same numbers CI's smoke steps print.  Any engine
+change that shifts a cycle count, a timestamp or a derived aggregate fails the
+golden comparison loudly; when the shift is intentional, regenerate with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+and commit the updated fixtures together with the change that moved them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api import ClusterScenario, ServeScenario
+from repro.config.scale import ScaleTier
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: fixture file name -> zero-argument callable producing the metrics object.
+GOLDEN_SCENARIOS = {
+    "serve_smoke.json": lambda: golden_serve_scenario().run(),
+    "cluster_smoke.json": lambda: golden_cluster_scenario().run(),
+}
+
+
+def golden_serve_scenario() -> ServeScenario:
+    """The configuration behind ``llamcat serve --smoke --seed 0``."""
+
+    return ServeScenario(
+        workload="llama3-70b",
+        arrival="poisson",
+        rate=2000.0,
+        num_requests=8,
+        max_batch=2,
+        seed=0,
+        policy="unopt",
+        system="table5",
+        tier=ScaleTier.SMOKE,
+    ).validate()
+
+
+def golden_cluster_scenario() -> ClusterScenario:
+    """The configuration behind ``llamcat cluster --smoke --seed 0``."""
+
+    return ClusterScenario(
+        workload="llama3-70b",
+        arrival="poisson",
+        rate=2000.0,
+        num_requests=8,
+        replicas=2,
+        router="round-robin",
+        max_batch=2,
+        seed=0,
+        policy="unopt",
+        systems=("table5",),
+        tier=ScaleTier.SMOKE,
+    ).validate()
+
+
+def canonical(metrics_dict: dict) -> dict:
+    """Normalize a metrics dict through JSON (tuples -> lists, float repr)."""
+
+    return json.loads(json.dumps(metrics_dict))
+
+
+def fixture_path(name: str) -> Path:
+    return GOLDEN_DIR / name

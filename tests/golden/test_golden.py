@@ -1,0 +1,39 @@
+"""Golden regression tests: the smoke metrics dicts must match exactly.
+
+These comparisons are deliberately *exact* -- every timestamp, cycle count and
+derived aggregate of the ``llamcat serve --smoke`` / ``llamcat cluster
+--smoke`` runs is pinned.  An engine change that shifts any number fails here
+loudly; if the shift is intentional, regenerate the fixtures
+(``PYTHONPATH=src python tests/golden/regen.py``) and commit them with the
+change.  See CONTRIBUTING.md.
+"""
+
+import json
+
+import pytest
+
+from tests.golden.scenarios import GOLDEN_SCENARIOS, canonical, fixture_path
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_smoke_metrics_match_golden_fixture_exactly(name):
+    path = fixture_path(name)
+    assert path.exists(), (
+        f"golden fixture {path} is missing; generate it with "
+        f"`PYTHONPATH=src python tests/golden/regen.py`"
+    )
+    expected = json.loads(path.read_text())
+    actual = canonical(GOLDEN_SCENARIOS[name]().to_dict())
+    assert actual == expected, (
+        f"{name}: smoke metrics diverged from the golden fixture; if this "
+        f"change is intentional, regenerate via "
+        f"`PYTHONPATH=src python tests/golden/regen.py` and commit the diff"
+    )
+
+
+def test_golden_fixtures_are_canonical_json():
+    # Fixtures must stay exactly as regen.py writes them (sorted keys,
+    # 2-space indent, trailing newline) so regeneration diffs are minimal.
+    for name in GOLDEN_SCENARIOS:
+        text = fixture_path(name).read_text()
+        assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"

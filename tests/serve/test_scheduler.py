@@ -110,3 +110,63 @@ class TestBatchConfig:
     def test_rejects_nonpositive(self):
         with pytest.raises(ConfigError):
             BatchConfig(max_batch=0).validate()
+
+
+class TestNoStarvation:
+    """Under sustained max-batch pressure, FCFS must never starve a request."""
+
+    def drain(self, scheduler: ContinuousBatchScheduler, max_steps: int = 10_000):
+        """Drive the scheduler to empty, one token per running request per step.
+
+        Returns the admission order (request ids) and per-request admission
+        step, mimicking the simulator loop without any cost model.
+        """
+
+        admission_order: list[int] = []
+        completed: list[int] = []
+        for step in range(max_steps):
+            if not scheduler.has_work:
+                return admission_order, completed
+            now_s = float(step)
+            admission_order.extend(
+                a.request.request_id for a in scheduler.admit(now_s)
+            )
+            for active in scheduler.running:
+                active.generated += 1
+            completed.extend(
+                a.request.request_id for a in scheduler.evict_finished(now_s)
+            )
+        raise AssertionError(f"scheduler failed to drain in {max_steps} steps")
+
+    def test_admission_is_fcfs_under_sustained_pressure(self):
+        # 50 requests all present at t=0 against a batch of 2: the queue stays
+        # saturated for the whole run, the classic starvation scenario.
+        scheduler = make_scheduler(max_batch=2)
+        for rid in range(50):
+            scheduler.enqueue(request(rid, arrival=0.0, output=1 + rid % 5))
+        admission_order, completed = self.drain(scheduler)
+        assert admission_order == list(range(50))      # FCFS order preserved
+        assert sorted(completed) == list(range(50))    # every request completes
+
+    def test_long_jobs_do_not_starve_the_queue(self):
+        # One huge request occupies a slot; the stream of short requests behind
+        # it must still flow through the other slot and all complete.
+        scheduler = make_scheduler(max_batch=2)
+        scheduler.enqueue(request(0, arrival=0.0, output=500))
+        for rid in range(1, 40):
+            scheduler.enqueue(request(rid, arrival=float(rid) * 0.1, output=2))
+        admission_order, completed = self.drain(scheduler)
+        assert admission_order == list(range(40))
+        assert sorted(completed) == list(range(40))
+        assert completed[-1] == 0                      # the long job finishes last
+
+    def test_continuous_arrivals_preserve_arrival_order(self):
+        # Requests keep arriving exactly as fast as slots free up; admission
+        # must follow (arrival_s, request_id) order even when late-enqueued
+        # requests carry earlier ids.
+        scheduler = make_scheduler(max_batch=1)
+        for rid, arrival in ((5, 0.0), (3, 1.0), (8, 2.0), (1, 3.0)):
+            scheduler.enqueue(request(rid, arrival=arrival, output=1))
+        admission_order, completed = self.drain(scheduler)
+        assert admission_order == [5, 3, 8, 1]
+        assert sorted(completed) == [1, 3, 5, 8]

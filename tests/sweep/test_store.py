@@ -107,3 +107,105 @@ class TestRecordSerialization:
             config=tiny_points[0].config_dict(),
         )
         assert StoreRecord.from_json_line(record.to_json_line()) == record
+
+
+class TestMixedKinds:
+    """One JSONL store holding sim + serve + cluster records side by side."""
+
+    @pytest.fixture()
+    def serve_point(self):
+        from repro.serve.scenario import ServeScenario
+        from repro.serve.sweep import ServePoint
+
+        return ServePoint(
+            label="serve-pt",
+            scenario=ServeScenario(workload="llama3-70b", rate=100.0, num_requests=2),
+        )
+
+    @pytest.fixture()
+    def serve_metrics(self):
+        from repro.serve.metrics import ServeMetrics
+
+        return ServeMetrics(
+            label="serve-pt", workload="llama3-70b", frequency_ghz=2.0,
+            duration_s=1.0, steps=4, total_cycles=400,
+        )
+
+    @pytest.fixture()
+    def cluster_point(self):
+        from repro.cluster.scenario import ClusterScenario
+        from repro.cluster.sweep import ClusterPoint
+
+        return ClusterPoint(
+            label="cluster-pt",
+            scenario=ClusterScenario(workload="llama3-70b", rate=100.0, num_requests=2),
+        )
+
+    @pytest.fixture()
+    def cluster_metrics(self):
+        from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
+
+        return ClusterMetrics(
+            label="cluster-pt", workload="llama3-70b", router="round-robin",
+            duration_s=1.0,
+            replicas=(
+                ReplicaMetrics(
+                    replica_id=0, system="table5", frequency_ghz=2.0,
+                    steps=4, total_cycles=400, busy_s=0.5, routed=0,
+                ),
+            ),
+        )
+
+    def test_mixed_store_round_trips_every_kind(
+        self, tmp_path, tiny_points, sim_result,
+        serve_point, serve_metrics, cluster_point, cluster_metrics,
+    ):
+        from repro.cluster.metrics import ClusterMetrics
+        from repro.serve.metrics import ServeMetrics
+
+        path = tmp_path / "mixed.jsonl"
+        store = ResultStore(path)
+        store.put(tiny_points[0], result=sim_result)
+        store.put(serve_point, result=serve_metrics)
+        store.put(cluster_point, result=cluster_metrics)
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 3
+        assert {r.kind for r in reloaded.records()} == {"sim", "serve", "cluster"}
+        assert isinstance(reloaded.result_for(tiny_points[0]), SimResult)
+        assert isinstance(reloaded.result_for(serve_point), ServeMetrics)
+        assert isinstance(reloaded.result_for(cluster_point), ClusterMetrics)
+        assert reloaded.result_for(serve_point) == serve_metrics
+        assert reloaded.result_for(cluster_point) == cluster_metrics
+
+    def test_pre_kind_tag_store_still_resumes(self, tmp_path, tiny_points, sim_result):
+        # Stores written before the "kind" tag existed have no such field;
+        # they must keep loading (and resuming) as kernel-level records.
+        path = tmp_path / "legacy.jsonl"
+        ResultStore(path).put(tiny_points[0], result=sim_result)
+        lines = []
+        for line in path.read_text().splitlines():
+            payload = json.loads(line)
+            del payload["kind"]
+            lines.append(json.dumps(payload))
+        path.write_text("\n".join(lines) + "\n")
+
+        reloaded = ResultStore(path)
+        assert reloaded.skipped_lines == 0
+        restored = reloaded.result_for(tiny_points[0])
+        assert isinstance(restored, SimResult)
+        assert restored == sim_result
+
+    def test_unknown_kind_line_is_skipped(self, tmp_path, tiny_points, sim_result):
+        path = tmp_path / "future.jsonl"
+        store = ResultStore(path)
+        store.put(tiny_points[0], result=sim_result)
+        record = json.loads(path.read_text().splitlines()[0])
+        record["kind"] = "hologram"
+        record["key"] = "future-key"
+        with path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+        reloaded = ResultStore(path)
+        assert reloaded.skipped_lines == 1             # the unknown kind
+        assert reloaded.result_for(tiny_points[0]) is not None

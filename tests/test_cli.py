@@ -143,6 +143,74 @@ class TestServeSweepCommand:
             main(["sweep", "--serve", "--l2-mib", "32"])
 
 
+class TestClusterCommand:
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.workload == "llama3-70b"
+        assert args.replicas == 2
+        assert args.router == "round-robin"
+        assert args.systems is None       # resolved to ("table5",) at run time
+        assert not args.smoke
+
+    def test_repeatable_system_flag_builds_a_fleet(self):
+        args = build_parser().parse_args(
+            ["cluster", "--system", "table5", "--system", "table5-8core"]
+        )
+        assert args.systems == ["table5", "table5-8core"]
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--router", "carrier-pigeon", "--smoke"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--system", "cray-1", "--smoke"])
+
+    def test_mismatched_fleet_systems_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--replicas", "3",
+                  "--system", "table5", "--system", "table5-8core"])
+
+    def test_smoke_run_prints_fleet_and_percentiles(self, capsys):
+        assert main(["cluster", "--smoke", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet (" in out
+        assert "utilization" in out
+        assert "merged latency percentiles" in out
+        assert "imbalance" in out
+        assert "cycle-engine runs" in out
+
+
+class TestClusterSweepCommand:
+    def test_cluster_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--cluster", "--rate", "1000", "--replicas", "2",
+             "--replicas", "4", "--router", "round-robin", "--router", "jsq"]
+        )
+        assert args.cluster
+        assert args.replica_counts == [2, 4]
+        assert args.routers == ["round-robin", "jsq"]
+        assert args.rates == [1000.0]
+
+    def test_cluster_axes_without_cluster_rejected(self):
+        with pytest.raises(SystemExit, match="--cluster"):
+            main(["sweep", "--replicas", "2"])
+        with pytest.raises(SystemExit, match="--cluster"):
+            main(["sweep", "--serve", "--router", "round-robin"])
+
+    def test_serve_and_cluster_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["sweep", "--serve", "--cluster"])
+
+    def test_kernel_axes_with_cluster_rejected(self):
+        with pytest.raises(SystemExit, match="kernel-sweep"):
+            main(["sweep", "--cluster", "--seq-len", "1024"])
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--cluster", "--router", "carrier-pigeon"])
+
+
 class TestListCommand:
     def test_list_workloads(self, capsys):
         assert main(["list", "workloads"]) == 0
@@ -178,6 +246,13 @@ class TestListCommand:
         assert main(["list", "throttles"]) == 0
         out = capsys.readouterr().out
         assert "dynmg" in out
+
+    def test_list_routers(self, capsys):
+        assert main(["list", "routers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("round-robin", "least-outstanding", "join-shortest-queue", "weighted"):
+            assert name in out
+        assert "jsq" in out                            # aliases are listed
 
     def test_list_rejects_unknown_registry(self):
         with pytest.raises(SystemExit):
