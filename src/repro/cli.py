@@ -9,7 +9,7 @@ Subcommands
   of serving points (``--serve`` with repeatable ``--rate``) or of cluster
   points (``--cluster`` with repeatable ``--replicas``/``--router``)
 * ``list``    -- list registered workloads / systems / policies / throttles /
-  arrivals / routers
+  arrivals / schedulers / routers
 * ``fig7``  -- regenerate the Fig 7 speedup panels
 * ``fig8``  -- regenerate the Fig 8 mechanism statistics
 * ``fig9``  -- regenerate the Fig 9 cache-size sweep
@@ -30,7 +30,7 @@ import sys
 from dataclasses import replace
 
 from repro.api import Scenario
-from repro.cluster.scenario import ClusterScenario
+from repro.cluster.scenario import ClusterScenario, parse_disaggregated
 from repro.cluster.sweep import ClusterSweepSpec
 from repro.common.errors import ConfigError
 from repro.config.presets import FIG9_L2_MIB, FIG9_SEQ_LEN
@@ -41,9 +41,18 @@ from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.hwcost_exp import run_hwcost
 from repro.experiments.reporting import format_grid
-from repro.registry import ARRIVALS, POLICIES, ROUTERS, SYSTEMS, THROTTLES, WORKLOADS
+from repro.registry import (
+    ARRIVALS,
+    POLICIES,
+    ROUTERS,
+    SCHEDULERS,
+    SYSTEMS,
+    THROTTLES,
+    WORKLOADS,
+)
 from repro.serve.metrics import REPORTED_PERCENTILES
-from repro.serve.scenario import ServeScenario
+from repro.serve.scenario import DEFAULT_SCHEDULER, ServeScenario
+from repro.serve.schedpolicy import DEFAULT_PREFILL_CHUNK
 from repro.serve.sweep import ServeSweepSpec
 from repro.sweep.executor import run_sweep
 from repro.sweep.spec import FIG9_POLICY_LABELS, SweepSpec
@@ -56,6 +65,7 @@ LISTABLE_REGISTRIES = {
     "policies": POLICIES,
     "throttles": THROTTLES,
     "arrivals": ARRIVALS,
+    "schedulers": SCHEDULERS,
     "routers": ROUTERS,
 }
 
@@ -64,6 +74,25 @@ SERVE_SWEEP_RATES = (1000.0, 2000.0, 4000.0)
 
 #: Defaults of the cluster sweep's fleet-size axis.
 CLUSTER_SWEEP_REPLICAS = (2, 4)
+
+
+def _add_prefill_args(parser: argparse.ArgumentParser) -> None:
+    """The prefill-scheduling knobs shared by ``serve`` and ``cluster``."""
+
+    parser.add_argument(
+        "--scheduler", default=DEFAULT_SCHEDULER,
+        help='registered step-planning policy, e.g. "decode-first", '
+             '"prefill-first", "chunked"',
+    )
+    parser.add_argument(
+        "--prefill-chunk", type=int, default=DEFAULT_PREFILL_CHUNK,
+        help="token budget of one chunked-prefill iteration "
+             "(chunked scheduler only)",
+    )
+    parser.add_argument(
+        "--no-prefill-cost", dest="prefill_cost", action="store_false",
+        help="treat prompts as free (the legacy decode-only timeline)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--max-batch", type=int, default=4)
     serve_p.add_argument("--seed", type=int, default=0)
     serve_p.add_argument("--policy", default="unopt")
+    _add_prefill_args(serve_p)
     serve_p.add_argument("--system", default="table5", help="registered system name")
     serve_p.add_argument("--tier", default="ci")
     serve_p.add_argument("--slo-ttft-ms", type=float, default=None)
@@ -134,6 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-replica continuous-batching bound")
     cluster_p.add_argument("--seed", type=int, default=0)
     cluster_p.add_argument("--policy", default="unopt")
+    _add_prefill_args(cluster_p)
+    cluster_p.add_argument(
+        "--disaggregated", nargs="?", const="1p1d", default=None, metavar="PpDd",
+        help='split the fleet into prefill and decode replicas, e.g. "2p2d" '
+             "(replica count follows the spec; bare flag means 1p1d)",
+    )
+    cluster_p.add_argument(
+        "--kv-transfer-ms", type=float, default=0.0,
+        help="KV-cache transfer latency of one prefill-to-decode handoff",
+    )
     cluster_p.add_argument(
         "--system", action="append", dest="systems",
         help="repeatable system preset; one name is broadcast to every "
@@ -187,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrival", action="append", dest="arrivals",
         help='repeatable arrival-process names; default: "poisson" '
              "(only with --serve/--cluster)",
+    )
+    sweep_p.add_argument(
+        "--scheduler", action="append", dest="schedulers",
+        help='repeatable step-planning policies, e.g. "decode-first", '
+             '"chunked"; default: "decode-first" (only with --serve/--cluster)',
+    )
+    sweep_p.add_argument(
+        "--prefill-chunk", type=int, action="append", dest="prefill_chunks",
+        help=f"repeatable chunked-prefill token budgets; default: "
+             f"{DEFAULT_PREFILL_CHUNK} (only with --serve/--cluster)",
     )
     sweep_p.add_argument(
         "--replicas", type=int, action="append", dest="replica_counts",
@@ -246,6 +296,22 @@ def _validate_jobs(jobs: int) -> None:
         raise SystemExit(f"--jobs must be >= 1, got {jobs}")
 
 
+def _percentile_rows(metrics) -> list[dict]:
+    """Latency/TTFT (and prefill, when modeled) percentile table rows."""
+
+    rows = []
+    for point in REPORTED_PERCENTILES:
+        row = {
+            "metric": f"p{point:g}",
+            "latency_ms": metrics.latency_percentile_ms(point),
+            "ttft_ms": metrics.ttft_percentile_ms(point),
+        }
+        if metrics.has_prefill_phase:
+            row["prefill_ms"] = metrics.prefill_percentile_ms(point)
+        rows.append(row)
+    return rows
+
+
 def _serve_command(args: argparse.Namespace) -> int:
     tier = "smoke" if args.smoke else args.tier
     scenario = ServeScenario(
@@ -256,6 +322,9 @@ def _serve_command(args: argparse.Namespace) -> int:
         max_batch=min(args.max_batch, 2) if args.smoke else args.max_batch,
         seed=args.seed,
         policy=args.policy,
+        scheduler=args.scheduler,
+        prefill_chunk=args.prefill_chunk,
+        prefill_cost=args.prefill_cost,
         system=args.system,
         tier=parse_tier(tier),
         slo_ttft_ms=args.slo_ttft_ms,
@@ -264,15 +333,12 @@ def _serve_command(args: argparse.Namespace) -> int:
     metrics = scenario.run()
     print(metrics.summary())
     print()
-    rows = [
-        {
-            "metric": f"p{point:g}",
-            "latency_ms": metrics.latency_percentile_ms(point),
-            "ttft_ms": metrics.ttft_percentile_ms(point),
-        }
-        for point in REPORTED_PERCENTILES
-    ]
-    print(format_grid(f"latency percentiles ({scenario.display_label})", rows))
+    print(
+        format_grid(
+            f"latency percentiles ({scenario.display_label}, {scenario.scheduler})",
+            _percentile_rows(metrics),
+        )
+    )
     print(
         f"throughput: {metrics.tokens_per_s:.0f} tokens/s, "
         f"{metrics.requests_per_s:.0f} requests/s "
@@ -286,7 +352,21 @@ def _serve_command(args: argparse.Namespace) -> int:
 
 def _cluster_command(args: argparse.Namespace) -> int:
     tier = "smoke" if args.smoke else args.tier
-    replicas = min(args.replicas, 2) if args.smoke else args.replicas
+    if args.disaggregated is not None:
+        # The fleet split fixes the replica count (smoke keeps the bare-flag
+        # default of 1p1d small on its own); a contradicting --replicas is an
+        # error, not a silent override.  The parser default (2) is
+        # indistinguishable from an explicit "--replicas 2" and passes.
+        prefill, decode = parse_disaggregated(args.disaggregated)
+        replicas = prefill + decode
+        if args.replicas not in (2, replicas):
+            raise SystemExit(
+                f"--replicas {args.replicas} contradicts --disaggregated "
+                f"{args.disaggregated} ({replicas} replicas); drop --replicas "
+                f"or make them agree"
+            )
+    else:
+        replicas = min(args.replicas, 2) if args.smoke else args.replicas
     systems = tuple(args.systems) if args.systems else ("table5",)
     if args.smoke and len(systems) > 1:
         systems = systems[:replicas]
@@ -300,6 +380,11 @@ def _cluster_command(args: argparse.Namespace) -> int:
         max_batch=min(args.max_batch, 2) if args.smoke else args.max_batch,
         seed=args.seed,
         policy=args.policy,
+        scheduler=args.scheduler,
+        prefill_chunk=args.prefill_chunk,
+        prefill_cost=args.prefill_cost,
+        disaggregated=args.disaggregated,
+        kv_transfer_ms=args.kv_transfer_ms,
         systems=systems,
         tier=parse_tier(tier),
         slo_ttft_ms=args.slo_ttft_ms,
@@ -312,8 +397,10 @@ def _cluster_command(args: argparse.Namespace) -> int:
         {
             "replica": replica.replica_id,
             "system": replica.system,
+            "role": replica.role,
             "requests": replica.num_requests,
             "routed": replica.routed,
+            "handoffs": replica.handoffs,
             "steps": replica.steps,
             "tokens": replica.output_tokens,
             "utilization": replica.utilization(metrics.duration_s),
@@ -322,15 +409,9 @@ def _cluster_command(args: argparse.Namespace) -> int:
     ]
     print(format_grid(f"fleet ({scenario.display_label})", replica_rows))
     print()
-    rows = [
-        {
-            "metric": f"p{point:g}",
-            "latency_ms": metrics.latency_percentile_ms(point),
-            "ttft_ms": metrics.ttft_percentile_ms(point),
-        }
-        for point in REPORTED_PERCENTILES
-    ]
-    print(format_grid("merged latency percentiles", rows))
+    print(format_grid("merged latency percentiles", _percentile_rows(metrics)))
+    # Handoff counts and per-phase utilization already lead the summary()
+    # line; repeating them here would just drift out of sync.
     print(
         f"fleet throughput: {metrics.tokens_per_s:.0f} tokens/s, "
         f"{metrics.requests_per_s:.0f} requests/s "
@@ -351,6 +432,8 @@ def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
         replica_counts=tuple(args.replica_counts or CLUSTER_SWEEP_REPLICAS),
         routers=tuple(args.routers or ("round-robin",)),
         arrivals=tuple(args.arrivals or ("poisson",)),
+        schedulers=tuple(args.schedulers or (DEFAULT_SCHEDULER,)),
+        prefill_chunks=tuple(args.prefill_chunks or (DEFAULT_PREFILL_CHUNK,)),
         policies=tuple(args.policies or ("unopt",)),
         num_requests=args.num_requests,
         max_batch=args.max_batch,
@@ -364,6 +447,7 @@ def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
         f"cluster sweep: {len(points)} points = {len(spec.workloads)} workloads x "
         f"{len(spec.arrivals)} arrivals x {len(spec.rates)} rates x "
         f"{len(spec.replica_counts)} fleet sizes x {len(spec.routers)} routers x "
+        f"{len(spec.schedulers)} schedulers x {len(spec.prefill_chunks)} chunks x "
         f"{len(spec.policies)} policies (tier={spec.tier.name}, jobs={args.jobs})"
     )
     store = ResultStore(args.store) if args.store else None
@@ -393,6 +477,7 @@ def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
             "rate": point.coord("rate"),
             "replicas": point.coord("replicas"),
             "router": point.coord("router"),
+            "scheduler": point.coord("scheduler"),
         }
         if outcome.ok:
             metrics = outcome.result
@@ -425,6 +510,8 @@ def _run_serve_sweep_command(args: argparse.Namespace) -> int:
         workloads=tuple(args.models or ("llama3-70b",)),
         rates=tuple(args.rates or SERVE_SWEEP_RATES),
         arrivals=tuple(args.arrivals or ("poisson",)),
+        schedulers=tuple(args.schedulers or (DEFAULT_SCHEDULER,)),
+        prefill_chunks=tuple(args.prefill_chunks or (DEFAULT_PREFILL_CHUNK,)),
         policies=tuple(args.policies or ("unopt",)),
         num_requests=args.num_requests,
         max_batch=args.max_batch,
@@ -437,6 +524,7 @@ def _run_serve_sweep_command(args: argparse.Namespace) -> int:
     print(
         f"serve sweep: {len(points)} points = {len(spec.workloads)} workloads x "
         f"{len(spec.arrivals)} arrivals x {len(spec.rates)} rates x "
+        f"{len(spec.schedulers)} schedulers x {len(spec.prefill_chunks)} chunks x "
         f"{len(spec.policies)} policies (tier={spec.tier.name}, jobs={args.jobs})"
     )
     store = ResultStore(args.store) if args.store else None
@@ -465,6 +553,7 @@ def _run_serve_sweep_command(args: argparse.Namespace) -> int:
             "model": point.coord("model"),
             "arrival": point.coord("arrival"),
             "rate": point.coord("rate"),
+            "scheduler": point.coord("scheduler"),
             "policy": point.coord("policy"),
         }
         if outcome.ok:
@@ -508,10 +597,12 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             "--replicas/--router are cluster-sweep axes; pass --cluster to "
             "sweep cluster points"
         )
-    if not (args.serve or args.cluster) and (args.rates or args.arrivals):
+    if not (args.serve or args.cluster) and (
+        args.rates or args.arrivals or args.schedulers or args.prefill_chunks
+    ):
         raise SystemExit(
-            "--rate/--arrival are serving-sweep axes; pass --serve or "
-            "--cluster to sweep serving points"
+            "--rate/--arrival/--scheduler/--prefill-chunk are serving-sweep "
+            "axes; pass --serve or --cluster to sweep serving points"
         )
     if args.cluster:
         return _run_cluster_sweep_command(args)

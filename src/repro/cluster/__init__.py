@@ -2,12 +2,16 @@
 
 ``repro.cluster`` layers multi-replica serving on top of :mod:`repro.serve`:
 N accelerator replicas -- homogeneous or mixed system presets -- each run
-their own continuous-batching scheduler and memoized step-cost table, while a
-router registered under :data:`repro.registry.ROUTERS` (round-robin,
-least-outstanding, join-shortest-queue, weighted) spreads one shared arrival
-stream across the fleet.  :class:`ClusterMetrics` aggregates fleet throughput,
-merged latency percentiles, per-replica utilization and the load-imbalance
-factor.
+their own continuous-batching scheduler, step-planning policy and memoized
+step-cost table, while a router registered under
+:data:`repro.registry.ROUTERS` (round-robin, least-outstanding,
+join-shortest-queue, weighted) spreads one shared arrival stream across the
+fleet.  Fleets are colocated (every replica prefills and decodes) or
+*disaggregated* (``disaggregated="2p2d"``: prefill replicas process prompts
+and hand each request off to a decode replica after a configurable
+KV-transfer latency).  :class:`ClusterMetrics` aggregates fleet throughput,
+merged latency percentiles, per-replica and per-phase utilization, handoff
+counts and the load-imbalance factor.
 
 Quick start::
 
@@ -39,7 +43,11 @@ from repro.cluster.router import (
     Router,
     WeightedRouter,
 )
-from repro.cluster.scenario import ClusterScenario, run_cluster_scenario
+from repro.cluster.scenario import (
+    ClusterScenario,
+    parse_disaggregated,
+    run_cluster_scenario,
+)
 from repro.cluster.simulator import ClusterSimulator, ReplicaSim
 from repro.cluster.sweep import ClusterPoint, ClusterSweepSpec
 
@@ -56,5 +64,6 @@ __all__ = [
     "RoundRobinRouter",
     "Router",
     "WeightedRouter",
+    "parse_disaggregated",
     "run_cluster_scenario",
 ]

@@ -25,7 +25,13 @@ from repro.serve.metrics import REPORTED_PERCENTILES, RequestMetrics, ServeSLO
 
 @dataclass(frozen=True, slots=True)
 class ReplicaMetrics:
-    """One replica's share of a cluster run."""
+    """One replica's share of a cluster run.
+
+    ``role`` is "mixed" for colocated fleets; disaggregated fleets split into
+    "prefill" replicas (which complete no requests -- they hand each one off
+    once its prompt is processed, counted in ``handoffs``) and "decode"
+    replicas (whose ``routed`` counts delivered handoffs).
+    """
 
     replica_id: int
     system: str
@@ -37,9 +43,12 @@ class ReplicaMetrics:
     #: Wall-clock seconds the replica spent mid-step (vs. idle).
     busy_s: float
     #: Requests the router sent here (>= len(requests) only transiently;
-    #: equal once the run drains).
+    #: equal once the run drains, except on prefill replicas).
     routed: int
     requests: tuple[RequestMetrics, ...] = ()
+    role: str = "mixed"
+    #: Requests handed off to a decode replica (prefill replicas only).
+    handoffs: int = 0
 
     def validate(self) -> "ReplicaMetrics":
         if self.replica_id < 0:
@@ -48,6 +57,8 @@ class ReplicaMetrics:
             raise ConfigError(f"frequency_ghz must be positive, got {self.frequency_ghz}")
         if self.busy_s < 0:
             raise ConfigError(f"busy_s must be >= 0, got {self.busy_s}")
+        if self.handoffs < 0:
+            raise ConfigError(f"handoffs must be >= 0, got {self.handoffs}")
         if self.routed < len(self.requests):
             raise ConfigError(
                 f"replica {self.replica_id} completed {len(self.requests)} requests "
@@ -77,6 +88,8 @@ class ReplicaMetrics:
             "total_cycles": self.total_cycles,
             "busy_s": self.busy_s,
             "routed": self.routed,
+            "role": self.role,
+            "handoffs": self.handoffs,
             "requests": [r.to_dict() for r in self.requests],
         }
 
@@ -90,6 +103,9 @@ class ReplicaMetrics:
             total_cycles=data["total_cycles"],
             busy_s=data["busy_s"],
             routed=data["routed"],
+            # Stores written before disaggregation carry neither key.
+            role=data.get("role", "mixed"),
+            handoffs=data.get("handoffs", 0),
             requests=tuple(RequestMetrics.from_dict(r) for r in data["requests"]),
         ).validate()
 
@@ -171,6 +187,47 @@ class ClusterMetrics:
 
         return [replica.utilization(self.duration_s) for replica in self.replicas]
 
+    # -- disaggregation (per-phase) aggregates -----------------------------------------
+    @property
+    def is_disaggregated(self) -> bool:
+        """Whether the fleet split replicas into prefill and decode roles."""
+
+        return any(replica.role == "prefill" for replica in self.replicas)
+
+    @property
+    def handoffs(self) -> int:
+        """Prefill-to-decode handoffs across the fleet (0 when colocated)."""
+
+        return sum(replica.handoffs for replica in self.replicas)
+
+    def role_utilization(self, role: str) -> float:
+        """Mean busy fraction of the replicas tagged ``role`` (0.0 if none)."""
+
+        members = [r for r in self.replicas if r.role == role]
+        if not members:
+            return 0.0
+        return mean([r.utilization(self.duration_s) for r in members])
+
+    @property
+    def prefill_utilization(self) -> float:
+        return self.role_utilization("prefill")
+
+    @property
+    def decode_utilization(self) -> float:
+        return self.role_utilization("decode")
+
+    @property
+    def has_prefill_phase(self) -> bool:
+        """Whether any completed request carries prefill-phase accounting."""
+
+        return any(r.prefill_end_s is not None for r in self.requests)
+
+    def prefill_percentile_ms(self, point: float) -> float:
+        """Merged prefill-span percentile over the prefill-phase requests (ms)."""
+
+        spans = [r.prefill_s for r in self.requests if r.prefill_s is not None]
+        return percentile(spans, point) * 1e3
+
     @property
     def load_imbalance(self) -> float:
         """Max/mean completed output tokens across replicas (1.0 = balanced).
@@ -220,6 +277,16 @@ class ClusterMetrics:
             for point, lat_ms, ttft_ms in zip(REPORTED_PERCENTILES, latency, ttft):
                 out[f"latency_p{point:g}_ms"] = lat_ms * 1e3
                 out[f"ttft_p{point:g}_ms"] = ttft_ms * 1e3
+        prefill_spans = [r.prefill_s for r in requests if r.prefill_s is not None]
+        if prefill_spans:
+            for point, span in zip(
+                REPORTED_PERCENTILES, percentiles(prefill_spans, REPORTED_PERCENTILES)
+            ):
+                out[f"prefill_p{point:g}_ms"] = span * 1e3
+        if self.is_disaggregated:
+            out["handoffs"] = self.handoffs
+            out["prefill_utilization"] = self.prefill_utilization
+            out["decode_utilization"] = self.decode_utilization
         return out
 
     def summary(self) -> str:
@@ -230,6 +297,12 @@ class ClusterMetrics:
             p * 1e3
             for p in percentiles([r.latency_s for r in requests], REPORTED_PERCENTILES)
         )
+        disagg = (
+            f"{self.handoffs} handoffs, prefill/decode util "
+            f"{self.prefill_utilization:.1%}/{self.decode_utilization:.1%}, "
+            if self.is_disaggregated
+            else ""
+        )
         return (
             f"[{self.label}] {self.workload} x{self.num_replicas} via {self.router}: "
             f"{len(requests)} requests in {self.duration_s * 1e3:.2f} ms "
@@ -237,7 +310,7 @@ class ClusterMetrics:
             f"latency p50/p95/p99 = {p50:.3f}/{p95:.3f}/{p99:.3f} ms, "
             f"TTFT p95 {percentile([r.ttft_s for r in requests], 95) * 1e3:.3f} ms, "
             f"{self.tokens_per_s:.0f} tokens/s, {self.requests_per_s:.0f} req/s, "
-            f"imbalance {self.load_imbalance:.2f}, SLO {self.slo_attainment:.1%}"
+            f"{disagg}imbalance {self.load_imbalance:.2f}, SLO {self.slo_attainment:.1%}"
         )
 
     # -- serialization (sweep result store) --------------------------------------------

@@ -2,11 +2,12 @@
 
 The cluster counterpart of :class:`~repro.serve.scenario.ServeScenario`: a
 frozen, content-hashed description of a fleet run -- workload / policy /
-arrival / router names, the per-replica system presets (the heterogeneous-fleet
-axis) and the traffic knobs.  Everything resolves through
-:mod:`repro.registry`, so a router or system preset registered anywhere is
-immediately servable from the Python API, ``llamcat cluster`` and cluster
-sweep grids.
+arrival / router / scheduler names, the per-replica system presets (the
+heterogeneous-fleet axis), the ``"<P>p<D>d"`` prefill/decode disaggregation
+split with its KV-transfer latency, and the traffic knobs.  Everything
+resolves through :mod:`repro.registry`, so a router, scheduler or system
+preset registered anywhere is immediately servable from the Python API,
+``llamcat cluster`` and cluster sweep grids.
 
 Replicas that share a system preset also share one memoized
 :class:`~repro.serve.stepcost.SimStepCostModel`: a 16-replica homogeneous
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import dataclass, fields
 
 from repro.cluster.metrics import ClusterMetrics
@@ -28,6 +30,7 @@ from repro.registry import (
     resolve_arrival,
     resolve_policy,
     resolve_router,
+    resolve_scheduler,
     resolve_system,
     resolve_workload,
 )
@@ -37,13 +40,38 @@ from repro.serve.request import (
     DEFAULT_PROMPT_TOKENS,
     RequestSampler,
 )
-from repro.serve.scenario import DEFAULT_SERVE_SYSTEM
+from repro.serve.scenario import DEFAULT_SCHEDULER, DEFAULT_SERVE_SYSTEM
+from repro.serve.schedpolicy import DEFAULT_PREFILL_CHUNK, PrefillOnlyPolicy
 from repro.serve.scheduler import SEQ_BUCKET_FLOOR, BatchConfig
 from repro.serve.stepcost import SimStepCostModel
 from repro.sim.runner import clear_trace_cache
 
 #: The router a ClusterScenario uses when none is given.
 DEFAULT_ROUTER = "round-robin"
+
+_DISAGG_RE = re.compile(r"^(\d+)p(\d+)d$")
+
+
+def parse_disaggregated(spec: str) -> tuple[int, int]:
+    """Parse a ``"<P>p<D>d"`` fleet split into (prefill, decode) counts.
+
+    ``"2p2d"`` is two prefill replicas feeding two decode replicas; both
+    counts must be at least one.
+    """
+
+    match = _DISAGG_RE.match(spec.strip().lower())
+    if match is None:
+        raise ConfigError(
+            f"disaggregated spec must look like '2p2d' "
+            f"(<prefill>p<decode>d), got {spec!r}"
+        )
+    prefill, decode = int(match.group(1)), int(match.group(2))
+    if prefill < 1 or decode < 1:
+        raise ConfigError(
+            f"a disaggregated fleet needs at least one prefill and one decode "
+            f"replica, got {spec!r}"
+        )
+    return prefill, decode
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +81,13 @@ class ClusterScenario:
     ``systems`` is the heterogeneous-fleet axis: a single preset name is
     replicated across all ``replicas``; a tuple of exactly ``replicas`` names
     gives each replica its own (tier-scaled) accelerator.
+
+    ``disaggregated`` switches the fleet from colocated prefill+decode
+    replicas to a ``"<P>p<D>d"`` split: the first P replicas only prefill
+    (fed by ``router``), the remaining D only decode (fed by prefill-complete
+    handoffs, each delayed by the ``kv_transfer_ms`` KV-cache transfer and
+    dispatched by a second instance of the same router discipline).
+    ``replicas`` must equal P + D.
     """
 
     workload: str
@@ -66,6 +101,17 @@ class ClusterScenario:
     max_batch: int = 4
     seed: int = 0
     policy: str = "unopt"
+    #: Step-planning policy on mixed/decode replicas (SCHEDULERS registry name).
+    scheduler: str = DEFAULT_SCHEDULER
+    #: Token budget of one chunked-prefill iteration (chunked scheduler only).
+    prefill_chunk: int = DEFAULT_PREFILL_CHUNK
+    #: Model the prefill phase; off, prompts are free and the run reproduces
+    #: the legacy decode-only fleet bit-for-bit (colocated fleets only).
+    prefill_cost: bool = True
+    #: "<P>p<D>d" prefill/decode split, or None for a colocated fleet.
+    disaggregated: str | None = None
+    #: KV-cache transfer latency of one prefill-to-decode handoff.
+    kv_transfer_ms: float = 0.0
     #: One system preset per replica; a single name is broadcast to the fleet.
     systems: tuple[str, ...] = (DEFAULT_SERVE_SYSTEM,)
     tier: ScaleTier = ScaleTier.CI
@@ -91,6 +137,24 @@ class ClusterScenario:
             raise ConfigError(f"replicas must be positive, got {self.replicas}")
         if self.max_batch <= 0:
             raise ConfigError(f"max_batch must be positive, got {self.max_batch}")
+        if self.prefill_chunk <= 0:
+            raise ConfigError(f"prefill_chunk must be positive, got {self.prefill_chunk}")
+        if self.kv_transfer_ms < 0:
+            raise ConfigError(
+                f"kv_transfer_ms must be >= 0, got {self.kv_transfer_ms}"
+            )
+        if self.disaggregated is not None:
+            prefill, decode = parse_disaggregated(self.disaggregated)
+            if prefill + decode != self.replicas:
+                raise ConfigError(
+                    f"disaggregated spec {self.disaggregated!r} names "
+                    f"{prefill + decode} replicas but the fleet has {self.replicas}"
+                )
+            if not self.prefill_cost:
+                raise ConfigError(
+                    "a disaggregated fleet needs prefill_cost=True (free "
+                    "prefill leaves the prefill replicas nothing to do)"
+                )
         if not isinstance(self.tier, ScaleTier):
             raise ConfigError(f"tier must be a ScaleTier, got {self.tier!r}")
         if not self.systems:
@@ -103,6 +167,7 @@ class ClusterScenario:
         self.slo().validate()
         resolve_arrival(self.arrival)   # raises ConfigError on unknown names
         resolve_router(self.router)
+        resolve_scheduler(self.scheduler)
         resolve_workload(self.workload)
         resolve_policy(self.policy)
         for system in self.systems:
@@ -116,6 +181,29 @@ class ClusterScenario:
             return self.systems * self.replicas
         return self.systems
 
+    def replica_roles(self) -> tuple[str, ...]:
+        """Role tags, one per replica: mixed, or the P prefill then D decode."""
+
+        if self.disaggregated is None:
+            return ("mixed",) * self.replicas
+        prefill, decode = parse_disaggregated(self.disaggregated)
+        return ("prefill",) * prefill + ("decode",) * decode
+
+    def canonical_disaggregated(self) -> str | None:
+        """The fleet split in canonical ``"<P>p<D>d"`` spelling (None when
+        colocated).
+
+        :func:`parse_disaggregated` accepts case/whitespace variants
+        (``" 2P2D "``), so hashes and labels must go through this
+        normalization -- otherwise equivalent scenarios would occupy distinct
+        result-store keys and re-simulate on resume.
+        """
+
+        if self.disaggregated is None:
+            return None
+        prefill, decode = parse_disaggregated(self.disaggregated)
+        return f"{prefill}p{decode}d"
+
     def slo(self) -> ServeSLO:
         return ServeSLO(ttft_ms=self.slo_ttft_ms, latency_ms=self.slo_latency_ms)
 
@@ -123,7 +211,10 @@ class ClusterScenario:
     def display_label(self) -> str:
         if self.label is not None:
             return self.label
-        return f"{self.router}x{self.replicas}@{self.arrival}"
+        fleet = self.canonical_disaggregated()
+        if fleet is None:
+            fleet = self.replicas
+        return f"{self.router}x{fleet}@{self.arrival}"
 
     # -- identity ----------------------------------------------------------------------
     def config_dict(self) -> dict:
@@ -155,6 +246,11 @@ class ClusterScenario:
             "max_batch": self.max_batch,
             "seed": self.seed,
             "policy": self.policy,
+            "scheduler": self.scheduler,
+            "prefill_chunk": self.prefill_chunk,
+            "prefill_cost": self.prefill_cost,
+            "disaggregated": self.canonical_disaggregated(),
+            "kv_transfer_ms": self.kv_transfer_ms,
             "systems": list(self.systems),
             "tier": self.tier.name,
             "prompt_tokens": list(self.prompt_tokens),
@@ -180,6 +276,11 @@ class ClusterScenario:
             max_batch=data.get("max_batch", defaults["max_batch"]),
             seed=data.get("seed", 0),
             policy=data.get("policy", "unopt"),
+            scheduler=data.get("scheduler", DEFAULT_SCHEDULER),
+            prefill_chunk=data.get("prefill_chunk", DEFAULT_PREFILL_CHUNK),
+            prefill_cost=data.get("prefill_cost", True),
+            disaggregated=data.get("disaggregated"),
+            kv_transfer_ms=data.get("kv_transfer_ms", 0.0),
             systems=tuple(data.get("systems", (DEFAULT_SERVE_SYSTEM,))),
             tier=parse_tier(data.get("tier", ScaleTier.CI.name)),
             prompt_tokens=tuple(data.get("prompt_tokens", DEFAULT_PROMPT_TOKENS)),
@@ -207,9 +308,20 @@ class ClusterScenario:
         arrival = resolve_arrival(self.arrival)(
             sampler, self.rate, self.num_requests, **dict(self.arrival_params)
         )
-        router = resolve_router(self.router)(
-            self.replicas, **dict(self.router_params)
+        roles = self.replica_roles()
+        router_builder = resolve_router(self.router)
+        router_params = dict(self.router_params)
+        # Arrivals are spread over the arrival-eligible replicas: the whole
+        # fleet when colocated, the prefill replicas when disaggregated (the
+        # decode side then gets its own instance of the same discipline).
+        entry_count = roles.count("prefill") if self.disaggregated else self.replicas
+        router = router_builder(entry_count, **router_params)
+        decode_router = (
+            router_builder(roles.count("decode"), **router_params)
+            if self.disaggregated
+            else None
         )
+        scheduler_builder = resolve_scheduler(self.scheduler)
         # One cost model (and thus one memo table) per distinct system preset:
         # homogeneous fleets simulate each step shape exactly once.
         cost_models: dict[str, SimStepCostModel] = {}
@@ -230,10 +342,16 @@ class ClusterScenario:
                 replica_id=i,
                 cost_model=cost_models[name],
                 frequency_ghz=frequencies[name],
-                batch=BatchConfig(max_batch=self.max_batch),
+                batch=BatchConfig(max_batch=self.max_batch, prefill=self.prefill_cost),
                 system_name=name,
+                role=role,
+                policy=(
+                    PrefillOnlyPolicy()
+                    if role == "prefill"
+                    else scheduler_builder(prefill_chunk=self.prefill_chunk)
+                ),
             )
-            for i, name in enumerate(self.replica_systems())
+            for i, (name, role) in enumerate(zip(self.replica_systems(), roles))
         ]
         return ClusterSimulator(
             arrival=arrival,
@@ -243,6 +361,8 @@ class ClusterScenario:
             label=self.display_label,
             workload_name=self.workload,
             router_name=self.router,
+            kv_transfer_s=self.kv_transfer_ms / 1e3,
+            decode_router=decode_router,
         )
 
     def run(self) -> ClusterMetrics:

@@ -2,26 +2,38 @@
 
 :class:`ClusterSimulator` runs N accelerator replicas against one shared
 arrival stream.  Each replica is a full single-accelerator serving pipeline --
-its own :class:`~repro.serve.scheduler.ContinuousBatchScheduler` and step-cost
-model -- while a pluggable :class:`~repro.cluster.router.Router` decides, at
-each request's arrival instant, which replica receives it.
+its own :class:`~repro.serve.scheduler.ContinuousBatchScheduler`, step-planning
+policy and step-cost model -- while a pluggable
+:class:`~repro.cluster.router.Router` decides, at each request's arrival
+instant, which replica receives it.
 
-The event loop interleaves two event kinds on one clock:
+The event loop interleaves three event kinds on one clock:
 
 1. **arrival** -- the next request of the shared stream is routed (the router
    observes replica queues exactly as they stand at that instant) and
    enqueued on the chosen replica;
-2. **step end** -- a replica finishes one batched decode iteration: every
-   batched request is credited a token, finished requests are evicted (and
-   reported to the arrival process, closing the loop for closed-loop traffic),
-   and the replica immediately re-forms its batch and starts the next step.
+2. **step end** -- a replica finishes one planned iteration: prompt chunks
+   shrink ``prefill_remaining``, every planned decode is credited a token,
+   finished requests are evicted (and reported to the arrival process, closing
+   the loop for closed-loop traffic), and the replica immediately re-forms its
+   batch and starts the next step;
+3. **handoff** -- in a *disaggregated* fleet, a request whose prompt finished
+   on a prefill replica becomes admissible on a decode replica once its KV
+   cache has been transferred (``kv_transfer_s`` later); the decode router
+   picks the receiving replica at that instant.
+
+Colocated fleets tag every replica ``"mixed"``; disaggregated fleets split
+them into ``"prefill"`` replicas (running
+:class:`~repro.serve.schedpolicy.PrefillOnlyPolicy`, fed by the arrival
+router) and ``"decode"`` replicas (fed exclusively by handoffs).
 
 Replicas advance independently between events -- a busy replica never blocks
 an idle one -- so the fleet behaves like N asynchronous serving loops glued
-together by the router.  Determinism is preserved end to end: replicas are
-visited in index order, event ties resolve step-ends before arrivals, and the
-arrival heap orders equal timestamps by request id, so a seeded run reproduces
-every routing decision and timestamp bit-for-bit.
+together by the routers.  Determinism is preserved end to end: replicas are
+visited in index order, event ties resolve step-ends before same-instant
+arrivals, and both the arrival and handoff heaps order equal timestamps by
+request id, so a seeded run reproduces every routing decision and timestamp
+bit-for-bit.
 
 Homogeneous replicas share one memoized step-cost model (the cluster scenario
 builds one per *distinct* system preset), so a 16-replica fleet pays for the
@@ -38,17 +50,35 @@ from repro.cluster.router import Router
 from repro.common.errors import ConfigError
 from repro.serve.arrival import ArrivalProcess
 from repro.serve.metrics import RequestMetrics, ServeSLO
-from repro.serve.scheduler import BatchConfig, ContinuousBatchScheduler
-from repro.serve.simulator import MAX_STEPS, complete_step
+from repro.serve.schedpolicy import (
+    DecodeFirstPolicy,
+    PrefillOnlyPolicy,
+    SchedulerPolicy,
+    StepPlan,
+)
+from repro.serve.scheduler import (
+    ActiveRequest,
+    BatchConfig,
+    ContinuousBatchScheduler,
+    HandoffRequest,
+)
+from repro.serve.simulator import MAX_STEPS, complete_step, plan_cycles
 from repro.serve.stepcost import StepCostModel
+
+#: The replica roles a fleet may mix: every colocated replica is "mixed";
+#: a disaggregated fleet is partitioned into "prefill" and "decode".
+REPLICA_ROLES = ("mixed", "prefill", "decode")
 
 
 class ReplicaSim:
-    """One accelerator replica: a scheduler plus a step-cost model and a clock.
+    """One accelerator replica: a scheduler, a step planner, a cost model, a clock.
 
     Exposes the two load signals routers read (``queue_depth``,
     ``outstanding``) and accumulates the counters that become its
-    :class:`~repro.cluster.metrics.ReplicaMetrics`.
+    :class:`~repro.cluster.metrics.ReplicaMetrics`.  ``role`` tags the
+    replica's place in a disaggregated fleet; a ``"prefill"`` replica evicts
+    each request the moment its prompt completes and surfaces it through
+    :meth:`take_handoffs` for the cluster loop to transfer.
     """
 
     def __init__(
@@ -58,22 +88,38 @@ class ReplicaSim:
         frequency_ghz: float,
         batch: BatchConfig | None = None,
         system_name: str = "system",
+        role: str = "mixed",
+        policy: SchedulerPolicy | None = None,
     ) -> None:
         if frequency_ghz <= 0:
             raise ConfigError(f"frequency_ghz must be positive, got {frequency_ghz}")
+        if role not in REPLICA_ROLES:
+            raise ConfigError(
+                f"replica role must be one of {REPLICA_ROLES}, got {role!r}"
+            )
         self.replica_id = replica_id
         self.cost_model = cost_model
         self.frequency_ghz = frequency_ghz
         self.system_name = system_name
+        self.role = role
+        if policy is not None:
+            self.policy = policy
+        else:
+            self.policy = PrefillOnlyPolicy() if role == "prefill" else DecodeFirstPolicy()
         self.scheduler = ContinuousBatchScheduler(
             config=(batch if batch is not None else BatchConfig()).validate()
         )
         #: End time of the in-flight step; None while idle.
         self.step_end_s: float | None = None
+        #: The in-flight step's plan (set exactly while ``step_end_s`` is).
+        self._plan: StepPlan | None = None
+        #: Prefill-complete requests awaiting pickup by the cluster loop.
+        self._ready_handoffs: list[ActiveRequest] = []
         self.steps = 0
         self.total_cycles = 0
         self.busy_s = 0.0
         self.routed = 0
+        self.handoffs = 0
         self.completed: list[RequestMetrics] = []
 
     # -- load signals (read by routers) ------------------------------------------------
@@ -102,40 +148,76 @@ class ReplicaSim:
         self.routed += 1
         self.scheduler.enqueue(request)
 
+    def _harvest_handoffs(self) -> None:
+        """Evict prefill-complete requests (prefill replicas only)."""
+
+        if self.role != "prefill":
+            return
+        done = [a for a in self.scheduler.running if not a.in_prefill]
+        if done:
+            self.scheduler.running = [a for a in self.scheduler.running if a.in_prefill]
+            self.handoffs += len(done)
+            self._ready_handoffs.extend(done)
+
+    def take_handoffs(self) -> list[ActiveRequest]:
+        """Drain the requests whose prompt completed since the last call."""
+
+        out, self._ready_handoffs = self._ready_handoffs, []
+        return out
+
     def maybe_start_step(self, now_s: float) -> bool:
-        """Admit waiting requests and launch one iteration if any are running."""
+        """Admit waiting requests and launch one planned iteration.
+
+        Zero-cost plans (free prefill) are applied instantly without consuming
+        a step, exactly like the single-accelerator loop; the replica then
+        re-plans against the updated batch.
+        """
 
         if self.busy:
             return False
-        self.scheduler.admit(now_s)
-        if not self.scheduler.running:
-            return False
-        batch, context_bucket = self.scheduler.batch_shape()
-        cycles = self.cost_model.step_cycles(batch, context_bucket)
-        if cycles <= 0:
-            raise ConfigError(f"step cost model returned {cycles} cycles")
-        self.steps += 1
-        self.total_cycles += cycles
-        duration_s = cycles / (self.frequency_ghz * 1e9)
-        self.busy_s += duration_s
-        self.step_end_s = now_s + duration_s
-        return True
+        while True:
+            self.scheduler.admit(now_s)
+            if not self.scheduler.running:
+                return False
+            plan = self.policy.plan(self.scheduler.running)
+            cycles = plan_cycles(
+                self.cost_model, plan, self.scheduler.config.seq_bucket_floor
+            )
+            if cycles < 0:
+                raise ConfigError(f"step cost model returned {cycles} cycles")
+            if cycles == 0:
+                if plan.decode:
+                    raise ConfigError("step cost model priced a decode step at 0 cycles")
+                complete_step(self.scheduler, plan, now_s)
+                self._harvest_handoffs()
+                continue
+            self.steps += 1
+            self.total_cycles += cycles
+            duration_s = cycles / (self.frequency_ghz * 1e9)
+            self.busy_s += duration_s
+            self.step_end_s = now_s + duration_s
+            self._plan = plan
+            return True
 
     def finish_step(self) -> list:
         """Complete the in-flight iteration via the shared step-completion path.
 
-        Returns the evicted :class:`~repro.serve.scheduler.ActiveRequest`
-        objects so the cluster loop can feed completions back into the arrival
-        process.
+        Returns the evicted (decode-finished)
+        :class:`~repro.serve.scheduler.ActiveRequest` objects so the cluster
+        loop can feed completions back into the arrival process; prefill
+        completions are harvested separately through :meth:`take_handoffs`.
         """
 
-        assert self.step_end_s is not None
+        assert self.step_end_s is not None and self._plan is not None
         end_s = self.step_end_s
+        plan = self._plan
         self.step_end_s = None
+        self._plan = None
         finished = []
-        for active, record in complete_step(self.scheduler, end_s):
+        for active, record in complete_step(self.scheduler, plan, end_s):
             self.completed.append(record)
             finished.append(active)
+        self._harvest_handoffs()
         return finished
 
     def metrics(self) -> ReplicaMetrics:
@@ -147,12 +229,21 @@ class ReplicaSim:
             total_cycles=self.total_cycles,
             busy_s=self.busy_s,
             routed=self.routed,
+            handoffs=self.handoffs,
+            role=self.role,
             requests=tuple(sorted(self.completed, key=lambda r: r.request_id)),
         ).validate()
 
 
 class ClusterSimulator:
-    """Simulate serving one request stream on a fleet of replicas."""
+    """Simulate serving one request stream on a fleet of replicas.
+
+    ``router`` spreads arrivals over the arrival-eligible replicas (the whole
+    fleet when colocated, the prefill replicas when disaggregated);
+    ``decode_router`` -- required exactly when the fleet is disaggregated --
+    spreads prefill-complete handoffs over the decode replicas, each arriving
+    ``kv_transfer_s`` after its prompt finished.
+    """
 
     def __init__(
         self,
@@ -163,34 +254,69 @@ class ClusterSimulator:
         label: str = "cluster",
         workload_name: str = "workload",
         router_name: str | None = None,
+        kv_transfer_s: float = 0.0,
+        decode_router: Router | None = None,
     ) -> None:
         if not replicas:
             raise ConfigError("a cluster needs at least one replica")
-        if router.num_replicas != len(replicas):
+        if kv_transfer_s < 0:
+            raise ConfigError(f"kv_transfer_s must be >= 0, got {kv_transfer_s}")
+        self.replicas = list(replicas)
+        self.prefill_replicas = [r for r in self.replicas if r.role == "prefill"]
+        self.decode_replicas = [r for r in self.replicas if r.role == "decode"]
+        self.disaggregated = bool(self.prefill_replicas or self.decode_replicas)
+        if self.disaggregated:
+            if any(r.role == "mixed" for r in self.replicas):
+                raise ConfigError(
+                    "a disaggregated fleet must tag every replica prefill or decode"
+                )
+            if not self.prefill_replicas or not self.decode_replicas:
+                raise ConfigError(
+                    "a disaggregated fleet needs at least one prefill and one "
+                    "decode replica"
+                )
+            if decode_router is None:
+                raise ConfigError("a disaggregated fleet needs a decode_router")
+            if decode_router.num_replicas != len(self.decode_replicas):
+                raise ConfigError(
+                    f"decode router expects {decode_router.num_replicas} replicas, "
+                    f"fleet has {len(self.decode_replicas)} decode replicas"
+                )
+        elif decode_router is not None:
+            raise ConfigError("decode_router is only meaningful for disaggregated fleets")
+        self.entry_replicas = (
+            self.prefill_replicas if self.disaggregated else self.replicas
+        )
+        if router.num_replicas != len(self.entry_replicas):
             raise ConfigError(
-                f"router expects {router.num_replicas} replicas, fleet has {len(replicas)}"
+                f"router expects {router.num_replicas} replicas, fleet has "
+                f"{len(self.entry_replicas)} arrival-eligible replicas"
             )
         self.arrival = arrival
         self.router = router
-        self.replicas = list(replicas)
+        self.decode_router = decode_router
+        self.kv_transfer_s = kv_transfer_s
         self.slo = (slo if slo is not None else ServeSLO()).validate()
         self.label = label
         self.workload_name = workload_name
         self.router_name = router_name if router_name is not None else router.name
 
-    def _route(self, request, now_s: float) -> ReplicaSim:
-        chosen = self.router.select(request, self.replicas, now_s)
-        if not 0 <= chosen < len(self.replicas):
+    def _select(self, router: Router, group: list[ReplicaSim], request, now_s: float):
+        chosen = router.select(request, group, now_s)
+        if not 0 <= chosen < len(group):
             raise ConfigError(
                 f"router {self.router_name!r} chose replica {chosen} "
-                f"of a {len(self.replicas)}-replica fleet"
+                f"of a {len(group)}-replica group"
             )
-        return self.replicas[chosen]
+        return group[chosen]
 
     def run(self) -> ClusterMetrics:
         # The pending heap orders un-routed requests by (arrival, id); ids are
         # unique, so heap order -- and thus every routing decision -- is total.
+        # The handoff heap is keyed the same way on KV-transfer completion.
         pending: list[tuple[float, int, object]] = []
+        handoffs: list[tuple[float, int, ActiveRequest]] = []
+        handoff_count = 0
         for request in self.arrival.initial():
             request = request.validate()
             heapq.heappush(pending, (request.arrival_s, request.request_id, request))
@@ -200,22 +326,51 @@ class ClusterSimulator:
             )
         first_arrival_s = pending[0][0]
 
+        def collect_handoffs(now_s: float) -> None:
+            nonlocal handoff_count
+            for replica in self.prefill_replicas:
+                for active in replica.take_handoffs():
+                    handoff_count += 1
+                    heapq.heappush(
+                        handoffs,
+                        (
+                            now_s + self.kv_transfer_s,
+                            active.request.request_id,
+                            active,
+                        ),
+                    )
+
         now_s = 0.0
         while True:
             # Route everything that has arrived by now: the router sees queue
             # depths as they stand after earlier same-instant completions.
             while pending and pending[0][0] <= now_s:
                 _, _, request = heapq.heappop(pending)
-                self._route(request, now_s).enqueue(request)
+                self._select(self.router, self.entry_replicas, request, now_s).enqueue(
+                    request
+                )
 
-            # Launch steps on every idle replica with admissible work.
+            # Deliver KV transfers that completed by now to decode replicas.
+            while handoffs and handoffs[0][0] <= now_s:
+                ready_s, _, active = heapq.heappop(handoffs)
+                assert self.decode_router is not None
+                replica = self._select(
+                    self.decode_router, self.decode_replicas, active.request, now_s
+                )
+                replica.enqueue(HandoffRequest(active=active, arrival_s=ready_s))
+
+            # Launch steps on every idle replica with admissible work (free
+            # prefill may complete instantly and surface handoffs here).
             for replica in self.replicas:
                 replica.maybe_start_step(now_s)
+            collect_handoffs(now_s)
 
-            # Advance the clock to the next event (step end or arrival).
+            # Advance the clock to the next event (step end, arrival, handoff).
             event_times = [r.step_end_s for r in self.replicas if r.step_end_s is not None]
             if pending:
                 event_times.append(pending[0][0])
+            if handoffs:
+                event_times.append(handoffs[0][0])
             if not event_times:
                 break  # fleet drained and the stream is exhausted
 
@@ -246,6 +401,7 @@ class ClusterSimulator:
                                 pending,
                                 (follow_up.arrival_s, follow_up.request_id, follow_up),
                             )
+            collect_handoffs(now_s)
 
         replica_metrics = tuple(replica.metrics() for replica in self.replicas)
         last_finish_s = max(
@@ -258,6 +414,10 @@ class ClusterSimulator:
             "num_replicas": len(self.replicas),
             "routed": [replica.routed for replica in self.replicas],
         }
+        if self.disaggregated:
+            meta["roles"] = [replica.role for replica in self.replicas]
+            meta["handoffs"] = handoff_count
+            meta["kv_transfer_s"] = self.kv_transfer_s
         # Homogeneous fleets share cost models; report the distinct tables.
         tables = {id(r.cost_model): r.cost_model for r in self.replicas}
         sizes = [getattr(m, "table_size", None) for m in tables.values()]

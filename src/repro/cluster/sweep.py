@@ -1,8 +1,8 @@
 """Cluster sweep grids: fleet-sizing and routing studies through the executor.
 
 A :class:`ClusterSweepSpec` names a cartesian grid -- workloads x arrivals x
-rates x replica counts x routers x policies -- and expands it into
-:class:`ClusterPoint` job descriptors.  ClusterPoints satisfy the same
+rates x replica counts x routers x schedulers x prefill chunks x policies --
+and expands it into :class:`ClusterPoint` job descriptors.  ClusterPoints satisfy the same
 contract as :class:`~repro.sweep.spec.SweepPoint` (``key()`` / ``label`` /
 ``describe()`` / ``config_dict()`` / ``execute()``), so they run through the
 existing :func:`repro.sweep.executor.run_sweep` process pool and persist into
@@ -19,8 +19,17 @@ from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.scenario import ClusterScenario
 from repro.common.errors import ConfigError
 from repro.config.scale import ScaleTier, parse_tier
-from repro.registry import ARRIVALS, ROUTERS, WORKLOADS, resolve_policy, resolve_system
+from repro.registry import (
+    ARRIVALS,
+    ROUTERS,
+    SCHEDULERS,
+    WORKLOADS,
+    resolve_policy,
+    resolve_system,
+)
 from repro.serve.request import DEFAULT_OUTPUT_TOKENS, DEFAULT_PROMPT_TOKENS
+from repro.serve.scenario import DEFAULT_SCHEDULER
+from repro.serve.schedpolicy import DEFAULT_PREFILL_CHUNK
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,9 +66,13 @@ class ClusterPoint:
 
     def describe(self) -> str:
         s = self.scenario
+        fleet = s.canonical_disaggregated()
+        if fleet is None:
+            fleet = s.replicas
         return (
-            f"{self.label}: cluster {s.workload} x{s.replicas} {s.router} "
-            f"{s.arrival}@{s.rate:g} n={s.num_requests} b<={s.max_batch} seed={s.seed}"
+            f"{self.label}: cluster {s.workload} x{fleet} {s.router} "
+            f"{s.scheduler} {s.arrival}@{s.rate:g} n={s.num_requests} "
+            f"b<={s.max_batch} seed={s.seed}"
         )
 
     def execute(self) -> ClusterMetrics:
@@ -85,10 +98,13 @@ class ClusterSweepSpec:
     replica_counts: tuple[int, ...] = (2,)
     routers: tuple[str, ...] = ("round-robin",)
     arrivals: tuple[str, ...] = ("poisson",)
+    schedulers: tuple[str, ...] = (DEFAULT_SCHEDULER,)
+    prefill_chunks: tuple[int, ...] = (DEFAULT_PREFILL_CHUNK,)
     policies: tuple[str, ...] = ("unopt",)
     num_requests: int = 32
     max_batch: int = 4
     seed: int = 0
+    prefill_cost: bool = True
     system: str = "table5"
     tier: ScaleTier = ScaleTier.CI
     prompt_tokens: tuple[int, int] = DEFAULT_PROMPT_TOKENS
@@ -98,7 +114,8 @@ class ClusterSweepSpec:
     max_cycles: int | None = None
 
     def validate(self) -> "ClusterSweepSpec":
-        for axis in ("workloads", "rates", "replica_counts", "routers", "arrivals", "policies"):
+        for axis in ("workloads", "rates", "replica_counts", "routers", "arrivals",
+                     "schedulers", "prefill_chunks", "policies"):
             if not getattr(self, axis):
                 raise ConfigError(f"ClusterSweepSpec.{axis} must be non-empty")
         for workload in self.workloads:
@@ -107,6 +124,8 @@ class ClusterSweepSpec:
             ARRIVALS.get(arrival)
         for router in self.routers:
             ROUTERS.get(router)
+        for scheduler in self.schedulers:
+            SCHEDULERS.get(scheduler)
         for policy in self.policies:
             resolve_policy(policy)
         resolve_system(self.system)
@@ -114,6 +133,8 @@ class ClusterSweepSpec:
             raise ConfigError("rates must be positive")
         if any(n <= 0 for n in self.replica_counts):
             raise ConfigError("replica_counts must be positive")
+        if any(c <= 0 for c in self.prefill_chunks):
+            raise ConfigError("prefill_chunks must be positive")
         if self.num_requests <= 0:
             raise ConfigError("num_requests must be positive")
         if self.max_batch <= 0:
@@ -124,7 +145,8 @@ class ClusterSweepSpec:
     def num_points(self) -> int:
         return (
             len(self.workloads) * len(self.arrivals) * len(self.rates)
-            * len(self.replica_counts) * len(self.routers) * len(self.policies)
+            * len(self.replica_counts) * len(self.routers)
+            * len(self.schedulers) * len(self.prefill_chunks) * len(self.policies)
         )
 
     def scenarios(self) -> tuple[ClusterScenario, ...]:
@@ -142,6 +164,9 @@ class ClusterSweepSpec:
                 max_batch=self.max_batch,
                 seed=self.seed,
                 policy=policy,
+                scheduler=scheduler,
+                prefill_chunk=chunk,
+                prefill_cost=self.prefill_cost,
                 systems=(self.system,),
                 tier=self.tier,
                 prompt_tokens=self.prompt_tokens,
@@ -155,6 +180,8 @@ class ClusterSweepSpec:
             for rate in self.rates
             for replicas in self.replica_counts
             for router in self.routers
+            for scheduler in self.schedulers
+            for chunk in self.prefill_chunks
             for policy in self.policies
         )
 
@@ -169,6 +196,8 @@ class ClusterSweepSpec:
                 "rate": scenario.rate,
                 "replicas": scenario.replicas,
                 "router": scenario.router,
+                "scheduler": scenario.scheduler,
+                "prefill_chunk": scenario.prefill_chunk,
                 "policy": scenario.policy,
                 "tier": scenario.tier.name,
             }
@@ -189,10 +218,13 @@ class ClusterSweepSpec:
             "replica_counts": list(self.replica_counts),
             "routers": list(self.routers),
             "arrivals": list(self.arrivals),
+            "schedulers": list(self.schedulers),
+            "prefill_chunks": list(self.prefill_chunks),
             "policies": list(self.policies),
             "num_requests": self.num_requests,
             "max_batch": self.max_batch,
             "seed": self.seed,
+            "prefill_cost": self.prefill_cost,
             "system": self.system,
             "tier": self.tier.name,
             "prompt_tokens": list(self.prompt_tokens),
@@ -210,10 +242,13 @@ class ClusterSweepSpec:
             replica_counts=tuple(data.get("replica_counts", (2,))),
             routers=tuple(data.get("routers", ("round-robin",))),
             arrivals=tuple(data.get("arrivals", ("poisson",))),
+            schedulers=tuple(data.get("schedulers", (DEFAULT_SCHEDULER,))),
+            prefill_chunks=tuple(data.get("prefill_chunks", (DEFAULT_PREFILL_CHUNK,))),
             policies=tuple(data.get("policies", ("unopt",))),
             num_requests=data.get("num_requests", 32),
             max_batch=data.get("max_batch", 4),
             seed=data.get("seed", 0),
+            prefill_cost=data.get("prefill_cost", True),
             system=data.get("system", "table5"),
             tier=parse_tier(data.get("tier", "CI")),
             prompt_tokens=tuple(data.get("prompt_tokens", DEFAULT_PROMPT_TOKENS)),

@@ -1,6 +1,6 @@
 """Scenario-component registries: the extension point of the whole stack.
 
-Five global registries name every pluggable piece of a simulation:
+Seven global registries name every pluggable piece of a simulation:
 
 * :data:`WORKLOADS` -- ``name -> builder(seq_len) -> WorkloadConfig``
 * :data:`SYSTEMS`   -- ``name -> builder() -> SystemConfig``
@@ -9,6 +9,8 @@ Five global registries name every pluggable piece of a simulation:
 * :data:`THROTTLES` -- ``ThrottleKind -> factory(PolicyConfig) -> controller``
 * :data:`ARRIVALS`  -- ``name -> builder(sampler, rate, num_requests, **params)
   -> ArrivalProcess`` (request streams for :mod:`repro.serve`)
+* :data:`SCHEDULERS` -- ``name -> builder(prefill_chunk, **params) ->
+  SchedulerPolicy`` (prefill/decode step planning for :mod:`repro.serve`)
 * :data:`ROUTERS`   -- ``name -> builder(num_replicas, **params) -> Router``
   (replica dispatch for :mod:`repro.cluster`)
 
@@ -59,6 +61,11 @@ ARRIVALS: Registry = Registry(
     bootstrap=("repro.serve.arrival",),
     normalize=_policy_norm,
 )
+SCHEDULERS: Registry = Registry(
+    "scheduler",
+    bootstrap=("repro.serve.schedpolicy",),
+    normalize=_policy_norm,
+)
 ROUTERS: Registry = Registry(
     "router",
     bootstrap=("repro.cluster.router",),
@@ -107,6 +114,16 @@ def register_arrival(name: str, **kwargs):
     return ARRIVALS.register(name, **kwargs)
 
 
+def register_scheduler(name: str, **kwargs):
+    """Register a step-planning policy builder for the serving scheduler.
+
+    The builder signature is ``(prefill_chunk, **params) -> SchedulerPolicy``
+    -- see :mod:`repro.serve.schedpolicy` for the built-in disciplines.
+    """
+
+    return SCHEDULERS.register(name, **kwargs)
+
+
 def register_router(name: str, **kwargs):
     """Register a replica-routing builder for the cluster simulator.
 
@@ -148,6 +165,12 @@ def resolve_arrival(name: str):
     return ARRIVALS.get(name)
 
 
+def resolve_scheduler(name: str):
+    """The scheduler-policy builder registered under ``name``."""
+
+    return SCHEDULERS.get(name)
+
+
 def resolve_router(name: str):
     """The replica-router builder registered under ``name``."""
 
@@ -172,18 +195,21 @@ __all__ = [
     "ROUTERS",
     "Registry",
     "RegistryEntry",
+    "SCHEDULERS",
     "SYSTEMS",
     "THROTTLES",
     "WORKLOADS",
     "register_arrival",
     "register_policy",
     "register_router",
+    "register_scheduler",
     "register_system",
     "register_throttle",
     "register_workload",
     "resolve_arrival",
     "resolve_policy",
     "resolve_router",
+    "resolve_scheduler",
     "resolve_system",
     "resolve_workload",
 ]

@@ -2,11 +2,15 @@
 
 ``repro.serve`` layers a request-level simulator on top of the cycle-accurate
 engine: arrival processes (:mod:`repro.serve.arrival`, pluggable through
-``@register_arrival``) generate a stream of decode requests, a
-continuous-batching scheduler re-forms the running batch every iteration, and
-each iteration's cost comes from the existing trace-driven simulator through a
-memoized step-cost table.  The metrics layer reports per-request latency,
-TTFT, TPOT, p50/p95/p99 percentiles, throughput and SLO attainment.
+``@register_arrival``) generate a stream of prefill-then-decode requests, a
+continuous-batching scheduler re-forms the running batch every iteration
+under a step-planning policy (:mod:`repro.serve.schedpolicy`, pluggable
+through ``@register_scheduler``: decode-first, prefill-first, chunked
+prefill), and each iteration's cost comes from the existing trace-driven
+simulator through a memoized step-cost table covering both decode and
+chunk-bucketed prefill shapes.  The metrics layer reports per-request
+latency, TTFT, TPOT, per-phase (prefill/decode) spans, p50/p95/p99
+percentiles, throughput and SLO attainment.
 
 Quick start::
 
@@ -30,9 +34,18 @@ from repro.serve.arrival import ArrivalProcess, OpenLoopArrivals
 from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
 from repro.serve.request import Request, RequestSampler
 from repro.serve.scenario import ServeScenario, run_serve_scenario
+from repro.serve.schedpolicy import (
+    ChunkedPrefillPolicy,
+    DecodeFirstPolicy,
+    PrefillFirstPolicy,
+    PrefillOnlyPolicy,
+    SchedulerPolicy,
+    StepPlan,
+)
 from repro.serve.scheduler import (
     BatchConfig,
     ContinuousBatchScheduler,
+    HandoffRequest,
     bucket_context,
 )
 from repro.serve.simulator import ServingSimulator
@@ -42,12 +55,18 @@ from repro.serve.sweep import ServePoint, ServeSweepSpec
 __all__ = [
     "ArrivalProcess",
     "BatchConfig",
+    "ChunkedPrefillPolicy",
     "ContinuousBatchScheduler",
+    "DecodeFirstPolicy",
+    "HandoffRequest",
     "LinearStepCostModel",
     "OpenLoopArrivals",
+    "PrefillFirstPolicy",
+    "PrefillOnlyPolicy",
     "Request",
     "RequestMetrics",
     "RequestSampler",
+    "SchedulerPolicy",
     "ServeMetrics",
     "ServePoint",
     "ServeSLO",
@@ -56,6 +75,7 @@ __all__ = [
     "ServingSimulator",
     "SimStepCostModel",
     "StepCostModel",
+    "StepPlan",
     "bucket_context",
     "run_serve_scenario",
 ]

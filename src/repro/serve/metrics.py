@@ -25,7 +25,13 @@ REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
 
 @dataclass(frozen=True, slots=True)
 class RequestMetrics:
-    """Lifecycle timestamps and token budgets of one completed request."""
+    """Lifecycle timestamps and token budgets of one completed request.
+
+    ``prefill_end_s`` is when the last prompt token was processed; it is None
+    for decode-only runs that never model the prefill phase, and such records
+    serialize without the field so decode-only metrics dicts stay bit-for-bit
+    identical to the pre-prefill format (old stores load unchanged).
+    """
 
     request_id: int
     arrival_s: float
@@ -34,6 +40,7 @@ class RequestMetrics:
     finish_s: float
     prompt_tokens: int
     output_tokens: int
+    prefill_end_s: float | None = None
 
     def validate(self) -> "RequestMetrics":
         if not self.arrival_s <= self.admitted_s <= self.first_token_s <= self.finish_s:
@@ -41,6 +48,14 @@ class RequestMetrics:
                 f"request {self.request_id} timestamps must be ordered "
                 f"arrival <= admitted <= first_token <= finish, got "
                 f"{self.arrival_s} / {self.admitted_s} / {self.first_token_s} / {self.finish_s}"
+            )
+        if self.prefill_end_s is not None and not (
+            self.admitted_s <= self.prefill_end_s <= self.first_token_s
+        ):
+            raise ConfigError(
+                f"request {self.request_id} prefill_end_s must satisfy "
+                f"admitted <= prefill_end <= first_token, got "
+                f"{self.admitted_s} / {self.prefill_end_s} / {self.first_token_s}"
             )
         if self.output_tokens <= 0:
             raise ConfigError(f"output_tokens must be positive, got {self.output_tokens}")
@@ -72,12 +87,36 @@ class RequestMetrics:
             return 0.0
         return (self.finish_s - self.first_token_s) / (self.output_tokens - 1)
 
+    @property
+    def prefill_s(self) -> float | None:
+        """Admission-to-last-prompt-token span (None when prefill unmodeled)."""
+
+        if self.prefill_end_s is None:
+            return None
+        return self.prefill_end_s - self.admitted_s
+
+    @property
+    def decode_s(self) -> float:
+        """First-to-last output token span: the pure decode phase."""
+
+        return self.finish_s - self.first_token_s
+
     def to_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "prefill_end_s"
+        }
+        if self.prefill_end_s is not None:
+            data["prefill_end_s"] = self.prefill_end_s
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RequestMetrics":
-        return cls(**{f.name: data[f.name] for f in fields(cls)}).validate()
+        kwargs = {
+            f.name: data[f.name] for f in fields(cls) if f.name != "prefill_end_s"
+        }
+        return cls(**kwargs, prefill_end_s=data.get("prefill_end_s")).validate()
 
 
 @dataclass(frozen=True, slots=True)
@@ -151,8 +190,28 @@ class ServeMetrics:
         return [r.ttft_s for r in self.requests]
 
     @property
+    def prefills_s(self) -> list[float]:
+        """Per-request prefill spans, for requests whose prefill was modeled."""
+
+        return [r.prefill_s for r in self.requests if r.prefill_s is not None]
+
+    @property
+    def decodes_s(self) -> list[float]:
+        return [r.decode_s for r in self.requests]
+
+    @property
+    def has_prefill_phase(self) -> bool:
+        """Whether any completed request carries prefill-phase accounting."""
+
+        return any(r.prefill_end_s is not None for r in self.requests)
+
+    @property
     def total_output_tokens(self) -> int:
         return sum(r.output_tokens for r in self.requests)
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(r.prompt_tokens for r in self.requests)
 
     # -- headline aggregates -----------------------------------------------------------
     def latency_percentile_ms(self, point: float) -> float:
@@ -160,6 +219,14 @@ class ServeMetrics:
 
     def ttft_percentile_ms(self, point: float) -> float:
         return percentile(self.ttfts_s, point) * 1e3
+
+    def prefill_percentile_ms(self, point: float) -> float:
+        """Prefill-span percentile over the prefill-phase requests (ms)."""
+
+        return percentile(self.prefills_s, point) * 1e3
+
+    def decode_percentile_ms(self, point: float) -> float:
+        return percentile(self.decodes_s, point) * 1e3
 
     @property
     def mean_tpot_ms(self) -> float:
@@ -204,17 +271,28 @@ class ServeMetrics:
             for point in REPORTED_PERCENTILES:
                 out[f"latency_p{point:g}_ms"] = self.latency_percentile_ms(point)
                 out[f"ttft_p{point:g}_ms"] = self.ttft_percentile_ms(point)
+        # Per-phase aggregates exist only when the run modeled prefill, so
+        # decode-only runs keep the exact legacy headline (golden compat).
+        if self.has_prefill_phase:
+            for point in REPORTED_PERCENTILES:
+                out[f"prefill_p{point:g}_ms"] = self.prefill_percentile_ms(point)
+                out[f"decode_p{point:g}_ms"] = self.decode_percentile_ms(point)
         return out
 
     def summary(self) -> str:
         if not self.requests:
             return f"[{self.label}] {self.workload}: no completed requests"
         p50, p95, p99 = (self.latency_percentile_ms(p) for p in REPORTED_PERCENTILES)
+        prefill = (
+            f"prefill p95 {self.prefill_percentile_ms(95):.3f} ms, "
+            if self.has_prefill_phase
+            else ""
+        )
         return (
             f"[{self.label}] {self.workload}: {self.num_requests} requests in "
             f"{self.duration_s * 1e3:.2f} ms ({self.steps} steps), "
             f"latency p50/p95/p99 = {p50:.3f}/{p95:.3f}/{p99:.3f} ms, "
-            f"TTFT p95 {self.ttft_percentile_ms(95):.3f} ms, "
+            f"TTFT p95 {self.ttft_percentile_ms(95):.3f} ms, {prefill}"
             f"TPOT {self.mean_tpot_ms:.4f} ms, "
             f"{self.tokens_per_s:.0f} tokens/s, {self.requests_per_s:.0f} req/s, "
             f"SLO {self.slo_attainment:.1%}"

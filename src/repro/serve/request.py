@@ -1,11 +1,14 @@
 """Serving requests: what arrives, and the sampled token budgets it carries.
 
-A :class:`Request` is one user's decode job: it shows up at ``arrival_s`` with
-a prompt already in the KV cache (``prompt_tokens`` of context) and wants
-``output_tokens`` generated.  Requests are frozen -- all mutable progress
-(tokens generated so far, admission/first-token/finish timestamps) lives in the
-scheduler's :class:`~repro.serve.scheduler.ActiveRequest` wrapper, so arrival
-processes can hand the same request objects to any number of simulations.
+A :class:`Request` is one user's generation job: it shows up at ``arrival_s``
+with a ``prompt_tokens``-token prompt that must first be *prefilled* (processed
+into the KV cache, paying :meth:`~repro.serve.stepcost.StepCostModel.prefill_cycles`
+under the scheduler's step-planning policy) before ``output_tokens`` are
+decoded one per iteration.  Requests are frozen -- all mutable progress
+(prompt tokens prefilled, tokens generated so far, admission/prefill-end/
+first-token/finish timestamps) lives in the scheduler's
+:class:`~repro.serve.scheduler.ActiveRequest` wrapper, so arrival processes
+can hand the same request objects to any number of simulations.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ DEFAULT_OUTPUT_TOKENS = (16, 64)
 
 @dataclass(frozen=True, slots=True)
 class Request:
-    """One decode request of a serving stream."""
+    """One prefill-then-decode request of a serving stream."""
 
     request_id: int
     arrival_s: float

@@ -1,10 +1,11 @@
 """ServeScenario: one serving simulation point, named by registry strings.
 
 The serving counterpart of :class:`repro.api.Scenario`: a frozen, serializable
-description of a serving run -- workload / system / policy / arrival-process
-names plus the traffic knobs (rate, request count, batch bound, seed, SLOs).
-Everything resolves through :mod:`repro.registry`, so a workload or arrival
-process registered anywhere is immediately servable from the Python API, the
+description of a serving run -- workload / system / policy / arrival-process /
+scheduler names plus the traffic knobs (rate, request count, batch bound,
+prefill chunk budget, seed, SLOs).  Everything resolves through
+:mod:`repro.registry`, so a workload, arrival process or scheduler policy
+registered anywhere is immediately servable from the Python API, the
 ``llamcat serve`` subcommand and serve sweep grids.
 """
 
@@ -20,13 +21,20 @@ from repro.config.policies import PolicyConfig
 from repro.config.scale import ScaleTier, parse_tier, scale_system
 from repro.config.system import SystemConfig
 from repro.config.workload import WorkloadConfig
-from repro.registry import resolve_arrival, resolve_policy, resolve_system, resolve_workload
+from repro.registry import (
+    resolve_arrival,
+    resolve_policy,
+    resolve_scheduler,
+    resolve_system,
+    resolve_workload,
+)
 from repro.serve.metrics import ServeMetrics, ServeSLO
 from repro.serve.request import (
     DEFAULT_OUTPUT_TOKENS,
     DEFAULT_PROMPT_TOKENS,
     RequestSampler,
 )
+from repro.serve.schedpolicy import DEFAULT_PREFILL_CHUNK
 from repro.serve.scheduler import SEQ_BUCKET_FLOOR, BatchConfig
 from repro.serve.simulator import ServingSimulator
 from repro.serve.stepcost import SimStepCostModel
@@ -35,6 +43,9 @@ from repro.sim.runner import clear_trace_cache
 #: The system name a ServeScenario uses when none is given (matches
 #: :data:`repro.api.DEFAULT_SYSTEM`).
 DEFAULT_SERVE_SYSTEM = "table5"
+
+#: The step-planning policy a ServeScenario uses when none is given.
+DEFAULT_SCHEDULER = "decode-first"
 
 
 class ResolvedServeScenario(NamedTuple):
@@ -57,6 +68,14 @@ class ServeScenario:
     max_batch: int = 4
     seed: int = 0
     policy: str = "unopt"
+    #: Step-planning policy (SCHEDULERS registry name): decode-first /
+    #: prefill-first / chunked.
+    scheduler: str = DEFAULT_SCHEDULER
+    #: Token budget of one chunked-prefill iteration (chunked scheduler only).
+    prefill_chunk: int = DEFAULT_PREFILL_CHUNK
+    #: Model the prefill phase; off, prompts are free and the run reproduces
+    #: the legacy decode-only scheduler bit-for-bit.
+    prefill_cost: bool = True
     system: str = DEFAULT_SERVE_SYSTEM
     tier: ScaleTier = ScaleTier.CI
     prompt_tokens: tuple[int, int] = DEFAULT_PROMPT_TOKENS
@@ -78,10 +97,13 @@ class ServeScenario:
             raise ConfigError(f"num_requests must be positive, got {self.num_requests}")
         if self.max_batch <= 0:
             raise ConfigError(f"max_batch must be positive, got {self.max_batch}")
+        if self.prefill_chunk <= 0:
+            raise ConfigError(f"prefill_chunk must be positive, got {self.prefill_chunk}")
         if not isinstance(self.tier, ScaleTier):
             raise ConfigError(f"tier must be a ScaleTier, got {self.tier!r}")
         self.slo().validate()
         resolve_arrival(self.arrival)  # raises ConfigError on unknown names
+        resolve_scheduler(self.scheduler)
         self.resolve()
         return self
 
@@ -133,6 +155,9 @@ class ServeScenario:
             "max_batch": self.max_batch,
             "seed": self.seed,
             "policy": self.policy,
+            "scheduler": self.scheduler,
+            "prefill_chunk": self.prefill_chunk,
+            "prefill_cost": self.prefill_cost,
             "system": self.system,
             "tier": self.tier.name,
             "prompt_tokens": list(self.prompt_tokens),
@@ -155,6 +180,9 @@ class ServeScenario:
             max_batch=data.get("max_batch", defaults["max_batch"]),
             seed=data.get("seed", 0),
             policy=data.get("policy", "unopt"),
+            scheduler=data.get("scheduler", DEFAULT_SCHEDULER),
+            prefill_chunk=data.get("prefill_chunk", DEFAULT_PREFILL_CHUNK),
+            prefill_cost=data.get("prefill_cost", True),
             system=data.get("system", DEFAULT_SERVE_SYSTEM),
             tier=parse_tier(data.get("tier", ScaleTier.CI.name)),
             prompt_tokens=tuple(data.get("prompt_tokens", DEFAULT_PROMPT_TOKENS)),
@@ -193,7 +221,8 @@ class ServeScenario:
             arrival=arrival,
             cost_model=cost_model,
             frequency_ghz=resolved.system.frequency_ghz,
-            batch=BatchConfig(max_batch=self.max_batch),
+            batch=BatchConfig(max_batch=self.max_batch, prefill=self.prefill_cost),
+            policy=resolve_scheduler(self.scheduler)(prefill_chunk=self.prefill_chunk),
             slo=self.slo(),
             label=self.display_label,
             workload_name=self.workload,

@@ -6,7 +6,15 @@ free batch slots and evicts requests whose output budget is exhausted -- the
 "continuous" in continuous batching: the batch is re-formed every step rather
 than waiting for the whole batch to drain.
 
-The batch's *effective workload shape* for a step is ``(batch, context)``:
+When :attr:`BatchConfig.prefill` is on, an admitted request first passes
+through a *prefill phase*: its prompt must be processed (``prefill_remaining``
+counts down the unprocessed prompt tokens) before it may decode.  What mix of
+prefill and decode work one iteration performs is the step-planning policy's
+decision (:mod:`repro.serve.schedpolicy`, registered under
+:data:`repro.registry.SCHEDULERS`) -- the scheduler itself only owns admission
+and eviction.
+
+The batch's *effective decode shape* for a step is ``(batch, context)``:
 ``batch`` requests, each contributing its own KV cache, at the longest context
 currently in the batch (shorter requests ride along, exactly like padded
 batched decode on real accelerators).
@@ -43,13 +51,36 @@ def bucket_context(context_tokens: int, floor: int = SEQ_BUCKET_FLOOR) -> int:
 
 @dataclass(slots=True)
 class ActiveRequest:
-    """Mutable progress of one admitted request."""
+    """Mutable progress of one admitted request.
+
+    ``prefill_remaining`` is the number of prompt tokens still to be processed
+    before the first decode step; it is 0 for the whole lifetime of a request
+    when the scheduler does not model prefill (:attr:`BatchConfig.prefill`
+    off), which is exactly the legacy decode-only behaviour.
+    """
 
     request: Request
     admitted_s: float
     generated: int = 0
+    #: Prompt tokens not yet prefilled; decode may not start until this is 0.
+    prefill_remaining: int = 0
+    #: When the last prompt token was processed (None while prefilling, and
+    #: for decode-only runs that never model the prefill phase).
+    prefill_end_s: float | None = None
     first_token_s: float | None = None
     finish_s: float | None = None
+
+    @property
+    def in_prefill(self) -> bool:
+        """Whether this request still has unprocessed prompt tokens."""
+
+        return self.prefill_remaining > 0
+
+    @property
+    def prefill_processed(self) -> int:
+        """Prompt tokens already prefilled (the KV cache length mid-prefill)."""
+
+        return self.request.prompt_tokens - self.prefill_remaining
 
     @property
     def context_tokens(self) -> int:
@@ -60,12 +91,39 @@ class ActiveRequest:
         return self.generated >= self.request.output_tokens
 
 
+@dataclass(slots=True)
+class HandoffRequest:
+    """A prefilled request in transit between replicas (disaggregated fleets).
+
+    Wraps the :class:`ActiveRequest` evicted from a prefill replica so the
+    decode replica resumes the *same* progress record (admission timestamp and
+    prefill accounting survive the handoff); ``arrival_s`` is when the KV
+    transfer completes, i.e. when the request becomes admissible again.  The
+    duck-typed ``(arrival_s, request_id)`` pair lets handoffs share the
+    scheduler's FCFS admission queue with plain requests.
+    """
+
+    active: ActiveRequest
+    arrival_s: float
+
+    @property
+    def request_id(self) -> int:
+        return self.active.request.request_id
+
+
 @dataclass(frozen=True, slots=True)
 class BatchConfig:
-    """Knobs of the continuous-batching scheduler."""
+    """Knobs of the continuous-batching scheduler.
+
+    ``prefill`` switches the prefill phase on: admitted requests then carry
+    ``prefill_remaining = prompt_tokens`` and must be prefilled before they
+    decode.  Off (the default) reproduces the legacy decode-only scheduler
+    bit-for-bit.
+    """
 
     max_batch: int = 4
     seq_bucket_floor: int = SEQ_BUCKET_FLOOR
+    prefill: bool = False
 
     def validate(self) -> "BatchConfig":
         if self.max_batch <= 0:
@@ -98,7 +156,12 @@ class ContinuousBatchScheduler:
         self.config.validate()
 
     def enqueue(self, request) -> None:
-        """Add an arrived request to the admission queue (kept FCFS-sorted)."""
+        """Add an arrived request to the admission queue (kept FCFS-sorted).
+
+        Accepts plain :class:`~repro.serve.request.Request` objects and
+        :class:`HandoffRequest` wrappers (prefilled requests arriving from a
+        prefill replica) -- both expose ``(arrival_s, request_id)``.
+        """
 
         self.waiting.append(request)
         self.waiting.sort(key=lambda r: (r.arrival_s, r.request_id))
@@ -110,8 +173,17 @@ class ContinuousBatchScheduler:
         while self.waiting and len(self.running) < self.config.max_batch:
             if self.waiting[0].arrival_s > now_s:
                 break
-            request = self.waiting.pop(0)
-            active = ActiveRequest(request=request, admitted_s=now_s)
+            entry = self.waiting.pop(0)
+            if isinstance(entry, HandoffRequest):
+                # Resume the prefill replica's progress record: admission and
+                # prefill timestamps describe the request's first admission.
+                active = entry.active
+            else:
+                active = ActiveRequest(
+                    request=entry,
+                    admitted_s=now_s,
+                    prefill_remaining=entry.prompt_tokens if self.config.prefill else 0,
+                )
             self.running.append(active)
             admitted.append(active)
         return admitted

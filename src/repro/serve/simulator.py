@@ -1,18 +1,25 @@
 """The request-level serving simulator.
 
-:class:`ServingSimulator` composes the three serve components -- an arrival
-process, the continuous-batching scheduler and a step-cost model -- into an
-event loop whose inner step is one cycle-engine evaluation:
+:class:`ServingSimulator` composes the serve components -- an arrival process,
+the continuous-batching scheduler, a step-planning policy and a step-cost
+model -- into an event loop whose inner step is one cycle-engine evaluation:
 
 1. admit arrived requests into free batch slots (FCFS);
-2. ask the cost model for the cycles of the batch's effective shape;
-3. advance the clock by ``cycles / frequency``, credit one output token to
-   every batched request, and evict the finished ones (notifying the arrival
-   process, which closes the loop for closed-loop traffic).
+2. ask the step-planning policy for this iteration's mix of prefill chunks
+   and decode tokens, and the cost model for its cycles (decode shape plus
+   chunk-bucketed prefill shape);
+3. advance the clock, apply the plan -- prompt chunks shrink
+   ``prefill_remaining``, decodes credit one output token -- and evict the
+   finished requests (notifying the arrival process, which closes the loop
+   for closed-loop traffic).
 
 When the batch is empty the clock jumps to the next arrival, so idle gaps cost
-nothing to simulate.  The loop is fully deterministic: a seeded arrival stream
-plus a deterministic cost model reproduces every timestamp bit-for-bit.
+nothing to simulate.  A plan whose total cost is zero cycles (a prefill-free
+configuration) is applied instantly without consuming a step, which is what
+makes ``decode-first`` with prefill cost disabled bit-for-bit identical to the
+legacy decode-only scheduler.  The loop is fully deterministic: a seeded
+arrival stream plus a deterministic cost model reproduces every timestamp
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -20,7 +27,14 @@ from __future__ import annotations
 from repro.common.errors import ConfigError
 from repro.serve.arrival import ArrivalProcess
 from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
-from repro.serve.scheduler import ActiveRequest, BatchConfig, ContinuousBatchScheduler
+from repro.serve.schedpolicy import DecodeFirstPolicy, SchedulerPolicy, StepPlan
+from repro.serve.scheduler import (
+    SEQ_BUCKET_FLOOR,
+    ActiveRequest,
+    BatchConfig,
+    ContinuousBatchScheduler,
+    bucket_context,
+)
 from repro.serve.stepcost import StepCostModel
 
 #: Hard cap on scheduler iterations -- a guard against a stream that can never
@@ -28,20 +42,53 @@ from repro.serve.stepcost import StepCostModel
 MAX_STEPS = 10_000_000
 
 
-def complete_step(
-    scheduler: ContinuousBatchScheduler, end_s: float
-) -> list[tuple[ActiveRequest, RequestMetrics]]:
-    """Finish one batched iteration ending at ``end_s``.
+def plan_cycles(
+    cost_model: StepCostModel, plan: StepPlan, seq_bucket_floor: int = SEQ_BUCKET_FLOOR
+) -> int:
+    """Total cycles of one planned iteration: decode shape + prefill chunks.
 
-    Credits one output token to every running request, stamps first-token
-    times, evicts the requests whose output budget is exhausted and returns
-    them paired with their finished :class:`RequestMetrics` record.  The one
-    definition of step-completion semantics, shared by the single-accelerator
-    loop here and every :class:`~repro.cluster.simulator.ReplicaSim` in a
-    cluster fleet -- the two must never disagree on how a step completes.
+    The decode half is priced at the batch's effective ``(batch, context)``
+    shape -- the context bucketed exactly as :meth:`ContinuousBatchScheduler.
+    batch_shape` always bucketed it, so a decode-only plan costs bit-for-bit
+    what the legacy loop charged; the prefill half at the chunk-bucketed
+    ``(tokens, context)`` shape.  A mixed iteration pays for both serially --
+    the accelerator is one device; interleaving buys schedule freedom, not
+    free compute.
     """
 
-    for active in scheduler.running:
+    cycles = 0
+    if plan.decode:
+        cycles += cost_model.step_cycles(
+            len(plan.decode), bucket_context(plan.decode_context(), seq_bucket_floor)
+        )
+    if plan.prefill:
+        cycles += cost_model.prefill_cycles(
+            plan.prefill_tokens,
+            bucket_context(plan.prefill_context(), seq_bucket_floor),
+        )
+    return cycles
+
+
+def complete_step(
+    scheduler: ContinuousBatchScheduler, plan: StepPlan, end_s: float
+) -> list[tuple[ActiveRequest, RequestMetrics]]:
+    """Finish one planned iteration ending at ``end_s``.
+
+    Applies the plan's prompt chunks (stamping ``prefill_end_s`` on the
+    requests whose prompt completes), credits one output token to every
+    planned decode, stamps first-token times, evicts the requests whose output
+    budget is exhausted and returns them paired with their finished
+    :class:`RequestMetrics` record.  The one definition of step-completion
+    semantics, shared by the single-accelerator loop here and every
+    :class:`~repro.cluster.simulator.ReplicaSim` in a cluster fleet -- the two
+    must never disagree on how a step completes.
+    """
+
+    for active, chunk in plan.prefill:
+        active.prefill_remaining -= chunk
+        if active.prefill_remaining == 0:
+            active.prefill_end_s = end_s
+    for active in plan.decode:
         active.generated += 1
         if active.first_token_s is None:
             active.first_token_s = end_s
@@ -59,6 +106,7 @@ def complete_step(
                     finish_s=active.finish_s,
                     prompt_tokens=active.request.prompt_tokens,
                     output_tokens=active.request.output_tokens,
+                    prefill_end_s=active.prefill_end_s,
                 ).validate(),
             )
         )
@@ -74,6 +122,7 @@ class ServingSimulator:
         cost_model: StepCostModel,
         frequency_ghz: float,
         batch: BatchConfig | None = None,
+        policy: SchedulerPolicy | None = None,
         slo: ServeSLO | None = None,
         label: str = "serve",
         workload_name: str = "workload",
@@ -84,6 +133,7 @@ class ServingSimulator:
         self.cost_model = cost_model
         self.frequency_ghz = frequency_ghz
         self.batch_config = (batch if batch is not None else BatchConfig()).validate()
+        self.policy = policy if policy is not None else DecodeFirstPolicy()
         self.slo = (slo if slo is not None else ServeSLO()).validate()
         self.label = label
         self.workload_name = workload_name
@@ -103,6 +153,8 @@ class ServingSimulator:
         now_s = 0.0
         steps = 0
         total_cycles = 0
+        prefill_tokens = 0
+        prefill_steps = 0
         first_arrival_s = min(r.arrival_s for r in scheduler.waiting)
         completed: list[RequestMetrics] = []
 
@@ -122,15 +174,29 @@ class ServingSimulator:
                     f"{len(scheduler.waiting)} waiting)"
                 )
 
-            batch, context_bucket = scheduler.batch_shape()
-            cycles = self.cost_model.step_cycles(batch, context_bucket)
-            if cycles <= 0:
+            plan = self.policy.plan(scheduler.running)
+            cycles = plan_cycles(
+                self.cost_model, plan, self.batch_config.seq_bucket_floor
+            )
+            if cycles < 0:
                 raise ConfigError(f"step cost model returned {cycles} cycles")
+            if cycles == 0:
+                if plan.decode:
+                    raise ConfigError("step cost model priced a decode step at 0 cycles")
+                # Free prefill completes instantly: apply the chunks without
+                # advancing the clock or consuming an iteration (the legacy
+                # decode-only timeline).  Progress is guaranteed -- validated
+                # plans only carry positive chunks -- so this cannot spin.
+                complete_step(scheduler, plan, now_s)
+                continue
             steps += 1
             total_cycles += cycles
+            if plan.prefill:
+                prefill_steps += 1
+                prefill_tokens += plan.prefill_tokens
             now_s += self._cycles_to_seconds(cycles)
 
-            for active, record in complete_step(scheduler, now_s):
+            for active, record in complete_step(scheduler, plan, now_s):
                 completed.append(record)
                 follow_up = self.arrival.on_complete(active.request, now_s)
                 if follow_up is not None:
@@ -142,6 +208,13 @@ class ServingSimulator:
             "max_batch": self.batch_config.max_batch,
             "seq_bucket_floor": self.batch_config.seq_bucket_floor,
         }
+        if self.batch_config.prefill:
+            # Emitted only when the prefill phase is modeled, so decode-only
+            # runs keep the exact legacy meta (golden fixture compatibility).
+            meta["scheduler"] = self.policy.name
+            meta.update(self.policy.meta())
+            meta["prefill_steps"] = prefill_steps
+            meta["prefill_tokens"] = prefill_tokens
         table_size = getattr(self.cost_model, "table_size", None)
         if table_size is not None:
             meta["step_cost_entries"] = table_size

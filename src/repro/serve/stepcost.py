@@ -5,6 +5,9 @@ cost is obtained by simulating the decode operator at the batch's effective
 shape: ``batch`` requests each contribute their own KV heads (a batch of B
 requests times H KV head groups is exactly B*H independent thread-block groups
 streaming disjoint KV caches), at the bucketed maximum context in the batch.
+Prefill chunks reuse the same machinery: a chunk of T prompt tokens maps onto
+``ceil(T / 64)`` query blocks standing in for the batch axis, so prefill and
+decode costs share one memoized shape table.
 
 Simulating every step would be ruinously slow -- a serving run takes thousands
 of steps but only ever visits a handful of distinct ``(batch, seq-bucket)``
@@ -31,10 +34,31 @@ from repro.sim.runner import _trace_key, cached_trace
 from repro.sim.simulator import simulate
 
 
+#: Query tile width of the prefill cost mapping: a prefill chunk of T tokens
+#: is costed as ``ceil(T / 64)`` query blocks, each shaped like one decode
+#: step (64 matches the sequence-bucket floor, so chunk buckets and context
+#: buckets share one grid).
+PREFILL_QUERY_BLOCK = 64
+
+#: Largest query-block count handed to the cycle engine in one simulation;
+#: wider chunks are priced as whole multiples of this shape (the engine's
+#: cost is linear in independent head groups anyway, and the cap keeps the
+#: biggest prefill trace within a few times the biggest decode trace).
+PREFILL_MAX_BLOCKS = 4
+
+
 class StepCostModel:
-    """Interface: cycles to decode one token for ``batch`` requests."""
+    """Interface: per-iteration serving costs.
+
+    ``step_cycles`` prices decoding one token for each of ``batch`` requests;
+    ``prefill_cycles`` prices processing a prompt chunk of ``tokens`` new
+    tokens whose attention context ends at ``context_tokens``.
+    """
 
     def step_cycles(self, batch: int, context_tokens: int) -> int:
+        raise NotImplementedError
+
+    def prefill_cycles(self, tokens: int, context_tokens: int) -> int:
         raise NotImplementedError
 
 
@@ -44,12 +68,18 @@ class LinearStepCostModel(StepCostModel):
 
     Used by unit tests and quick what-if studies where the cycle engine's
     fidelity is not needed; the serving loop is oblivious to which model backs
-    it.
+    it.  Prefill is the matching analog: a per-prompt-token term plus the
+    attention term over the chunk's context, tiled by
+    :data:`PREFILL_QUERY_BLOCK` (prefill queries amortize the KV stream a
+    whole tile at a time, which is why prefill is compute- rather than
+    bandwidth-bound).
     """
 
     base_cycles: int = 1000
     cycles_per_request: int = 100
     cycles_per_token: int = 1
+    #: Cost of processing one prompt token during prefill.
+    cycles_per_prefill_token: int = 8
 
     def step_cycles(self, batch: int, context_tokens: int) -> int:
         if batch <= 0 or context_tokens <= 0:
@@ -59,6 +89,17 @@ class LinearStepCostModel(StepCostModel):
         return self.base_cycles + batch * (
             self.cycles_per_request + self.cycles_per_token * context_tokens
         )
+
+    def prefill_cycles(self, tokens: int, context_tokens: int) -> int:
+        if tokens <= 0 or context_tokens <= 0:
+            raise ConfigError(
+                f"prefill shape must be positive, got tokens={tokens} "
+                f"context={context_tokens}"
+            )
+        attend = (
+            tokens * self.cycles_per_token * context_tokens
+        ) // PREFILL_QUERY_BLOCK
+        return self.base_cycles + tokens * self.cycles_per_prefill_token + attend
 
 
 class SimStepCostModel(StepCostModel):
@@ -144,6 +185,44 @@ class SimStepCostModel(StepCostModel):
             self._table[key] = cycles
             self.simulations += 1
         return cycles
+
+    def prefill_chunk_blocks(self, tokens: int) -> int:
+        """Query blocks of a prefill chunk: the chunk-bucketed shape axis.
+
+        The chunk is rounded up to a power of two (so a request's chunk sizes
+        visit O(log L) distinct shapes) and tiled into
+        :data:`PREFILL_QUERY_BLOCK`-query blocks.  Deliberately *not*
+        tier-scaled: tier scaling preserves the working-set : capacity ratio
+        by shrinking contexts, but prefill work is compute proportional to the
+        actual prompt tokens -- scaling it would price a whole prompt like one
+        chunk and erase the trade-off the schedulers exist to explore.
+        """
+
+        if tokens <= 0:
+            raise ConfigError(f"prefill tokens must be positive, got {tokens}")
+        bucket = bucket_context(tokens, floor=PREFILL_QUERY_BLOCK)
+        return bucket // PREFILL_QUERY_BLOCK
+
+    def prefill_cycles(self, tokens: int, context_tokens: int) -> int:
+        """Cycle-engine cost of one prefill chunk, via the memoized table.
+
+        A chunk of T prompt tokens at attention context C is costed as the
+        decode-step shape with ``ceil(T / 64)`` query blocks standing in for
+        the batch axis: each tile of prefill queries occupies the accelerator
+        like one decode request's KV-head groups at context C.  (Tiles of one
+        prompt share a KV cache where batched decodes stream disjoint ones, so
+        this slightly overprices prefill DRAM traffic -- acceptable, and it
+        keeps prefill and decode in one ``(batch, seq-bucket)`` memo table.)
+        Chunks wider than :data:`PREFILL_MAX_BLOCKS` blocks are priced as
+        whole multiples of the capped shape, so arbitrarily long prompts cost
+        proportionally more without ever growing the simulated trace.
+        """
+
+        blocks = self.prefill_chunk_blocks(tokens)
+        sim_blocks = min(blocks, PREFILL_MAX_BLOCKS)
+        # Block counts are powers of two (bucketed), so this divides exactly.
+        repeats = -(-blocks // sim_blocks)
+        return repeats * self.step_cycles(sim_blocks, context_tokens)
 
     @property
     def table_size(self) -> int:

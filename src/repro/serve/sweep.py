@@ -1,8 +1,8 @@
 """Serving sweep grids: arrival-rate studies through the parallel executor.
 
 A :class:`ServeSweepSpec` names a cartesian grid -- workloads x arrival
-processes x rates x policies -- and expands it into :class:`ServePoint` job
-descriptors.  ServePoints satisfy the same contract as
+processes x rates x schedulers x prefill chunks x policies -- and expands it
+into :class:`ServePoint` job descriptors.  ServePoints satisfy the same contract as
 :class:`~repro.sweep.spec.SweepPoint` (``key()`` / ``label`` / ``describe()`` /
 ``config_dict()`` / ``execute()``), so they run through the existing
 :func:`repro.sweep.executor.run_sweep` process pool and persist into the same
@@ -16,10 +16,11 @@ from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigError
 from repro.config.scale import ScaleTier, parse_tier
-from repro.registry import ARRIVALS, WORKLOADS, resolve_policy, resolve_system
+from repro.registry import ARRIVALS, SCHEDULERS, WORKLOADS, resolve_policy, resolve_system
 from repro.serve.metrics import ServeMetrics
 from repro.serve.request import DEFAULT_OUTPUT_TOKENS, DEFAULT_PROMPT_TOKENS
-from repro.serve.scenario import ServeScenario
+from repro.serve.scenario import DEFAULT_SCHEDULER, ServeScenario
+from repro.serve.schedpolicy import DEFAULT_PREFILL_CHUNK
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,7 +59,7 @@ class ServePoint:
         s = self.scenario
         return (
             f"{self.label}: serve {s.workload} {s.arrival}@{s.rate:g} "
-            f"n={s.num_requests} b<={s.max_batch} seed={s.seed}"
+            f"{s.scheduler} n={s.num_requests} b<={s.max_batch} seed={s.seed}"
         )
 
     def execute(self) -> ServeMetrics:
@@ -71,18 +72,23 @@ class ServePoint:
 class ServeSweepSpec:
     """A declarative cartesian grid of serving points.
 
-    Workloads, arrival processes and policies are registry names; ``rates`` is
-    the traffic axis (requests/s open-loop, users closed-loop).  Expansion
-    order is workload -> arrival -> rate -> policy.
+    Workloads, arrival processes, schedulers and policies are registry names;
+    ``rates`` is the traffic axis (requests/s open-loop, users closed-loop)
+    and ``schedulers`` x ``prefill_chunks`` the prefill-scheduling axes.
+    Expansion order is workload -> arrival -> rate -> scheduler -> chunk ->
+    policy.
     """
 
     workloads: tuple[str, ...]
     rates: tuple[float, ...]
     arrivals: tuple[str, ...] = ("poisson",)
+    schedulers: tuple[str, ...] = (DEFAULT_SCHEDULER,)
+    prefill_chunks: tuple[int, ...] = (DEFAULT_PREFILL_CHUNK,)
     policies: tuple[str, ...] = ("unopt",)
     num_requests: int = 32
     max_batch: int = 4
     seed: int = 0
+    prefill_cost: bool = True
     system: str = "table5"
     tier: ScaleTier = ScaleTier.CI
     prompt_tokens: tuple[int, int] = DEFAULT_PROMPT_TOKENS
@@ -92,18 +98,23 @@ class ServeSweepSpec:
     max_cycles: int | None = None
 
     def validate(self) -> "ServeSweepSpec":
-        for axis in ("workloads", "rates", "arrivals", "policies"):
+        for axis in ("workloads", "rates", "arrivals", "schedulers",
+                     "prefill_chunks", "policies"):
             if not getattr(self, axis):
                 raise ConfigError(f"ServeSweepSpec.{axis} must be non-empty")
         for workload in self.workloads:
             WORKLOADS.get(workload)  # raises ConfigError listing known names
         for arrival in self.arrivals:
             ARRIVALS.get(arrival)
+        for scheduler in self.schedulers:
+            SCHEDULERS.get(scheduler)
         for policy in self.policies:
             resolve_policy(policy)
         resolve_system(self.system)
         if any(r <= 0 for r in self.rates):
             raise ConfigError("rates must be positive")
+        if any(c <= 0 for c in self.prefill_chunks):
+            raise ConfigError("prefill_chunks must be positive")
         if self.num_requests <= 0:
             raise ConfigError("num_requests must be positive")
         if self.max_batch <= 0:
@@ -113,7 +124,8 @@ class ServeSweepSpec:
     @property
     def num_points(self) -> int:
         return (
-            len(self.workloads) * len(self.arrivals) * len(self.rates) * len(self.policies)
+            len(self.workloads) * len(self.arrivals) * len(self.rates)
+            * len(self.schedulers) * len(self.prefill_chunks) * len(self.policies)
         )
 
     def scenarios(self) -> tuple[ServeScenario, ...]:
@@ -129,6 +141,9 @@ class ServeSweepSpec:
                 max_batch=self.max_batch,
                 seed=self.seed,
                 policy=policy,
+                scheduler=scheduler,
+                prefill_chunk=chunk,
+                prefill_cost=self.prefill_cost,
                 system=self.system,
                 tier=self.tier,
                 prompt_tokens=self.prompt_tokens,
@@ -140,6 +155,8 @@ class ServeSweepSpec:
             for workload in self.workloads
             for arrival in self.arrivals
             for rate in self.rates
+            for scheduler in self.schedulers
+            for chunk in self.prefill_chunks
             for policy in self.policies
         )
 
@@ -152,6 +169,8 @@ class ServeSweepSpec:
                 "model": scenario.workload,
                 "arrival": scenario.arrival,
                 "rate": scenario.rate,
+                "scheduler": scenario.scheduler,
+                "prefill_chunk": scenario.prefill_chunk,
                 "policy": scenario.policy,
                 "tier": scenario.tier.name,
             }
@@ -170,10 +189,13 @@ class ServeSweepSpec:
             "workloads": list(self.workloads),
             "rates": list(self.rates),
             "arrivals": list(self.arrivals),
+            "schedulers": list(self.schedulers),
+            "prefill_chunks": list(self.prefill_chunks),
             "policies": list(self.policies),
             "num_requests": self.num_requests,
             "max_batch": self.max_batch,
             "seed": self.seed,
+            "prefill_cost": self.prefill_cost,
             "system": self.system,
             "tier": self.tier.name,
             "prompt_tokens": list(self.prompt_tokens),
@@ -189,10 +211,13 @@ class ServeSweepSpec:
             workloads=tuple(data["workloads"]),
             rates=tuple(data["rates"]),
             arrivals=tuple(data.get("arrivals", ("poisson",))),
+            schedulers=tuple(data.get("schedulers", (DEFAULT_SCHEDULER,))),
+            prefill_chunks=tuple(data.get("prefill_chunks", (DEFAULT_PREFILL_CHUNK,))),
             policies=tuple(data.get("policies", ("unopt",))),
             num_requests=data.get("num_requests", 32),
             max_batch=data.get("max_batch", 4),
             seed=data.get("seed", 0),
+            prefill_cost=data.get("prefill_cost", True),
             system=data.get("system", "table5"),
             tier=parse_tier(data.get("tier", "CI")),
             prompt_tokens=tuple(data.get("prompt_tokens", DEFAULT_PROMPT_TOKENS)),

@@ -1,0 +1,244 @@
+"""Disaggregated prefill/decode fleets: handoffs, roles, KV-transfer latency."""
+
+import pytest
+
+from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
+from repro.cluster.scenario import ClusterScenario, parse_disaggregated
+from repro.cluster.simulator import ClusterSimulator, ReplicaSim
+from repro.common.errors import ConfigError
+from repro.registry import resolve_router
+from repro.serve.arrival import poisson_arrivals
+from repro.serve.scheduler import BatchConfig
+from repro.serve.stepcost import LinearStepCostModel
+
+from tests.cluster.conftest import make_sampler
+
+
+def disaggregated_fleet(prefill: int, decode: int, max_batch: int = 2):
+    model = LinearStepCostModel()
+    roles = ["prefill"] * prefill + ["decode"] * decode
+    return [
+        ReplicaSim(
+            replica_id=i,
+            cost_model=model,
+            frequency_ghz=2.0,
+            batch=BatchConfig(max_batch=max_batch, prefill=True),
+            system_name="linear",
+            role=role,
+        )
+        for i, role in enumerate(roles)
+    ]
+
+
+def run_disaggregated(
+    prefill: int = 1,
+    decode: int = 1,
+    seed: int = 0,
+    num_requests: int = 12,
+    kv_transfer_s: float = 0.0,
+    router: str = "round-robin",
+) -> ClusterMetrics:
+    return ClusterSimulator(
+        arrival=poisson_arrivals(
+            make_sampler(seed), rate=5000.0, num_requests=num_requests
+        ),
+        router=resolve_router(router)(prefill),
+        replicas=disaggregated_fleet(prefill, decode),
+        router_name=router,
+        kv_transfer_s=kv_transfer_s,
+        decode_router=resolve_router(router)(decode),
+    ).run()
+
+
+class TestDisaggregatedRuns:
+    def test_every_request_prefills_hands_off_and_completes(self):
+        metrics = run_disaggregated(prefill=1, decode=2, num_requests=12)
+        assert sorted(r.request_id for r in metrics.requests) == list(range(12))
+        assert metrics.is_disaggregated
+        assert metrics.handoffs == 12
+        assert metrics.meta["handoffs"] == 12
+        for r in metrics.requests:
+            assert r.prefill_end_s is not None
+            assert r.admitted_s <= r.prefill_end_s <= r.first_token_s
+
+    def test_prefill_replicas_complete_nothing_decode_replicas_everything(self):
+        metrics = run_disaggregated(prefill=2, decode=2, num_requests=16)
+        by_role = {"prefill": [], "decode": []}
+        for replica in metrics.replicas:
+            by_role[replica.role].append(replica)
+        assert sum(r.num_requests for r in by_role["prefill"]) == 0
+        assert sum(r.num_requests for r in by_role["decode"]) == 16
+        assert sum(r.handoffs for r in by_role["prefill"]) == 16
+        assert sum(r.handoffs for r in by_role["decode"]) == 0
+        # Both phases did real work and report utilization over the makespan.
+        assert 0 < metrics.prefill_utilization <= 1
+        assert 0 < metrics.decode_utilization <= 1
+
+    def test_kv_transfer_latency_delays_the_first_token(self):
+        fast = run_disaggregated(kv_transfer_s=0.0)
+        slow = run_disaggregated(kv_transfer_s=0.5)
+        fast_by_id = {r.request_id: r for r in fast.requests}
+        for r in slow.requests:
+            # The prompt finishes at the same instant; the first token waits
+            # for the transfer, so TTFT grows by at least the added latency.
+            assert r.prefill_end_s == fast_by_id[r.request_id].prefill_end_s
+            assert r.first_token_s >= fast_by_id[r.request_id].first_token_s + 0.5 - 1e-9
+
+    def test_deterministic_across_runs_and_seed_sensitive(self):
+        assert run_disaggregated(seed=1).to_dict() == run_disaggregated(seed=1).to_dict()
+        assert run_disaggregated(seed=1).to_dict() != run_disaggregated(seed=2).to_dict()
+
+    def test_completed_set_matches_colocated_fleet(self):
+        # Disaggregation moves work between replicas, never drops or invents
+        # requests: the completed id set matches a colocated fleet's.
+        from tests.cluster.conftest import linear_fleet
+
+        colocated = ClusterSimulator(
+            arrival=poisson_arrivals(make_sampler(0), rate=5000.0, num_requests=12),
+            router=resolve_router("round-robin")(2),
+            replicas=linear_fleet(2),
+            router_name="round-robin",
+        ).run()
+        disaggregated = run_disaggregated(prefill=1, decode=1, num_requests=12)
+        assert sorted(r.request_id for r in disaggregated.requests) == sorted(
+            r.request_id for r in colocated.requests
+        )
+
+
+class TestFleetValidation:
+    def test_decode_router_required(self):
+        with pytest.raises(ConfigError, match="decode_router"):
+            ClusterSimulator(
+                arrival=poisson_arrivals(make_sampler(0), rate=100.0, num_requests=2),
+                router=resolve_router("round-robin")(1),
+                replicas=disaggregated_fleet(1, 1),
+            )
+
+    def test_needs_both_roles(self):
+        with pytest.raises(ConfigError, match="at least one prefill and one"):
+            ClusterSimulator(
+                arrival=poisson_arrivals(make_sampler(0), rate=100.0, num_requests=2),
+                router=resolve_router("round-robin")(2),
+                replicas=disaggregated_fleet(2, 0),
+                decode_router=resolve_router("round-robin")(1),
+            )
+
+    def test_rejects_mixed_roles_in_a_disaggregated_fleet(self):
+        from tests.cluster.conftest import linear_fleet
+
+        fleet = disaggregated_fleet(1, 1) + linear_fleet(1)
+        fleet[2].replica_id = 2
+        with pytest.raises(ConfigError, match="prefill or decode"):
+            ClusterSimulator(
+                arrival=poisson_arrivals(make_sampler(0), rate=100.0, num_requests=2),
+                router=resolve_router("round-robin")(1),
+                replicas=fleet,
+                decode_router=resolve_router("round-robin")(1),
+            )
+
+    def test_router_sized_to_the_prefill_group(self):
+        with pytest.raises(ConfigError, match="arrival-eligible"):
+            ClusterSimulator(
+                arrival=poisson_arrivals(make_sampler(0), rate=100.0, num_requests=2),
+                router=resolve_router("round-robin")(2),   # 1 prefill replica
+                replicas=disaggregated_fleet(1, 1),
+                decode_router=resolve_router("round-robin")(1),
+            )
+
+
+class TestParseDisaggregated:
+    def test_parses_p_d_specs(self):
+        assert parse_disaggregated("2p2d") == (2, 2)
+        assert parse_disaggregated("1p3d") == (1, 3)
+        assert parse_disaggregated(" 4P2D ") == (4, 2)
+
+    @pytest.mark.parametrize("spec", ["", "2p", "p2d", "0p2d", "2p0d", "2x2", "2d2p"])
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(ConfigError):
+            parse_disaggregated(spec)
+
+
+class TestDisaggregatedScenario:
+    def scenario(self, names, **overrides) -> ClusterScenario:
+        defaults = dict(
+            workload=names["workload"],
+            systems=(names["system"],),
+            arrival="poisson",
+            rate=50_000.0,
+            num_requests=6,
+            replicas=2,
+            disaggregated="1p1d",
+            kv_transfer_ms=0.01,
+            max_batch=2,
+            seed=0,
+            prompt_tokens=(32, 64),
+            output_tokens=(2, 4),
+        )
+        defaults.update(overrides)
+        return ClusterScenario(**defaults)
+
+    def test_round_trip_and_key_sensitivity(self, tiny_cluster_names):
+        scenario = self.scenario(tiny_cluster_names).validate()
+        rebuilt = ClusterScenario.from_dict(scenario.to_dict())
+        assert rebuilt == scenario
+        assert rebuilt.key() == scenario.key()
+        assert scenario.key() != self.scenario(
+            tiny_cluster_names, kv_transfer_ms=1.0
+        ).key()
+        assert scenario.key() != self.scenario(
+            tiny_cluster_names, disaggregated=None
+        ).key()
+
+    def test_spec_spelling_does_not_change_key_or_label(self, tiny_cluster_names):
+        # parse_disaggregated is case/whitespace-insensitive, so hashes and
+        # labels must be too -- else equivalent points re-simulate on resume.
+        canonical = self.scenario(tiny_cluster_names)
+        shouting = self.scenario(tiny_cluster_names, disaggregated=" 1P1D ")
+        assert shouting.key() == canonical.key()
+        assert shouting.display_label == canonical.display_label
+        assert shouting.to_dict()["disaggregated"] == "1p1d"
+
+    def test_replica_roles_follow_the_spec(self, tiny_cluster_names):
+        scenario = self.scenario(tiny_cluster_names, replicas=4, disaggregated="1p3d")
+        assert scenario.replica_roles() == ("prefill", "decode", "decode", "decode")
+        assert self.scenario(tiny_cluster_names).replica_roles() == (
+            "prefill",
+            "decode",
+        )
+
+    def test_validate_rejects_inconsistent_splits(self, tiny_cluster_names):
+        with pytest.raises(ConfigError, match="names 4 replicas"):
+            self.scenario(tiny_cluster_names, disaggregated="2p2d").validate()
+        with pytest.raises(ConfigError, match="prefill_cost"):
+            self.scenario(tiny_cluster_names, prefill_cost=False).validate()
+
+    def test_runs_through_the_cycle_engine(self, tiny_cluster_names):
+        from repro.config.scale import ScaleTier
+
+        metrics = self.scenario(
+            tiny_cluster_names, tier=ScaleTier.FULL
+        ).validate().run()
+        assert metrics.num_requests == 6
+        assert metrics.handoffs == 6
+        assert metrics.meta["roles"] == ["prefill", "decode"]
+        assert metrics.meta["kv_transfer_s"] == pytest.approx(1e-5)
+        rebuilt = ClusterMetrics.from_dict(metrics.to_dict())
+        assert [r.role for r in rebuilt.replicas] == ["prefill", "decode"]
+        assert rebuilt.handoffs == 6
+
+
+class TestReplicaMetricsRoles:
+    def test_legacy_dicts_default_to_mixed(self):
+        legacy = {
+            "replica_id": 0,
+            "system": "table5",
+            "frequency_ghz": 2.0,
+            "steps": 1,
+            "total_cycles": 10,
+            "busy_s": 0.1,
+            "routed": 0,
+            "requests": [],
+        }
+        replica = ReplicaMetrics.from_dict(legacy)
+        assert replica.role == "mixed"
+        assert replica.handoffs == 0

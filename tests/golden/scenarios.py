@@ -14,6 +14,7 @@ and commit the updated fixtures together with the change that moved them.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from pathlib import Path
 
 from repro.api import ClusterScenario, ServeScenario
@@ -24,7 +25,12 @@ GOLDEN_DIR = Path(__file__).parent
 #: fixture file name -> zero-argument callable producing the metrics object.
 GOLDEN_SCENARIOS = {
     "serve_smoke.json": lambda: golden_serve_scenario().run(),
+    "serve_chunked_smoke.json": lambda: golden_serve_chunked_scenario().run(),
+    "serve_decode_only_smoke.json": lambda: golden_serve_decode_only_scenario().run(),
     "cluster_smoke.json": lambda: golden_cluster_scenario().run(),
+    "cluster_disaggregated_smoke.json": (
+        lambda: golden_cluster_disaggregated_scenario().run()
+    ),
 }
 
 
@@ -44,6 +50,27 @@ def golden_serve_scenario() -> ServeScenario:
     ).validate()
 
 
+def golden_serve_chunked_scenario() -> ServeScenario:
+    """``llamcat serve --smoke --scheduler chunked --seed 0``."""
+
+    return replace(golden_serve_scenario(), scheduler="chunked").validate()
+
+
+def golden_serve_decode_only_scenario() -> ServeScenario:
+    """Decode-first with prefill cost disabled: the legacy decode-only loop.
+
+    Its fixture (``serve_decode_only_smoke.json``) is a frozen copy of the
+    pre-prefill ``serve_smoke.json``, so this scenario pins the guarantee
+    that free prefill under the decode-first scheduler reproduces the old
+    scheduler's metrics bit-for-bit.  It must only ever regenerate as
+    "unchanged".
+    """
+
+    return replace(
+        golden_serve_scenario(), scheduler="decode-first", prefill_cost=False
+    ).validate()
+
+
 def golden_cluster_scenario() -> ClusterScenario:
     """The configuration behind ``llamcat cluster --smoke --seed 0``."""
 
@@ -60,6 +87,12 @@ def golden_cluster_scenario() -> ClusterScenario:
         systems=("table5",),
         tier=ScaleTier.SMOKE,
     ).validate()
+
+
+def golden_cluster_disaggregated_scenario() -> ClusterScenario:
+    """``llamcat cluster --smoke --disaggregated --seed 0`` (a 1p1d split)."""
+
+    return replace(golden_cluster_scenario(), disaggregated="1p1d").validate()
 
 
 def canonical(metrics_dict: dict) -> dict:

@@ -31,6 +31,29 @@ def test_smoke_metrics_match_golden_fixture_exactly(name):
     )
 
 
+def test_decode_first_with_free_prefill_reproduces_the_pre_prefill_golden():
+    """The backward-compatibility contract of the prefill-aware scheduler.
+
+    ``serve_decode_only_smoke.json`` is a byte-for-byte frozen copy of the
+    ``serve_smoke.json`` that predates prefill modeling.  Running today's
+    decode-first scheduler with ``prefill_cost=False`` must reproduce it
+    exactly -- same timestamps, cycle counts, aggregates *and* dict shape (no
+    prefill keys) -- so decode-only results remain comparable across the
+    change.  If this test fails, the legacy path regressed; do NOT fix it by
+    regenerating the fixture.
+    """
+
+    from tests.golden.scenarios import golden_serve_decode_only_scenario
+
+    scenario = golden_serve_decode_only_scenario()
+    assert scenario.scheduler == "decode-first" and not scenario.prefill_cost
+    actual = canonical(scenario.run().to_dict())
+    expected = json.loads(fixture_path("serve_decode_only_smoke.json").read_text())
+    assert actual == expected
+    flat = json.dumps(expected)
+    assert "prefill" not in flat and "scheduler" not in flat
+
+
 def test_golden_fixtures_are_canonical_json():
     # Fixtures must stay exactly as regen.py writes them (sorted keys,
     # 2-space indent, trailing newline) so regeneration diffs are minimal.

@@ -9,12 +9,14 @@ from repro.config.policies import ArbitrationKind, PolicyConfig, ThrottleKind
 from repro.config.presets import llama3_70b_logit
 from repro.registry import (
     POLICIES,
+    SCHEDULERS,
     SYSTEMS,
     THROTTLES,
     WORKLOADS,
     Registry,
     register_workload,
     resolve_policy,
+    resolve_scheduler,
     resolve_system,
     resolve_workload,
 )
@@ -120,6 +122,14 @@ class TestBuiltinRegistries:
     def test_builtin_throttles_cover_every_kind(self):
         for kind in ThrottleKind:
             assert kind.value in THROTTLES
+
+    def test_builtin_schedulers_registered(self):
+        assert {"decode-first", "prefill-first", "chunked"} <= set(SCHEDULERS.names())
+        # Aliases resolve, and builders honour the uniform prefill_chunk knob.
+        assert resolve_scheduler("chunked-prefill") is resolve_scheduler("chunked")
+        assert resolve_scheduler("chunked")(prefill_chunk=128).prefill_chunk == 128
+        with pytest.raises(ConfigError):
+            resolve_scheduler("clairvoyant")
 
     def test_resolve_workload_matches_preset(self):
         assert resolve_workload("llama3-70b", 1024) == llama3_70b_logit(1024)

@@ -1,0 +1,152 @@
+"""Scheduler conformance suite: invariants every registered policy must hold.
+
+One parametrized module, run against every entry of the SCHEDULERS registry
+(plugins included: whatever is registered when the tests collect, runs).  The
+shared invariants:
+
+* request conservation -- every submitted request completes exactly once;
+* FCFS admission within a phase -- requests enter the batch in
+  ``(arrival_s, request_id)`` order, whatever the step planner does next;
+* no decode before prefill completes -- a planned decode never carries
+  unprefilled prompt tokens, and every completed request's first token lands
+  at or after its prefill end;
+* TTFT lower bound -- the first token is strictly later than arrival, and at
+  least one costed prefill step later when prefill is modeled.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.registry import SCHEDULERS, resolve_scheduler
+from repro.serve.arrival import poisson_arrivals
+from repro.serve.request import Request, RequestSampler
+from repro.serve.schedpolicy import PrefillOnlyPolicy
+from repro.serve.scheduler import ActiveRequest, BatchConfig
+from repro.serve.simulator import ServingSimulator
+from repro.serve.stepcost import LinearStepCostModel
+
+
+def scheduler_names() -> list[str]:
+    return [entry.name for entry in SCHEDULERS.entries()]
+
+
+def run_stream(
+    scheduler_name: str,
+    seed: int = 0,
+    num_requests: int = 16,
+    max_batch: int = 3,
+    prefill: bool = True,
+    prefill_chunk: int = 64,
+):
+    sampler = RequestSampler(
+        seed=seed, prompt_tokens=(64, 512), output_tokens=(2, 8)
+    )
+    return ServingSimulator(
+        arrival=poisson_arrivals(sampler, rate=5000.0, num_requests=num_requests),
+        cost_model=LinearStepCostModel(),
+        frequency_ghz=2.0,
+        batch=BatchConfig(max_batch=max_batch, prefill=prefill),
+        policy=resolve_scheduler(scheduler_name)(prefill_chunk=prefill_chunk),
+    ).run()
+
+
+@pytest.mark.parametrize("name", scheduler_names())
+class TestSchedulerConformance:
+    def test_every_request_completes_exactly_once(self, name):
+        metrics = run_stream(name, num_requests=20)
+        assert sorted(r.request_id for r in metrics.requests) == list(range(20))
+
+    def test_fcfs_admission_within_a_phase(self, name):
+        # Admission order is visible through admitted_s: sorted by admission
+        # time (ties by id), the ids must follow (arrival_s, request_id).
+        metrics = run_stream(name, num_requests=20, max_batch=2)
+        by_admission = sorted(
+            metrics.requests, key=lambda r: (r.admitted_s, r.request_id)
+        )
+        by_arrival = sorted(
+            metrics.requests, key=lambda r: (r.arrival_s, r.request_id)
+        )
+        assert [r.request_id for r in by_admission] == [
+            r.request_id for r in by_arrival
+        ]
+
+    def test_no_decode_token_before_prefill_completes(self, name):
+        metrics = run_stream(name)
+        for r in metrics.requests:
+            assert r.prefill_end_s is not None
+            assert r.admitted_s <= r.prefill_end_s <= r.first_token_s
+
+    def test_planned_decodes_are_never_mid_prefill(self, name):
+        policy = resolve_scheduler(name)(prefill_chunk=64)
+        running = [
+            ActiveRequest(
+                request=Request(
+                    request_id=i, arrival_s=0.0, prompt_tokens=200, output_tokens=4
+                ).validate(),
+                admitted_s=0.0,
+                prefill_remaining=remaining,
+            )
+            for i, remaining in enumerate((0, 200, 64, 0))
+        ]
+        plan = policy.plan(running).validate()
+        assert all(not a.in_prefill for a in plan.decode)
+        assert all(chunk > 0 for _, chunk in plan.prefill)
+
+    def test_ttft_at_least_one_prefill_step_after_arrival(self, name):
+        # With prefill modeled, the first token costs at least one prefill
+        # step plus one decode step of wall clock after admission.
+        model = LinearStepCostModel()
+        min_prefill_s = model.prefill_cycles(1, 64) / (2.0 * 1e9)
+        metrics = run_stream(name)
+        for r in metrics.requests:
+            assert r.ttft_s > 0
+            assert r.first_token_s >= r.admitted_s + min_prefill_s
+
+    def test_deterministic_and_seed_sensitive(self, name):
+        assert run_stream(name, seed=3).to_dict() == run_stream(name, seed=3).to_dict()
+        assert run_stream(name, seed=3).to_dict() != run_stream(name, seed=4).to_dict()
+
+    def test_prefill_disabled_reproduces_decode_only_loop(self, name):
+        # With prefill off, every registered policy degenerates to the same
+        # decode-only timeline: the batch is always fully decode-ready.
+        baseline = run_stream("decode-first", prefill=False)
+        assert run_stream(name, prefill=False).to_dict() == baseline.to_dict()
+
+
+class TestChunkedBudget:
+    def test_chunk_budget_respected_and_fcfs(self):
+        policy = resolve_scheduler("chunked")(prefill_chunk=100)
+        running = [
+            ActiveRequest(
+                request=Request(
+                    request_id=i, arrival_s=0.0, prompt_tokens=80, output_tokens=2
+                ).validate(),
+                admitted_s=0.0,
+                prefill_remaining=80,
+            )
+            for i in range(3)
+        ]
+        plan = policy.plan(running)
+        # 100-token budget over 80-token prompts: 80 + 20, FCFS, then stop.
+        assert [(a.request.request_id, c) for a, c in plan.prefill] == [(0, 80), (1, 20)]
+        assert plan.prefill_tokens == 100
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigError):
+            resolve_scheduler("chunked")(prefill_chunk=0)
+
+
+class TestPrefillOnlyPolicy:
+    def test_plans_full_prompts_and_rejects_decode_phase(self):
+        active = ActiveRequest(
+            request=Request(
+                request_id=0, arrival_s=0.0, prompt_tokens=128, output_tokens=2
+            ).validate(),
+            admitted_s=0.0,
+            prefill_remaining=128,
+        )
+        plan = PrefillOnlyPolicy().plan([active])
+        assert plan.prefill == ((active, 128),) and not plan.decode
+        active.prefill_remaining = 0
+        with pytest.raises(ConfigError):
+            PrefillOnlyPolicy().plan([active])

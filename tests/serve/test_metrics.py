@@ -57,6 +57,32 @@ class TestRequestMetrics:
         r = record(rid=5)
         assert RequestMetrics.from_dict(r.to_dict()) == r
 
+    def test_prefill_phase_spans_and_round_trip(self):
+        r = RequestMetrics(
+            request_id=0, arrival_s=0.0, admitted_s=0.1, first_token_s=0.5,
+            finish_s=1.0, prompt_tokens=128, output_tokens=4, prefill_end_s=0.4,
+        ).validate()
+        assert r.prefill_s == pytest.approx(0.3)
+        assert r.decode_s == pytest.approx(0.5)
+        assert "prefill_end_s" in r.to_dict()
+        assert RequestMetrics.from_dict(r.to_dict()) == r
+
+    def test_decode_only_records_serialize_without_prefill_keys(self):
+        # The legacy dict shape is a compatibility contract: decode-only
+        # records (and thus old stores) must round-trip unchanged.
+        r = record()
+        assert r.prefill_end_s is None and r.prefill_s is None
+        assert "prefill_end_s" not in r.to_dict()
+        assert RequestMetrics.from_dict(r.to_dict()) == r
+
+    def test_rejects_prefill_end_outside_admit_to_first_token(self):
+        with pytest.raises(ConfigError):
+            RequestMetrics(
+                request_id=0, arrival_s=0.0, admitted_s=0.1, first_token_s=0.5,
+                finish_s=1.0, prompt_tokens=128, output_tokens=4,
+                prefill_end_s=0.6,
+            ).validate()
+
 
 class TestServeSLO:
     def test_trivial_slo_attains_everything(self):

@@ -108,6 +108,27 @@ class TestServeCommand:
         assert "latency percentiles" in out
         assert "tokens/s" in out
         assert "cycle-engine runs" in out
+        assert "prefill_ms" in out               # prefill modeled by default
+
+    def test_prefill_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--scheduler", "chunked", "--prefill-chunk", "128"]
+        )
+        assert args.scheduler == "chunked"
+        assert args.prefill_chunk == 128
+        assert args.prefill_cost                 # on unless --no-prefill-cost
+        assert not build_parser().parse_args(
+            ["serve", "--no-prefill-cost"]
+        ).prefill_cost
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scheduler", "clairvoyant", "--smoke"])
+
+    def test_no_prefill_cost_drops_prefill_reporting(self, capsys):
+        assert main(["serve", "--smoke", "--seed", "0", "--no-prefill-cost"]) == 0
+        out = capsys.readouterr().out
+        assert "prefill_ms" not in out           # the legacy decode-only view
 
 
 class TestServeSweepCommand:
@@ -135,6 +156,23 @@ class TestServeSweepCommand:
             main(["sweep", "--rate", "1000"])
         with pytest.raises(SystemExit, match="--serve"):
             main(["sweep", "--arrival", "bursty"])
+        with pytest.raises(SystemExit, match="--serve"):
+            main(["sweep", "--scheduler", "chunked"])
+        with pytest.raises(SystemExit, match="--serve"):
+            main(["sweep", "--prefill-chunk", "128"])
+
+    def test_scheduler_axis_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--serve", "--scheduler", "decode-first",
+             "--scheduler", "chunked", "--prefill-chunk", "128",
+             "--prefill-chunk", "512"]
+        )
+        assert args.schedulers == ["decode-first", "chunked"]
+        assert args.prefill_chunks == [128, 512]
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--serve", "--scheduler", "clairvoyant"])
 
     def test_kernel_axes_with_serve_rejected(self):
         with pytest.raises(SystemExit, match="kernel-sweep"):
@@ -179,6 +217,33 @@ class TestClusterCommand:
         assert "merged latency percentiles" in out
         assert "imbalance" in out
         assert "cycle-engine runs" in out
+
+    def test_disaggregated_flag_defaults_and_spec(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.disaggregated is None
+        assert args.kv_transfer_ms == 0.0
+        assert build_parser().parse_args(
+            ["cluster", "--disaggregated"]
+        ).disaggregated == "1p1d"
+        assert build_parser().parse_args(
+            ["cluster", "--disaggregated", "2p2d"]
+        ).disaggregated == "2p2d"
+
+    def test_malformed_disaggregated_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--disaggregated", "2x2", "--smoke"])
+
+    def test_contradicting_replicas_with_disaggregated_rejected(self):
+        with pytest.raises(SystemExit, match="contradicts"):
+            main(["cluster", "--replicas", "8", "--disaggregated", "1p1d",
+                  "--smoke"])
+
+    def test_disaggregated_smoke_prints_roles_and_handoffs(self, capsys):
+        assert main(["cluster", "--smoke", "--seed", "0", "--disaggregated"]) == 0
+        out = capsys.readouterr().out
+        assert "prefill" in out and "decode" in out
+        assert "handoffs" in out
+        assert "prefill/decode util" in out
 
 
 class TestClusterSweepCommand:
@@ -246,6 +311,13 @@ class TestListCommand:
         assert main(["list", "throttles"]) == 0
         out = capsys.readouterr().out
         assert "dynmg" in out
+
+    def test_list_schedulers(self, capsys):
+        assert main(["list", "schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("decode-first", "prefill-first", "chunked"):
+            assert name in out
+        assert "chunked-prefill" in out                # aliases are listed
 
     def test_list_routers(self, capsys):
         assert main(["list", "routers"]) == 0
