@@ -10,7 +10,7 @@ cycle-engine runs than one accelerator would.
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once_timed, write_trend
 from repro.cluster import ClusterScenario
 
 
@@ -26,7 +26,23 @@ def test_cluster_round_robin_throughput(benchmark, tier):
         seed=0,
         tier=tier,
     ).validate()
-    metrics = run_once(benchmark, scenario.run)
+    metrics, wall_s = run_once_timed(benchmark, scenario.run)
+    write_trend(
+        "cluster",
+        config={
+            "workload": scenario.workload,
+            "arrival": scenario.arrival,
+            "rate": scenario.rate,
+            "num_requests": scenario.num_requests,
+            "replicas": scenario.replicas,
+            "router": scenario.router,
+            "max_batch": scenario.max_batch,
+            "seed": scenario.seed,
+            "tier": scenario.tier.name,
+        },
+        tokens_per_s=metrics.tokens_per_s,
+        wall_s=wall_s,
+    )
     print()
     print(metrics.summary())
     assert metrics.num_requests == 32

@@ -10,7 +10,7 @@ a cycle-accurate model.
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once_timed, write_trend
 from repro.serve import ServeScenario
 
 
@@ -24,7 +24,21 @@ def test_serve_poisson_throughput(benchmark, tier):
         seed=0,
         tier=tier,
     ).validate()
-    metrics = run_once(benchmark, scenario.run)
+    metrics, wall_s = run_once_timed(benchmark, scenario.run)
+    write_trend(
+        "serve",
+        config={
+            "workload": scenario.workload,
+            "arrival": scenario.arrival,
+            "rate": scenario.rate,
+            "num_requests": scenario.num_requests,
+            "max_batch": scenario.max_batch,
+            "seed": scenario.seed,
+            "tier": scenario.tier.name,
+        },
+        tokens_per_s=metrics.tokens_per_s,
+        wall_s=wall_s,
+    )
     print()
     print(metrics.summary())
     assert metrics.num_requests == 32

@@ -12,8 +12,10 @@ simulations through pytest-benchmark.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -65,3 +67,33 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
 
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_once_timed(benchmark, fn, *args, **kwargs):
+    """Like :func:`run_once`, also returning the measured wall seconds."""
+
+    start = time.perf_counter()
+    result = run_once(benchmark, fn, *args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def write_trend(bench: str, config: dict, tokens_per_s: float, wall_s: float) -> Path:
+    """Persist one benchmark's headline numbers as a committed trend file.
+
+    ``benchmarks/BENCH_<bench>.json`` lives next to the benchmark code so a
+    throughput regression shows up as a reviewable diff, not only as local
+    pytest-benchmark output.  The schema is deliberately tiny and stable:
+    ``{bench, config, tokens_per_s, wall_s}``.
+    """
+
+    payload = {
+        "bench": bench,
+        "config": config,
+        "tokens_per_s": round(tokens_per_s, 1),
+        "wall_s": round(wall_s, 3),
+    }
+    path = Path(__file__).parent / f"BENCH_{bench}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

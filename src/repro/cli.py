@@ -8,6 +8,7 @@ Subcommands
 * ``sweep``   -- run a grid of (model x seq-len x policy x L2) points in parallel,
   of serving points (``--serve`` with repeatable ``--rate``) or of cluster
   points (``--cluster`` with repeatable ``--replicas``/``--router``)
+* ``timeline`` -- render ASCII telemetry timelines from a stored sweep point
 * ``list``    -- list registered workloads / systems / policies / throttles /
   arrivals / schedulers / routers
 * ``fig7``  -- regenerate the Fig 7 speedup panels
@@ -25,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import logging
 import os
 import sys
 from dataclasses import replace
@@ -41,6 +43,8 @@ from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.hwcost_exp import run_hwcost
 from repro.experiments.reporting import format_grid
+from repro.obs import ChromeTracer, Profiler, render_timeline
+from repro.obs.timeline import DEFAULT_METRICS, DEFAULT_WIDTH
 from repro.registry import (
     ARRIVALS,
     POLICIES,
@@ -75,6 +79,44 @@ SERVE_SWEEP_RATES = (1000.0, 2000.0, 4000.0)
 #: Defaults of the cluster sweep's fleet-size axis.
 CLUSTER_SWEEP_REPLICAS = (2, 4)
 
+logger = logging.getLogger(__name__)
+
+
+def _configure_logging(verbose: int, log_quiet: int) -> None:
+    """Attach a stderr handler to the ``repro`` logger hierarchy.
+
+    ``-v`` lowers the threshold to DEBUG (per-point sweep progress, profiling
+    summaries); ``-q`` raises it to WARNING.  Diagnostics go to stderr so the
+    deterministic result tables on stdout stay byte-comparable across runs.
+    """
+
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        root.addHandler(handler)
+        root.propagate = False
+    if verbose:
+        root.setLevel(logging.DEBUG)
+    elif log_quiet:
+        root.setLevel(logging.WARNING)
+    else:
+        root.setLevel(logging.INFO)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """The observability knobs shared by ``serve`` and ``cluster``."""
+
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace_event JSON of the run (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--telemetry", type=float, default=None, metavar="MS",
+        help="sample queue depth / batch size / utilization every MS simulated "
+             "milliseconds and print an ASCII timeline",
+    )
+
 
 def _add_prefill_args(parser: argparse.ArgumentParser) -> None:
     """The prefill-scheduling knobs shared by ``serve`` and ``cluster``."""
@@ -97,6 +139,14 @@ def _add_prefill_args(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="llamcat", description=__doc__)
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="debug logging on stderr (per-point progress, profiling)",
+    )
+    parser.add_argument(
+        "-q", action="count", default=0, dest="log_quiet",
+        help="warnings and errors only on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="simulate one policy")
@@ -135,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="fast CI preset: smoke tier, 8 requests, batch <= 2",
     )
+    _add_obs_args(serve_p)
 
     cluster_p = sub.add_parser(
         "cluster",
@@ -186,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="fast CI preset: smoke tier, 8 requests, 2 replicas, batch <= 2",
     )
+    _add_obs_args(cluster_p)
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -264,6 +316,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--max-cycles", type=int, default=None)
     sweep_p.add_argument("--quiet", action="store_true", help="suppress per-point progress")
+    sweep_p.add_argument(
+        "--telemetry", type=float, default=None, metavar="MS",
+        help="sample telemetry every MS simulated milliseconds on every point "
+             "(only with --serve/--cluster; view via `llamcat timeline`)",
+    )
+
+    timeline_p = sub.add_parser(
+        "timeline",
+        help="render ASCII telemetry timelines from a stored sweep point",
+    )
+    timeline_p.add_argument("store", metavar="STORE", help="JSON-lines result store")
+    timeline_p.add_argument(
+        "key", metavar="KEY",
+        help="content-hash prefix (git-style abbreviation) or point label",
+    )
+    timeline_p.add_argument(
+        "--metric", action="append", dest="metrics",
+        help="repeatable: utilization, queue_depth, running, tokens_per_s or "
+             "util:<replica> (default: the first four)",
+    )
+    timeline_p.add_argument(
+        "--width", type=int, default=DEFAULT_WIDTH,
+        help=f"sparkline width in glyphs (default: {DEFAULT_WIDTH})",
+    )
 
     list_p = sub.add_parser("list", help="list registered scenario components")
     list_p.add_argument(
@@ -312,6 +388,21 @@ def _percentile_rows(metrics) -> list[dict]:
     return rows
 
 
+def _make_tracer(args: argparse.Namespace) -> ChromeTracer | None:
+    return ChromeTracer() if args.trace_out else None
+
+
+def _finish_obs(args: argparse.Namespace, tracer: ChromeTracer | None, metrics) -> None:
+    """Write the trace file and print the telemetry timeline, when asked for."""
+
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"trace: {args.trace_out} ({len(tracer)} events)")
+    if metrics.telemetry is not None:
+        print()
+        print(render_timeline(metrics.telemetry))
+
+
 def _serve_command(args: argparse.Namespace) -> int:
     tier = "smoke" if args.smoke else args.tier
     scenario = ServeScenario(
@@ -329,8 +420,12 @@ def _serve_command(args: argparse.Namespace) -> int:
         tier=parse_tier(tier),
         slo_ttft_ms=args.slo_ttft_ms,
         slo_latency_ms=args.slo_latency_ms,
+        telemetry_ms=args.telemetry,
     ).validate()
-    metrics = scenario.run()
+    tracer = _make_tracer(args)
+    profiler = Profiler()
+    metrics = scenario.run(tracer=tracer, profiler=profiler)
+    logger.debug("profile:\n%s", profiler.summary())
     print(metrics.summary())
     print()
     print(
@@ -347,6 +442,7 @@ def _serve_command(args: argparse.Namespace) -> int:
     )
     if not scenario.slo().is_trivial:
         print(f"SLO attainment: {metrics.slo_attainment:.1%}")
+    _finish_obs(args, tracer, metrics)
     return 0
 
 
@@ -389,8 +485,12 @@ def _cluster_command(args: argparse.Namespace) -> int:
         tier=parse_tier(tier),
         slo_ttft_ms=args.slo_ttft_ms,
         slo_latency_ms=args.slo_latency_ms,
+        telemetry_ms=args.telemetry,
     ).validate()
-    metrics = scenario.run()
+    tracer = _make_tracer(args)
+    profiler = Profiler()
+    metrics = scenario.run(tracer=tracer, profiler=profiler)
+    logger.debug("profile:\n%s", profiler.summary())
     print(metrics.summary())
     print()
     replica_rows = [
@@ -421,7 +521,19 @@ def _cluster_command(args: argparse.Namespace) -> int:
     )
     if not scenario.slo().is_trivial:
         print(f"SLO attainment: {metrics.slo_attainment:.1%}")
+    _finish_obs(args, tracer, metrics)
     return 0
+
+
+def _point_progress(done: int, total: int, outcome, detail: str = "") -> None:
+    """One finished sweep point, logged at INFO (stderr; silenced by -q)."""
+
+    status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
+    logger.info(
+        "[%*d/%d] %-60s %s%s (%.1fs)",
+        len(str(total)), done, total, outcome.point.describe(),
+        detail, status, outcome.elapsed_s,
+    )
 
 
 def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
@@ -440,6 +552,7 @@ def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
         seed=args.seed,
         tier=parse_tier(args.tier),
         max_cycles=args.max_cycles,
+        telemetry_ms=args.telemetry,
     ).validate()
 
     points = spec.expand()
@@ -454,20 +567,14 @@ def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
     if store is not None and store.completed_count:
         print(f"store: {store.path} ({store.completed_count} completed points on disk)")
 
-    def progress(done: int, total: int, outcome) -> None:
-        status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
-        print(
-            f"  [{done:>{len(str(total))}}/{total}] {outcome.point.describe():<60} "
-            f"{status} ({outcome.elapsed_s:.1f}s)"
-        )
-
     report = run_sweep(
         points,
         jobs=args.jobs,
         store=store,
-        progress=None if args.quiet else progress,
+        progress=None if args.quiet else _point_progress,
         force=args.force,
     )
+    logger.debug("sweep profile: %s", report.profile())
 
     rows = []
     for outcome in report.outcomes:
@@ -518,6 +625,7 @@ def _run_serve_sweep_command(args: argparse.Namespace) -> int:
         seed=args.seed,
         tier=parse_tier(args.tier),
         max_cycles=args.max_cycles,
+        telemetry_ms=args.telemetry,
     ).validate()
 
     points = spec.expand()
@@ -531,20 +639,14 @@ def _run_serve_sweep_command(args: argparse.Namespace) -> int:
     if store is not None and store.completed_count:
         print(f"store: {store.path} ({store.completed_count} completed points on disk)")
 
-    def progress(done: int, total: int, outcome) -> None:
-        status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
-        print(
-            f"  [{done:>{len(str(total))}}/{total}] {outcome.point.describe():<60} "
-            f"{status} ({outcome.elapsed_s:.1f}s)"
-        )
-
     report = run_sweep(
         points,
         jobs=args.jobs,
         store=store,
-        progress=None if args.quiet else progress,
+        progress=None if args.quiet else _point_progress,
         force=args.force,
     )
+    logger.debug("sweep profile: %s", report.profile())
 
     rows = []
     for outcome in report.outcomes:
@@ -604,6 +706,11 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             "--rate/--arrival/--scheduler/--prefill-chunk are serving-sweep "
             "axes; pass --serve or --cluster to sweep serving points"
         )
+    if not (args.serve or args.cluster) and args.telemetry is not None:
+        raise SystemExit(
+            "--telemetry samples serving-time series; pass --serve or "
+            "--cluster to sweep serving points"
+        )
     if args.cluster:
         return _run_cluster_sweep_command(args)
     if args.serve:
@@ -629,12 +736,8 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         print(f"store: {store.path} ({store.completed_count} completed points on disk)")
 
     def progress(done: int, total: int, outcome) -> None:
-        status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
         cycles = f"{outcome.result.cycles:>10}" if outcome.ok else " " * 10
-        print(
-            f"  [{done:>{len(str(total))}}/{total}] {outcome.point.describe():<60} "
-            f"{cycles} cycles  {status} ({outcome.elapsed_s:.1f}s)"
-        )
+        _point_progress(done, total, outcome, detail=f"{cycles} cycles  ")
 
     report = run_sweep(
         points,
@@ -643,6 +746,7 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         progress=None if args.quiet else progress,
         force=args.force,
     )
+    logger.debug("sweep profile: %s", report.profile())
 
     # Summary table: speedups are normalised against the first --policy label
     # within each (model, L2, seq-len) cell.
@@ -681,6 +785,33 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _timeline_command(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.store):
+        raise SystemExit(f"no result store at {args.store}")
+    store = ResultStore(args.store)
+    try:
+        record = store.find(args.key)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from exc
+    if not record.ok:
+        raise SystemExit(
+            f"stored point {record.key[:12]} ({record.label}) failed; "
+            "no telemetry to render"
+        )
+    telemetry = getattr(record.result, "telemetry", None)
+    if telemetry is None:
+        raise SystemExit(
+            f"stored point {record.key[:12]} ({record.label}) carries no "
+            "telemetry; re-run the sweep with --telemetry MS"
+        )
+    metrics = (
+        tuple((m, m) for m in args.metrics) if args.metrics else DEFAULT_METRICS
+    )
+    print(f"{record.label} [{record.key[:12]}]")
+    print(render_timeline(telemetry, metrics=metrics, width=args.width))
+    return 0
+
+
 def _list_command(what: str) -> int:
     registry = LISTABLE_REGISTRIES[what]
     entries = list(registry.entries())
@@ -714,6 +845,7 @@ def _load_plugins() -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.log_quiet)
     try:
         _load_plugins()
         return _dispatch(args)
@@ -747,6 +879,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _run_sweep_command(args)
+
+    if args.command == "timeline":
+        return _timeline_command(args)
 
     if args.command == "list":
         return _list_command(args.what)

@@ -20,6 +20,7 @@ from typing import ClassVar
 
 from repro.common.errors import ConfigError
 from repro.common.mathutils import mean, percentile, percentiles, safe_div, weighted_mean
+from repro.obs.telemetry import TelemetrySeries
 from repro.serve.metrics import REPORTED_PERCENTILES, RequestMetrics, ServeSLO
 
 
@@ -125,6 +126,10 @@ class ClusterMetrics:
     replicas: tuple[ReplicaMetrics, ...] = ()
     slo: ServeSLO = field(default_factory=ServeSLO)
     meta: dict = field(default_factory=dict)
+    #: Optional fixed-cadence time series; None unless the run sampled
+    #: telemetry, and omitted from serialization when None so pre-telemetry
+    #: metrics dicts (and golden fixtures) stay bit-for-bit identical.
+    telemetry: TelemetrySeries | None = None
 
     # -- fleet-level series ------------------------------------------------------------
     @property
@@ -322,7 +327,7 @@ class ClusterMetrics:
         recomputed on demand after a reload.
         """
 
-        return {
+        data = {
             "label": self.label,
             "workload": self.workload,
             "router": self.router,
@@ -332,6 +337,9 @@ class ClusterMetrics:
             "meta": dict(self.meta),
             "metrics": self.headline_metrics(),
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClusterMetrics":
@@ -343,6 +351,11 @@ class ClusterMetrics:
             replicas=tuple(ReplicaMetrics.from_dict(r) for r in data["replicas"]),
             slo=ServeSLO.from_dict(data.get("slo", {})),
             meta=dict(data.get("meta", {})),
+            telemetry=(
+                TelemetrySeries.from_dict(data["telemetry"])
+                if data.get("telemetry") is not None
+                else None
+            ),
         )
 
     def with_label(self, label: str) -> "ClusterMetrics":

@@ -124,6 +124,10 @@ class ClusterScenario:
     slo_ttft_ms: float | None = None
     slo_latency_ms: float | None = None
     max_cycles: int | None = None
+    #: Telemetry sampling cadence in simulated milliseconds; None disables
+    #: sampling.  Serialized only when set, so pre-telemetry scenario hashes
+    #: (and store resume) stay valid.
+    telemetry_ms: float | None = None
     #: Display label (defaults to "<router>x<replicas>@<arrival>"); never hashed.
     label: str | None = None
 
@@ -143,6 +147,8 @@ class ClusterScenario:
             raise ConfigError(
                 f"kv_transfer_ms must be >= 0, got {self.kv_transfer_ms}"
             )
+        if self.telemetry_ms is not None and self.telemetry_ms <= 0:
+            raise ConfigError(f"telemetry_ms must be positive, got {self.telemetry_ms}")
         if self.disaggregated is not None:
             prefill, decode = parse_disaggregated(self.disaggregated)
             if prefill + decode != self.replicas:
@@ -261,7 +267,7 @@ class ClusterScenario:
             "slo_latency_ms": self.slo_latency_ms,
             "max_cycles": self.max_cycles,
             "label": self.label,
-        }
+        } | ({} if self.telemetry_ms is None else {"telemetry_ms": self.telemetry_ms})
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClusterScenario":
@@ -290,6 +296,7 @@ class ClusterScenario:
             slo_ttft_ms=data.get("slo_ttft_ms"),
             slo_latency_ms=data.get("slo_latency_ms"),
             max_cycles=data.get("max_cycles"),
+            telemetry_ms=data.get("telemetry_ms"),
             label=data.get("label"),
         )
 
@@ -363,21 +370,38 @@ class ClusterScenario:
             router_name=self.router,
             kv_transfer_s=self.kv_transfer_ms / 1e3,
             decode_router=decode_router,
+            telemetry_ms=self.telemetry_ms,
         )
 
-    def run(self) -> ClusterMetrics:
+    def run(self, tracer=None, profiler=None) -> ClusterMetrics:
         """Simulate this cluster point and return its fleet metrics.
 
         Like :meth:`ServeScenario.run`, the module-level trace cache is
         cleared afterwards: a fleet visits up to ``max_batch x seq-buckets``
         distinct step shapes per distinct system preset, which would otherwise
         linger into whatever a long-lived process runs next.
+
+        ``tracer`` receives the fleet's event timeline (None keeps the
+        zero-overhead null tracer); ``profiler`` (a
+        :class:`~repro.obs.profile.Profiler`) accumulates the fleet's
+        wall-clock profile -- both are side channels that never influence the
+        metrics.
         """
 
+        simulator = self.build_simulator()
         try:
-            return self.build_simulator().run()
+            metrics = simulator.run(tracer=tracer)
         finally:
             clear_trace_cache()
+        if profiler is not None:
+            for step_cost in simulator.profile.get("step_cost", ()):
+                profiler.add(
+                    "cluster.step_cost_build",
+                    step_cost.get("build_wall_s", 0.0),
+                    calls=step_cost.get("misses", 0),
+                )
+                profiler.count("cluster.step_cost_hit", step_cost.get("hits", 0))
+        return metrics
 
 
 def run_cluster_scenario(scenario: ClusterScenario) -> ClusterMetrics:

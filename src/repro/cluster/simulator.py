@@ -43,11 +43,20 @@ distinct ``(batch, seq-bucket)`` shapes it visits, not for 16 copies of them.
 from __future__ import annotations
 
 import heapq
+import logging
 from typing import Sequence
 
 from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
 from repro.cluster.router import Router
 from repro.common.errors import ConfigError
+from repro.obs.telemetry import TelemetryRecorder
+from repro.obs.tracer import (
+    CAT_HANDOFF,
+    CAT_STEP,
+    NULL_TRACER,
+    Tracer,
+    trace_request,
+)
 from repro.serve.arrival import ArrivalProcess
 from repro.serve.metrics import RequestMetrics, ServeSLO
 from repro.serve.schedpolicy import (
@@ -61,6 +70,7 @@ from repro.serve.scheduler import (
     BatchConfig,
     ContinuousBatchScheduler,
     HandoffRequest,
+    bucket_context,
 )
 from repro.serve.simulator import MAX_STEPS, complete_step, plan_cycles
 from repro.serve.stepcost import StepCostModel
@@ -68,6 +78,8 @@ from repro.serve.stepcost import StepCostModel
 #: The replica roles a fleet may mix: every colocated replica is "mixed";
 #: a disaggregated fleet is partitioned into "prefill" and "decode".
 REPLICA_ROLES = ("mixed", "prefill", "decode")
+
+logger = logging.getLogger(__name__)
 
 
 class ReplicaSim:
@@ -121,6 +133,10 @@ class ReplicaSim:
         self.routed = 0
         self.handoffs = 0
         self.completed: list[RequestMetrics] = []
+        #: Observability sinks, installed by :meth:`ClusterSimulator.run`
+        #: (the null defaults keep standalone replicas zero-overhead).
+        self.tracer: Tracer = NULL_TRACER
+        self.recorder: TelemetryRecorder | None = None
 
     # -- load signals (read by routers) ------------------------------------------------
     @property
@@ -178,6 +194,8 @@ class ReplicaSim:
         while True:
             self.scheduler.admit(now_s)
             if not self.scheduler.running:
+                if self.recorder is not None:
+                    self.recorder.observe(self.replica_id, now_s, self.queue_depth, 0)
                 return False
             plan = self.policy.plan(self.scheduler.running)
             cycles = plan_cycles(
@@ -197,6 +215,28 @@ class ReplicaSim:
             self.busy_s += duration_s
             self.step_end_s = now_s + duration_s
             self._plan = plan
+            # The step's span is fully known at launch, so both sinks record
+            # here; completion only applies the plan.
+            if self.tracer.enabled:
+                args = plan.trace_args()
+                args["cycles"] = cycles
+                if plan.decode:
+                    args["seq_bucket"] = bucket_context(
+                        plan.decode_context(), self.scheduler.config.seq_bucket_floor
+                    )
+                self.tracer.complete(
+                    "step", CAT_STEP, self.replica_id, 0, now_s, self.step_end_s,
+                    args=args,
+                )
+            if self.recorder is not None:
+                self.recorder.on_step(
+                    self.replica_id,
+                    now_s,
+                    self.step_end_s,
+                    self.queue_depth,
+                    len(self.scheduler.running),
+                    len(plan.decode),
+                )
             return True
 
     def finish_step(self) -> list:
@@ -256,11 +296,14 @@ class ClusterSimulator:
         router_name: str | None = None,
         kv_transfer_s: float = 0.0,
         decode_router: Router | None = None,
+        telemetry_ms: float | None = None,
     ) -> None:
         if not replicas:
             raise ConfigError("a cluster needs at least one replica")
         if kv_transfer_s < 0:
             raise ConfigError(f"kv_transfer_s must be >= 0, got {kv_transfer_s}")
+        if telemetry_ms is not None and telemetry_ms <= 0:
+            raise ConfigError(f"telemetry_ms must be positive, got {telemetry_ms}")
         self.replicas = list(replicas)
         self.prefill_replicas = [r for r in self.replicas if r.role == "prefill"]
         self.decode_replicas = [r for r in self.replicas if r.role == "decode"]
@@ -300,6 +343,10 @@ class ClusterSimulator:
         self.label = label
         self.workload_name = workload_name
         self.router_name = router_name if router_name is not None else router.name
+        self.telemetry_ms = telemetry_ms
+        #: Wall-clock profile of the fleet's step-cost tables; populated by
+        #: :meth:`run`, never serialized into metrics.
+        self.profile: dict = {}
 
     def _select(self, router: Router, group: list[ReplicaSim], request, now_s: float):
         chosen = router.select(request, group, now_s)
@@ -310,7 +357,30 @@ class ClusterSimulator:
             )
         return group[chosen]
 
-    def run(self) -> ClusterMetrics:
+    def run(self, tracer: Tracer | None = None) -> ClusterMetrics:
+        tracer = NULL_TRACER if tracer is None else tracer
+        recorder = (
+            TelemetryRecorder(
+                interval_s=self.telemetry_ms * 1e-3,
+                num_replicas=len(self.replicas),
+            )
+            if self.telemetry_ms is not None
+            else None
+        )
+        # Replica pids are their ids; the per-request swimlanes live one past.
+        requests_pid = len(self.replicas)
+        if tracer.enabled:
+            for replica in self.replicas:
+                tracer.name_process(
+                    replica.replica_id,
+                    f"replica {replica.replica_id} [{replica.role}]",
+                )
+                tracer.name_thread(replica.replica_id, 0, "scheduler")
+            tracer.name_process(requests_pid, "requests")
+        for replica in self.replicas:
+            replica.tracer = tracer
+            replica.recorder = recorder
+
         # The pending heap orders un-routed requests by (arrival, id); ids are
         # unique, so heap order -- and thus every routing decision -- is total.
         # The handoff heap is keyed the same way on KV-transfer completion.
@@ -331,6 +401,16 @@ class ClusterSimulator:
             for replica in self.prefill_replicas:
                 for active in replica.take_handoffs():
                     handoff_count += 1
+                    if tracer.enabled:
+                        tracer.complete(
+                            "kv-transfer",
+                            CAT_HANDOFF,
+                            requests_pid,
+                            active.request.request_id,
+                            now_s,
+                            now_s + self.kv_transfer_s,
+                            args={"from_replica": replica.replica_id},
+                        )
                     heapq.heappush(
                         handoffs,
                         (
@@ -357,6 +437,15 @@ class ClusterSimulator:
                 replica = self._select(
                     self.decode_router, self.decode_replicas, active.request, now_s
                 )
+                if tracer.enabled:
+                    tracer.instant(
+                        "handoff",
+                        CAT_HANDOFF,
+                        requests_pid,
+                        active.request.request_id,
+                        ready_s,
+                        args={"to_replica": replica.replica_id},
+                    )
                 replica.enqueue(HandoffRequest(active=active, arrival_s=ready_s))
 
             # Launch steps on every idle replica with admissible work (free
@@ -404,6 +493,13 @@ class ClusterSimulator:
             collect_handoffs(now_s)
 
         replica_metrics = tuple(replica.metrics() for replica in self.replicas)
+        if tracer.enabled:
+            # Lifecycle spans per completed request, in (replica, id) order --
+            # trace viewers sort by timestamp, so emission order only needs to
+            # be deterministic, not chronological.
+            for replica in replica_metrics:
+                for record in replica.requests:
+                    trace_request(tracer, record, requests_pid)
         last_finish_s = max(
             (r.finish_s for replica in replica_metrics for r in replica.requests),
             default=first_arrival_s,
@@ -427,6 +523,21 @@ class ClusterSimulator:
                 getattr(m, "simulations", getattr(m, "table_size", 0))
                 for m in tables.values()
             )
+        self.profile = {
+            "step_cost": [
+                m.profile() for m in tables.values() if m.profile()
+            ]
+        }
+        logger.debug(
+            "cluster run [%s]: %d replicas, %d requests, step_cost=%s",
+            self.label,
+            len(self.replicas),
+            sum(len(r.requests) for r in replica_metrics),
+            self.profile["step_cost"],
+        )
+        telemetry = (
+            recorder.build(first_arrival_s) if recorder is not None else None
+        )
         return ClusterMetrics(
             label=self.label,
             workload=self.workload_name,
@@ -435,4 +546,5 @@ class ClusterSimulator:
             replicas=replica_metrics,
             slo=self.slo,
             meta=meta,
+            telemetry=telemetry,
         )

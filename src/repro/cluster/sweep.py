@@ -112,6 +112,9 @@ class ClusterSweepSpec:
     slo_ttft_ms: float | None = None
     slo_latency_ms: float | None = None
     max_cycles: int | None = None
+    #: Telemetry sampling cadence (simulated ms) applied to every point; None
+    #: keeps sampling off and every point's content hash pre-telemetry.
+    telemetry_ms: float | None = None
 
     def validate(self) -> "ClusterSweepSpec":
         for axis in ("workloads", "rates", "replica_counts", "routers", "arrivals",
@@ -139,6 +142,8 @@ class ClusterSweepSpec:
             raise ConfigError("num_requests must be positive")
         if self.max_batch <= 0:
             raise ConfigError("max_batch must be positive")
+        if self.telemetry_ms is not None and self.telemetry_ms <= 0:
+            raise ConfigError("telemetry_ms must be positive")
         return self
 
     @property
@@ -174,6 +179,7 @@ class ClusterSweepSpec:
                 slo_ttft_ms=self.slo_ttft_ms,
                 slo_latency_ms=self.slo_latency_ms,
                 max_cycles=self.max_cycles,
+                telemetry_ms=self.telemetry_ms,
             )
             for workload in self.workloads
             for arrival in self.arrivals
@@ -232,6 +238,7 @@ class ClusterSweepSpec:
             "slo_ttft_ms": self.slo_ttft_ms,
             "slo_latency_ms": self.slo_latency_ms,
             "max_cycles": self.max_cycles,
+            "telemetry_ms": self.telemetry_ms,
         }
 
     @classmethod
@@ -256,4 +263,5 @@ class ClusterSweepSpec:
             slo_ttft_ms=data.get("slo_ttft_ms"),
             slo_latency_ms=data.get("slo_latency_ms"),
             max_cycles=data.get("max_cycles"),
+            telemetry_ms=data.get("telemetry_ms"),
         ).validate()

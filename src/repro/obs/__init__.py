@@ -1,0 +1,55 @@
+"""Observability for the serving stack: tracing, telemetry, and profiling.
+
+Three orthogonal instruments, all zero-overhead when off:
+
+* :mod:`repro.obs.tracer` -- per-request lifecycle spans and per-iteration
+  scheduler decisions as Chrome ``trace_event`` JSON (Perfetto-loadable).
+* :mod:`repro.obs.telemetry` -- fixed-cadence time series (queue depth, batch
+  occupancy, per-replica utilization, tokens/s) stored next to metrics.
+* :mod:`repro.obs.profile` -- wall-clock profiling of the simulator's own hot
+  paths (step-cost builds, sweep points), kept out of deterministic outputs.
+
+:mod:`repro.obs.timeline` renders stored telemetry as ASCII sparklines for
+``llamcat timeline``.
+"""
+
+from repro.obs.profile import Profiler
+from repro.obs.telemetry import (
+    MAX_TELEMETRY_SAMPLES,
+    StepEvent,
+    TelemetryRecorder,
+    TelemetrySample,
+    TelemetrySeries,
+)
+from repro.obs.timeline import BLOCKS, render_timeline, resample, sparkline
+from repro.obs.tracer import (
+    CAT_HANDOFF,
+    CAT_REQUEST,
+    CAT_STEP,
+    NULL_TRACER,
+    ChromeTracer,
+    Tracer,
+    trace_request,
+    validate_trace,
+)
+
+__all__ = [
+    "BLOCKS",
+    "CAT_HANDOFF",
+    "CAT_REQUEST",
+    "CAT_STEP",
+    "ChromeTracer",
+    "MAX_TELEMETRY_SAMPLES",
+    "NULL_TRACER",
+    "Profiler",
+    "StepEvent",
+    "TelemetryRecorder",
+    "TelemetrySample",
+    "TelemetrySeries",
+    "Tracer",
+    "render_timeline",
+    "resample",
+    "sparkline",
+    "trace_request",
+    "validate_trace",
+]

@@ -1,0 +1,101 @@
+"""ASCII timelines for stored telemetry (``llamcat timeline``).
+
+Renders a :class:`~repro.obs.telemetry.TelemetrySeries` as sparkline rows --
+one row per metric, one glyph per (resampled) interval -- so a run's
+utilization and queueing behaviour can be eyeballed straight from the JSONL
+result store without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.obs.telemetry import TelemetrySeries
+
+#: Eight-level block glyphs, lowest to highest.
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Default terminal width budget for the sparkline itself.
+DEFAULT_WIDTH = 72
+
+#: Metrics rendered by default, with row labels.
+DEFAULT_METRICS = (
+    ("utilization", "util"),
+    ("queue_depth", "queue"),
+    ("running", "batch"),
+    ("tokens_per_s", "tok/s"),
+)
+
+
+def resample(values: list[float], width: int) -> list[float]:
+    """Reduce ``values`` to at most ``width`` points by averaging runs.
+
+    Keeps the series' shape (each output point is the mean of a contiguous
+    chunk) so long runs still fit one terminal row.
+    """
+
+    if width <= 0:
+        raise ConfigError(f"timeline width must be positive, got {width}")
+    n = len(values)
+    if n <= width:
+        return list(values)
+    out = []
+    for k in range(width):
+        lo = k * n // width
+        hi = max(lo + 1, (k + 1) * n // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def sparkline(values: list[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Map ``values`` onto :data:`BLOCKS`, scaled to [lo, hi].
+
+    Bounds default to the data's own min/max; a flat series renders as the
+    lowest glyph.
+    """
+
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return BLOCKS[0] * len(values)
+    top = len(BLOCKS) - 1
+    return "".join(
+        BLOCKS[min(top, max(0, int((v - lo) / span * top + 0.5)))] for v in values
+    )
+
+
+def render_timeline(
+    series: TelemetrySeries,
+    metrics: tuple[tuple[str, str], ...] = DEFAULT_METRICS,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Render a telemetry series as labelled sparkline rows.
+
+    Each row shows the metric's sparkline plus its min/mean/max; utilization
+    rows are pinned to the [0, 1] scale so full-width blocks always mean a
+    saturated replica.
+    """
+
+    if not series.samples:
+        return "timeline: series holds no samples"
+    header = (
+        f"timeline: {series.num_samples} samples x {series.interval_s:g}s"
+        f" from t={series.t0_s:g}s"
+        f" ({series.num_replicas} replica{'s' if series.num_replicas != 1 else ''})"
+    )
+    label_width = max(len(label) for _, label in metrics)
+    lines = [header]
+    for metric, label in metrics:
+        values = [float(v) for v in series.series(metric)]
+        points = resample(values, width)
+        pinned = metric == "utilization" or metric.startswith("util:")
+        row = sparkline(points, lo=0.0 if pinned else None, hi=1.0 if pinned else None)
+        mean = sum(values) / len(values)
+        lines.append(
+            f"{label:>{label_width}} |{row}|"
+            f" min {min(values):g} mean {mean:.3g} max {max(values):g}"
+        )
+    return "\n".join(lines)

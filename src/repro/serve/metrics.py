@@ -18,6 +18,7 @@ from typing import ClassVar
 
 from repro.common.errors import ConfigError
 from repro.common.mathutils import percentile, safe_div, weighted_mean
+from repro.obs.telemetry import TelemetrySeries
 
 #: The percentile points every summary reports.
 REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
@@ -175,6 +176,10 @@ class ServeMetrics:
     requests: tuple[RequestMetrics, ...] = ()
     slo: ServeSLO = field(default_factory=ServeSLO)
     meta: dict = field(default_factory=dict)
+    #: Optional fixed-cadence time series; None unless the run sampled
+    #: telemetry, and omitted from serialization when None so pre-telemetry
+    #: metrics dicts (and golden fixtures) stay bit-for-bit identical.
+    telemetry: TelemetrySeries | None = None
 
     # -- per-request series ------------------------------------------------------------
     @property
@@ -306,7 +311,7 @@ class ServeMetrics:
         along under ``"metrics"`` and are recomputed on demand after a reload.
         """
 
-        return {
+        data = {
             "label": self.label,
             "workload": self.workload,
             "frequency_ghz": self.frequency_ghz,
@@ -318,6 +323,9 @@ class ServeMetrics:
             "meta": dict(self.meta),
             "metrics": self.headline_metrics(),
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServeMetrics":
@@ -331,6 +339,11 @@ class ServeMetrics:
             requests=tuple(RequestMetrics.from_dict(r) for r in data["requests"]),
             slo=ServeSLO.from_dict(data.get("slo", {})),
             meta=dict(data.get("meta", {})),
+            telemetry=(
+                TelemetrySeries.from_dict(data["telemetry"])
+                if data.get("telemetry") is not None
+                else None
+            ),
         )
 
     def with_label(self, label: str) -> "ServeMetrics":

@@ -86,6 +86,10 @@ class ServeScenario:
     slo_ttft_ms: float | None = None
     slo_latency_ms: float | None = None
     max_cycles: int | None = None
+    #: Telemetry sampling cadence in simulated milliseconds; None disables
+    #: sampling.  Serialized only when set, so pre-telemetry scenario hashes
+    #: (and store resume) stay valid.
+    telemetry_ms: float | None = None
     #: Display label (defaults to "<policy>@<arrival>"); never part of the key.
     label: str | None = None
 
@@ -99,6 +103,8 @@ class ServeScenario:
             raise ConfigError(f"max_batch must be positive, got {self.max_batch}")
         if self.prefill_chunk <= 0:
             raise ConfigError(f"prefill_chunk must be positive, got {self.prefill_chunk}")
+        if self.telemetry_ms is not None and self.telemetry_ms <= 0:
+            raise ConfigError(f"telemetry_ms must be positive, got {self.telemetry_ms}")
         if not isinstance(self.tier, ScaleTier):
             raise ConfigError(f"tier must be a ScaleTier, got {self.tier!r}")
         self.slo().validate()
@@ -167,7 +173,7 @@ class ServeScenario:
             "slo_latency_ms": self.slo_latency_ms,
             "max_cycles": self.max_cycles,
             "label": self.label,
-        }
+        } | ({} if self.telemetry_ms is None else {"telemetry_ms": self.telemetry_ms})
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServeScenario":
@@ -193,6 +199,7 @@ class ServeScenario:
             slo_ttft_ms=data.get("slo_ttft_ms"),
             slo_latency_ms=data.get("slo_latency_ms"),
             max_cycles=data.get("max_cycles"),
+            telemetry_ms=data.get("telemetry_ms"),
             label=data.get("label"),
         )
 
@@ -226,9 +233,10 @@ class ServeScenario:
             slo=self.slo(),
             label=self.display_label,
             workload_name=self.workload,
+            telemetry_ms=self.telemetry_ms,
         )
 
-    def run(self) -> ServeMetrics:
+    def run(self, tracer=None, profiler=None) -> ServeMetrics:
         """Simulate this serving point and return its metrics.
 
         Long-lived processes run many scenarios back to back, so each run ends
@@ -238,12 +246,28 @@ class ServeScenario:
         whatever runs next.  Within the run itself, traces are still shared
         through :func:`~repro.sim.runner.cached_trace` and the memoized step
         table.
+
+        ``tracer`` receives the run's event timeline (None keeps the
+        zero-overhead null tracer); ``profiler`` (a
+        :class:`~repro.obs.profile.Profiler`) accumulates the run's wall-clock
+        profile -- both are side channels that never influence the metrics.
         """
 
+        simulator = self.build_simulator()
         try:
-            return self.build_simulator().run()
+            metrics = simulator.run(tracer=tracer)
         finally:
             clear_trace_cache()
+        if profiler is not None:
+            step_cost = simulator.profile.get("step_cost", {})
+            if step_cost:
+                profiler.add(
+                    "serve.step_cost_build",
+                    step_cost.get("build_wall_s", 0.0),
+                    calls=step_cost.get("misses", 0),
+                )
+                profiler.count("serve.step_cost_hit", step_cost.get("hits", 0))
+        return metrics
 
 
 def run_serve_scenario(scenario: ServeScenario) -> ServeMetrics:

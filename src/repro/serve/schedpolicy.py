@@ -82,6 +82,18 @@ class StepPlan:
 
         return max(active.context_tokens for active in self.decode)
 
+    def trace_args(self) -> dict:
+        """The plan's composition as trace-event args (for step spans)."""
+
+        args: dict = {"decode": len(self.decode)}
+        if self.decode:
+            args["decode_context"] = self.decode_context()
+        if self.prefill:
+            args["prefill_reqs"] = len(self.prefill)
+            args["prefill_tokens"] = self.prefill_tokens
+            args["prefill_context"] = self.prefill_context()
+        return args
+
 
 class SchedulerPolicy:
     """Base class: plan one iteration over the running batch."""

@@ -24,7 +24,11 @@ bit-for-bit.
 
 from __future__ import annotations
 
+import logging
+
 from repro.common.errors import ConfigError
+from repro.obs.telemetry import TelemetryRecorder
+from repro.obs.tracer import CAT_STEP, NULL_TRACER, Tracer, trace_request
 from repro.serve.arrival import ArrivalProcess
 from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
 from repro.serve.schedpolicy import DecodeFirstPolicy, SchedulerPolicy, StepPlan
@@ -40,6 +44,11 @@ from repro.serve.stepcost import StepCostModel
 #: Hard cap on scheduler iterations -- a guard against a stream that can never
 #: drain (e.g. a zero-cost model paired with an infinite closed loop).
 MAX_STEPS = 10_000_000
+
+#: Trace pid of the per-request swimlanes (the accelerator itself is pid 0).
+REQUESTS_PID = 1
+
+logger = logging.getLogger(__name__)
 
 
 def plan_cycles(
@@ -126,9 +135,12 @@ class ServingSimulator:
         slo: ServeSLO | None = None,
         label: str = "serve",
         workload_name: str = "workload",
+        telemetry_ms: float | None = None,
     ) -> None:
         if frequency_ghz <= 0:
             raise ConfigError(f"frequency_ghz must be positive, got {frequency_ghz}")
+        if telemetry_ms is not None and telemetry_ms <= 0:
+            raise ConfigError(f"telemetry_ms must be positive, got {telemetry_ms}")
         self.arrival = arrival
         self.cost_model = cost_model
         self.frequency_ghz = frequency_ghz
@@ -137,11 +149,25 @@ class ServingSimulator:
         self.slo = (slo if slo is not None else ServeSLO()).validate()
         self.label = label
         self.workload_name = workload_name
+        self.telemetry_ms = telemetry_ms
+        #: Wall-clock profile of the run's hot paths (step-cost table builds);
+        #: populated by :meth:`run`, never serialized into metrics.
+        self.profile: dict = {}
 
     def _cycles_to_seconds(self, cycles: int) -> float:
         return cycles / (self.frequency_ghz * 1e9)
 
-    def run(self) -> ServeMetrics:
+    def run(self, tracer: Tracer | None = None) -> ServeMetrics:
+        tracer = NULL_TRACER if tracer is None else tracer
+        recorder = (
+            TelemetryRecorder(interval_s=self.telemetry_ms * 1e-3, num_replicas=1)
+            if self.telemetry_ms is not None
+            else None
+        )
+        if tracer.enabled:
+            tracer.name_process(0, f"accelerator [{self.label}]")
+            tracer.name_thread(0, 0, "scheduler")
+            tracer.name_process(REQUESTS_PID, "requests")
         scheduler = ContinuousBatchScheduler(config=self.batch_config)
         for request in self.arrival.initial():
             scheduler.enqueue(request.validate())
@@ -162,6 +188,8 @@ class ServingSimulator:
             scheduler.admit(now_s)
             if not scheduler.running:
                 # Idle: jump straight to the next arrival.
+                if recorder is not None:
+                    recorder.observe(0, now_s, len(scheduler.waiting), 0)
                 next_arrival = scheduler.next_arrival_s()
                 assert next_arrival is not None  # has_work and nothing running
                 now_s = max(now_s, next_arrival)
@@ -194,10 +222,27 @@ class ServingSimulator:
             if plan.prefill:
                 prefill_steps += 1
                 prefill_tokens += plan.prefill_tokens
+            step_start_s = now_s
+            queue_depth = len(scheduler.waiting)
+            running = len(scheduler.running)
             now_s += self._cycles_to_seconds(cycles)
+            if tracer.enabled:
+                args = plan.trace_args()
+                args["cycles"] = cycles
+                if plan.decode:
+                    args["seq_bucket"] = bucket_context(
+                        plan.decode_context(), self.batch_config.seq_bucket_floor
+                    )
+                tracer.complete("step", CAT_STEP, 0, 0, step_start_s, now_s, args=args)
+            if recorder is not None:
+                recorder.on_step(
+                    0, step_start_s, now_s, queue_depth, running, len(plan.decode)
+                )
 
             for active, record in complete_step(scheduler, plan, now_s):
                 completed.append(record)
+                if tracer.enabled:
+                    trace_request(tracer, record, REQUESTS_PID)
                 follow_up = self.arrival.on_complete(active.request, now_s)
                 if follow_up is not None:
                     scheduler.enqueue(follow_up.validate())
@@ -219,6 +264,14 @@ class ServingSimulator:
         if table_size is not None:
             meta["step_cost_entries"] = table_size
             meta["step_simulations"] = getattr(self.cost_model, "simulations", table_size)
+        self.profile = {"step_cost": self.cost_model.profile()}
+        logger.debug(
+            "serve run [%s]: %d steps, %d requests, step_cost=%s",
+            self.label, steps, len(completed), self.profile["step_cost"],
+        )
+        telemetry = (
+            recorder.build(first_arrival_s, now_s) if recorder is not None else None
+        )
         return ServeMetrics(
             label=self.label,
             workload=self.workload_name,
@@ -229,4 +282,5 @@ class ServingSimulator:
             requests=tuple(completed),
             slo=self.slo,
             meta=meta,
+            telemetry=telemetry,
         )

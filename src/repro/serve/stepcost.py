@@ -20,6 +20,7 @@ shared through :func:`~repro.sim.runner.cached_trace`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 from repro.common.errors import ConfigError
@@ -60,6 +61,11 @@ class StepCostModel:
 
     def prefill_cycles(self, tokens: int, context_tokens: int) -> int:
         raise NotImplementedError
+
+    def profile(self) -> dict:
+        """Wall-clock/hit-rate introspection; analytical models have none."""
+
+        return {}
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,6 +139,10 @@ class SimStepCostModel(StepCostModel):
         #: Cycle-engine runs actually performed (table misses); fidelity /
         #: performance introspection for tests and the CLI.
         self.simulations = 0
+        #: Table lookups answered without a cycle-engine run.
+        self.hits = 0
+        #: Wall-clock seconds spent inside the cycle engine filling the table.
+        self.build_wall_s = 0.0
 
     def batched_workload(self, batch: int, context_tokens: int) -> WorkloadConfig:
         """The effective workload of one step: B*H KV heads at the seq bucket.
@@ -172,6 +182,7 @@ class SimStepCostModel(StepCostModel):
         key = self._step_key(step_workload, batch)
         cycles = self._table.get(key)
         if cycles is None:
+            build_start = time.perf_counter()
             trace = cached_trace(step_workload, self.system, self.ordering, self.constraints)
             kwargs = {} if self.max_cycles is None else {"max_cycles": self.max_cycles}
             result = simulate(
@@ -184,6 +195,9 @@ class SimStepCostModel(StepCostModel):
             cycles = result.cycles
             self._table[key] = cycles
             self.simulations += 1
+            self.build_wall_s += time.perf_counter() - build_start
+        else:
+            self.hits += 1
         return cycles
 
     def prefill_chunk_blocks(self, tokens: int) -> int:
@@ -229,3 +243,19 @@ class SimStepCostModel(StepCostModel):
         """Distinct (batch, seq-bucket) shapes simulated so far."""
 
         return len(self._table)
+
+    def profile(self) -> dict:
+        """Where the model's wall clock went: table builds vs. lookups.
+
+        ``misses`` equals :attr:`simulations`; ``build_wall_s`` is the real
+        time spent inside the cycle engine.  Wall-clock figures never enter
+        metrics objects -- they are surfaced via simulator ``profile``
+        attributes and debug logging only.
+        """
+
+        return {
+            "entries": self.table_size,
+            "hits": self.hits,
+            "misses": self.simulations,
+            "build_wall_s": self.build_wall_s,
+        }

@@ -96,6 +96,9 @@ class ServeSweepSpec:
     slo_ttft_ms: float | None = None
     slo_latency_ms: float | None = None
     max_cycles: int | None = None
+    #: Telemetry sampling cadence (simulated ms) applied to every point; None
+    #: keeps sampling off and every point's content hash pre-telemetry.
+    telemetry_ms: float | None = None
 
     def validate(self) -> "ServeSweepSpec":
         for axis in ("workloads", "rates", "arrivals", "schedulers",
@@ -119,6 +122,8 @@ class ServeSweepSpec:
             raise ConfigError("num_requests must be positive")
         if self.max_batch <= 0:
             raise ConfigError("max_batch must be positive")
+        if self.telemetry_ms is not None and self.telemetry_ms <= 0:
+            raise ConfigError("telemetry_ms must be positive")
         return self
 
     @property
@@ -151,6 +156,7 @@ class ServeSweepSpec:
                 slo_ttft_ms=self.slo_ttft_ms,
                 slo_latency_ms=self.slo_latency_ms,
                 max_cycles=self.max_cycles,
+                telemetry_ms=self.telemetry_ms,
             )
             for workload in self.workloads
             for arrival in self.arrivals
@@ -203,6 +209,7 @@ class ServeSweepSpec:
             "slo_ttft_ms": self.slo_ttft_ms,
             "slo_latency_ms": self.slo_latency_ms,
             "max_cycles": self.max_cycles,
+            "telemetry_ms": self.telemetry_ms,
         }
 
     @classmethod
@@ -225,4 +232,5 @@ class ServeSweepSpec:
             slo_ttft_ms=data.get("slo_ttft_ms"),
             slo_latency_ms=data.get("slo_latency_ms"),
             max_cycles=data.get("max_cycles"),
+            telemetry_ms=data.get("telemetry_ms"),
         ).validate()

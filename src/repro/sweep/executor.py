@@ -17,6 +17,7 @@ re-simulation.
 
 from __future__ import annotations
 
+import logging
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -36,6 +37,8 @@ if TYPE_CHECKING:
 
 #: progress(done, total, outcome) -- invoked after every finished point.
 ProgressCallback = Callable[[int, int, "PointOutcome"], None]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,6 +121,24 @@ class SweepReport:
             f"in {self.elapsed_s:.1f}s (jobs={self.jobs})"
         )
 
+    def profile(self) -> dict:
+        """Where the sweep's wall clock went, as profile-dict sections.
+
+        ``sweep.execute`` sums the per-point execution time (which exceeds
+        ``sweep.total`` when points ran in parallel); ``sweep.cached`` counts
+        the points answered from the store without simulation.
+        """
+
+        executed = [o for o in self.outcomes if not o.cached]
+        return {
+            "sweep.total": {"wall_s": self.elapsed_s, "calls": 1},
+            "sweep.execute": {
+                "wall_s": sum(o.elapsed_s for o in executed),
+                "calls": len(executed),
+            },
+            "sweep.cached": {"wall_s": 0.0, "calls": self.num_cached},
+        }
+
 
 def _execute_point(point: SweepPoint) -> "tuple[PointResult | None, str | None, float]":
     """Worker entry point: run one point's ``execute()``, capturing any failure."""
@@ -174,6 +195,10 @@ def run_sweep(
             outcome = PointOutcome(point, labelled, error, cached, elapsed_s)
             outcomes[i] = outcome
             done += 1
+            status = "cached" if cached else ("ok" if outcome.ok else "failed")
+            logger.debug(
+                "[%d/%d] %s: %s (%.2fs)", done, total, status, point.label, elapsed_s
+            )
             if progress is not None:
                 progress(done, total, outcome)
 
@@ -199,6 +224,13 @@ def run_sweep(
             store.put(point, result=result, error=error, elapsed_s=elapsed_s)
         finish(indices, result, error, False, elapsed_s)
 
+    logger.info(
+        "sweep: %d points (%d unique), %d pending after store reuse, jobs=%d",
+        total,
+        len(by_key),
+        len(pending),
+        jobs,
+    )
     if jobs == 1 or len(pending) <= 1:
         for point, indices in pending:
             record(point, indices, _execute_point(point))

@@ -154,6 +154,39 @@ class ResultStore:
     def records(self) -> Iterator[StoreRecord]:
         yield from self._records.values()
 
+    def find(self, prefix: str) -> StoreRecord:
+        """The unique record whose key starts with ``prefix`` (or whose label
+        equals it).
+
+        The CLI addresses stored results by abbreviated content hash, like git
+        addresses commits.  Raises :class:`KeyError` when nothing matches or
+        the abbreviation is ambiguous.
+        """
+
+        if not prefix:
+            raise KeyError("empty store key")
+        exact = self._records.get(prefix)
+        if exact is not None:
+            return exact
+        matches = [
+            record
+            for key, record in self._records.items()
+            if key.startswith(prefix)
+        ]
+        if not matches:
+            matches = [r for r in self._records.values() if r.label == prefix]
+        if not matches:
+            raise KeyError(
+                f"no stored result matches {prefix!r} "
+                f"({len(self._records)} records in {self.path})"
+            )
+        if len(matches) > 1:
+            raise KeyError(
+                f"{prefix!r} is ambiguous: matches "
+                f"{[m.key[:12] for m in matches]}"
+            )
+        return matches[0]
+
     @property
     def completed_count(self) -> int:
         """Successful records only (failure records are kept but never reused)."""

@@ -1,0 +1,51 @@
+"""Tests for the wall-clock profiler."""
+
+from __future__ import annotations
+
+from repro.obs.profile import Profiler
+
+
+class TestProfiler:
+    def test_section_accumulates_wall_time_and_calls(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.section("work"):
+                pass
+        data = profiler.as_dict()
+        assert data["work"]["calls"] == 3
+        assert data["work"]["wall_s"] >= 0.0
+
+    def test_add_and_count(self):
+        profiler = Profiler()
+        profiler.add("build", 0.5, calls=2)
+        profiler.add("build", 0.25, calls=1)
+        profiler.count("hit", 7)
+        data = profiler.as_dict()
+        assert data["build"] == {"wall_s": 0.75, "calls": 3}
+        assert data["hit"] == {"wall_s": 0.0, "calls": 7}
+
+    def test_merge_folds_profile_dicts(self):
+        profiler = Profiler()
+        profiler.add("a", 1.0)
+        profiler.merge({"a": {"wall_s": 0.5, "calls": 2}, "b": {"wall_s": 0.1, "calls": 1}})
+        data = profiler.as_dict()
+        assert data["a"] == {"wall_s": 1.5, "calls": 3}
+        assert data["b"] == {"wall_s": 0.1, "calls": 1}
+
+    def test_as_dict_is_sorted(self):
+        profiler = Profiler()
+        profiler.count("zeta")
+        profiler.count("alpha")
+        assert list(profiler.as_dict()) == ["alpha", "zeta"]
+
+    def test_summary_lists_slowest_first(self):
+        profiler = Profiler()
+        profiler.add("fast", 0.001)
+        profiler.add("slow", 1.0)
+        lines = profiler.summary().splitlines()
+        assert lines[0] == "profile (wall clock):"
+        assert "slow" in lines[1]
+        assert "fast" in lines[2]
+
+    def test_empty_summary(self):
+        assert Profiler().summary() == "profile: no sections recorded"

@@ -1,0 +1,72 @@
+"""Tests for the ASCII timeline renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.telemetry import TelemetrySample, TelemetrySeries
+from repro.obs.timeline import BLOCKS, render_timeline, resample, sparkline
+
+
+class TestResample:
+    def test_short_series_passes_through(self):
+        assert resample([1.0, 2.0], 10) == [1.0, 2.0]
+
+    def test_long_series_chunk_averages(self):
+        values = [0.0, 2.0, 4.0, 6.0]
+        assert resample(values, 2) == [1.0, 5.0]
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            resample([1.0], 0)
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_lowest_glyph(self):
+        assert sparkline([3.0, 3.0, 3.0]) == BLOCKS[0] * 3
+
+    def test_min_and_max_map_to_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == BLOCKS[0]
+        assert line[-1] == BLOCKS[-1]
+
+    def test_explicit_bounds_pin_the_scale(self):
+        # Half utilization on a [0, 1] scale lands mid-palette.
+        line = sparkline([0.5], lo=0.0, hi=1.0)
+        assert line == BLOCKS[4]
+
+
+class TestRenderTimeline:
+    def _series(self) -> TelemetrySeries:
+        return TelemetrySeries(
+            interval_s=1.0,
+            t0_s=0.0,
+            num_replicas=1,
+            samples=(
+                TelemetrySample(1.0, 1.0, 4, 2, 10, (0.5,)),
+                TelemetrySample(2.0, 1.0, 0, 1, 20, (1.0,)),
+            ),
+        )
+
+    def test_renders_header_and_rows(self):
+        text = render_timeline(self._series())
+        lines = text.splitlines()
+        assert "2 samples x 1s" in lines[0]
+        assert "(1 replica)" in lines[0]
+        labels = [line.split("|")[0].strip() for line in lines[1:]]
+        assert labels == ["util", "queue", "batch", "tok/s"]
+        assert "min 0 mean 2 max 4" in lines[2]        # queue row
+
+    def test_custom_metrics_and_width(self):
+        text = render_timeline(
+            self._series(), metrics=(("util:0", "r0"),), width=8
+        )
+        assert text.splitlines()[1].startswith("r0 |")
+
+    def test_empty_series_renders_placeholder(self):
+        empty = TelemetrySeries(interval_s=1.0, t0_s=0.0, num_replicas=1)
+        assert "no samples" in render_timeline(empty)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -196,6 +197,44 @@ class TestMixedKinds:
         assert isinstance(restored, SimResult)
         assert restored == sim_result
 
+    def test_pre_telemetry_serve_record_still_loads(
+        self, tmp_path, serve_point, serve_metrics
+    ):
+        # Serve/cluster records written before the optional "telemetry" field
+        # existed simply lack the key; they must load with telemetry None.
+        from repro.serve.metrics import ServeMetrics
+
+        path = tmp_path / "pre_telemetry.jsonl"
+        ResultStore(path).put(serve_point, result=serve_metrics)
+        payload = json.loads(path.read_text().splitlines()[0])
+        assert "telemetry" not in payload["result"]
+
+        restored = ResultStore(path).result_for(serve_point)
+        assert isinstance(restored, ServeMetrics)
+        assert restored.telemetry is None
+        assert restored == serve_metrics
+
+    def test_telemetry_bearing_serve_record_round_trips(
+        self, tmp_path, serve_point, serve_metrics
+    ):
+        from dataclasses import replace
+
+        from repro.obs.telemetry import TelemetrySample, TelemetrySeries
+
+        series = TelemetrySeries(
+            interval_s=0.5,
+            t0_s=0.0,
+            num_replicas=1,
+            samples=(TelemetrySample(0.5, 0.5, 2, 1, 8, (0.25,)),),
+        )
+        sampled = replace(serve_metrics, telemetry=series)
+        path = tmp_path / "telemetry.jsonl"
+        ResultStore(path).put(serve_point, result=sampled)
+
+        restored = ResultStore(path).result_for(serve_point)
+        assert restored.telemetry == series
+        assert restored == sampled
+
     def test_unknown_kind_line_is_skipped(self, tmp_path, tiny_points, sim_result):
         path = tmp_path / "future.jsonl"
         store = ResultStore(path)
@@ -209,3 +248,62 @@ class TestMixedKinds:
         reloaded = ResultStore(path)
         assert reloaded.skipped_lines == 1             # the unknown kind
         assert reloaded.result_for(tiny_points[0]) is not None
+
+
+class TestFind:
+    """Git-style abbreviated lookup for ``llamcat timeline``."""
+
+    @pytest.fixture()
+    def store(self, tmp_path, tiny_points, sim_result) -> ResultStore:
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.put(tiny_points[0], result=sim_result, elapsed_s=0.1)
+        store.put(tiny_points[1], result=sim_result, elapsed_s=0.2)
+        return store
+
+    def test_exact_key_wins(self, store, tiny_points):
+        key = tiny_points[0].key()
+        assert store.find(key).key == key
+
+    def test_unique_prefix_resolves(self, store, tiny_points):
+        key = tiny_points[0].key()
+        for n in range(4, 12):
+            prefix = key[:n]
+            others = [p.key() for p in tiny_points[1:2]]
+            if any(o.startswith(prefix) for o in others):
+                continue
+            assert store.find(prefix).key == key
+            break
+        else:
+            pytest.skip("tiny points share an improbably long key prefix")
+
+    def test_label_resolves(self, store, tiny_points):
+        record = store.find(tiny_points[0].label)
+        assert record.label == tiny_points[0].label
+
+    def test_empty_prefix_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.find("")
+
+    def test_missing_prefix_rejected(self, store):
+        with pytest.raises(KeyError, match="no stored result"):
+            store.find("zzzz-no-such-key")
+
+    def test_ambiguous_prefix_rejected(self, tmp_path, tiny_points, sim_result):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.put(tiny_points[0], result=sim_result)
+        store.put(tiny_points[1], result=sim_result)
+        keys = [p.key() for p in tiny_points[:2]]
+        common = os.path.commonprefix(keys)
+        if common:
+            with pytest.raises(KeyError, match="ambiguous"):
+                store.find(common)
+
+    def test_ambiguous_label_rejected(self, tmp_path, tiny_points, sim_result):
+        # tiny_points[0] and [2] share the label but differ in seq_len (and
+        # therefore in key), so a label lookup cannot pick one.
+        store = ResultStore(tmp_path / "results.jsonl")
+        assert tiny_points[0].label == tiny_points[2].label
+        store.put(tiny_points[0], result=sim_result)
+        store.put(tiny_points[2], result=sim_result)
+        with pytest.raises(KeyError, match="ambiguous"):
+            store.find(tiny_points[0].label)

@@ -379,3 +379,119 @@ class TestInfoAndHwcost:
         out = capsys.readouterr().out
         assert "arbiter" in out
         assert "hit_buffer" in out
+
+
+class TestObservabilityFlags:
+    SERVE = ["serve", "--smoke", "--seed", "0"]
+
+    def test_obs_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--trace-out", "t.json", "--telemetry", "2.5"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.telemetry == 2.5
+        args = build_parser().parse_args(["cluster"])
+        assert args.trace_out is None and args.telemetry is None
+
+    def test_verbosity_flags_parse(self):
+        args = build_parser().parse_args(["-v", "serve"])
+        assert args.verbose == 1
+        args = build_parser().parse_args(["-q", "serve"])
+        assert args.log_quiet == 1
+
+    def test_serve_trace_out_writes_valid_deterministic_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*self.SERVE, "--trace-out", str(a)]) == 0
+        assert main([*self.SERVE, "--trace-out", str(b)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace: {b}" in out
+        assert a.read_bytes() == b.read_bytes()
+        assert validate_trace(json.loads(a.read_text())) > 0
+
+    def test_serve_telemetry_prints_timeline(self, capsys):
+        assert main([*self.SERVE, "--telemetry", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "util |" in out
+
+    def test_cluster_trace_and_telemetry(self, capsys, tmp_path):
+        trace = tmp_path / "cluster.json"
+        assert main(
+            ["cluster", "--smoke", "--seed", "0",
+             "--trace-out", str(trace), "--telemetry", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert trace.exists()
+        assert "timeline:" in out and "2 replicas" in out
+
+    def test_no_flags_output_is_unchanged_by_default(self, capsys):
+        # Without --trace-out/--telemetry the summary must not mention them.
+        assert main(self.SERVE) == 0
+        out = capsys.readouterr().out
+        assert "trace:" not in out
+        assert "timeline:" not in out
+
+    def test_sweep_telemetry_requires_serving_mode(self):
+        with pytest.raises(SystemExit, match="--serve"):
+            main(["sweep", "--telemetry", "2"])
+
+
+class TestTimelineCommand:
+    SWEEP = [
+        "sweep", "--serve", "--tier", "smoke", "--model", "llama3-70b",
+        "--rate", "2000", "--num-requests", "8", "--max-batch", "2",
+        "--telemetry", "2", "--quiet",
+    ]
+
+    def test_timeline_renders_stored_telemetry(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main([*self.SWEEP, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["timeline", store, "unopt@poisson@2000"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "util |" in out and "queue |" in out
+
+    def test_timeline_resolves_key_prefix(self, capsys, tmp_path):
+        from repro.sweep.store import ResultStore
+
+        store = str(tmp_path / "results.jsonl")
+        assert main([*self.SWEEP, "--store", store]) == 0
+        capsys.readouterr()
+        key = next(ResultStore(store).records()).key
+        assert main(["timeline", store, key[:8]]) == 0
+        assert key[:12] in capsys.readouterr().out
+
+    def test_timeline_custom_metric_and_width(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main([*self.SWEEP, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(
+            ["timeline", store, "unopt@poisson@2000",
+             "--metric", "tokens_per_s", "--width", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tokens_per_s |" in out
+        assert "queue" not in out
+
+    def test_timeline_without_telemetry_explains(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        i = self.SWEEP.index("--telemetry")
+        no_telemetry = self.SWEEP[:i] + self.SWEEP[i + 2:]
+        assert main([*no_telemetry, "--store", store]) == 0
+        with pytest.raises(SystemExit, match="--telemetry"):
+            main(["timeline", store, "unopt@poisson@2000"])
+
+    def test_timeline_missing_store_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["timeline", str(tmp_path / "nope.jsonl"), "whatever"])
+
+    def test_timeline_unknown_key_rejected(self, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main([*self.SWEEP, "--store", store]) == 0
+        with pytest.raises(SystemExit, match="no stored result"):
+            main(["timeline", store, "zzzz"])
