@@ -19,5 +19,5 @@ def test_fig9_cache_size_sweep(benchmark, tier, models):
         # The unoptimized configuration must benefit from growing the cache.
         assert unopt[-1] >= unopt[0] * 0.98
         # The paper's final policy never loses badly to unoptimized at any size.
-        paired = zip(series["dynmg+BMA"], unopt)
+        paired = zip(series["dynmg+BMA"], unopt, strict=True)
         assert all(bma > 0.9 * u for bma, u in paired)

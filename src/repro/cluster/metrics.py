@@ -279,13 +279,13 @@ class ClusterMetrics:
         if requests:
             latency = percentiles([r.latency_s for r in requests], REPORTED_PERCENTILES)
             ttft = percentiles([r.ttft_s for r in requests], REPORTED_PERCENTILES)
-            for point, lat_ms, ttft_ms in zip(REPORTED_PERCENTILES, latency, ttft):
+            for point, lat_ms, ttft_ms in zip(REPORTED_PERCENTILES, latency, ttft, strict=True):
                 out[f"latency_p{point:g}_ms"] = lat_ms * 1e3
                 out[f"ttft_p{point:g}_ms"] = ttft_ms * 1e3
         prefill_spans = [r.prefill_s for r in requests if r.prefill_s is not None]
         if prefill_spans:
             for point, span in zip(
-                REPORTED_PERCENTILES, percentiles(prefill_spans, REPORTED_PERCENTILES)
+                REPORTED_PERCENTILES, percentiles(prefill_spans, REPORTED_PERCENTILES), strict=True
             ):
                 out[f"prefill_p{point:g}_ms"] = span * 1e3
         if self.is_disaggregated:
@@ -335,7 +335,9 @@ class ClusterMetrics:
             "replicas": [replica.to_dict() for replica in self.replicas],
             "slo": self.slo.to_dict(),
             "meta": dict(self.meta),
-            "metrics": self.headline_metrics(),
+            # Derived ride-along block for humans/dashboards; recomputed from
+            # the replica records on load, so from_dict never reads it.
+            "metrics": self.headline_metrics(),  # repro: noqa[SER001]
         }
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry.to_dict()

@@ -358,7 +358,7 @@ class ClusterScenario:
                     else scheduler_builder(prefill_chunk=self.prefill_chunk)
                 ),
             )
-            for i, (name, role) in enumerate(zip(self.replica_systems(), roles))
+            for i, (name, role) in enumerate(zip(self.replica_systems(), roles, strict=True))
         ]
         return ClusterSimulator(
             arrival=arrival,

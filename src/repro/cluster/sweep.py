@@ -55,7 +55,8 @@ class ClusterPoint:
         """Content hash identifying this cluster simulation (labels excluded)."""
 
         if self._key is None:
-            object.__setattr__(self, "_key", self.scenario.key())
+            # Lazy memo of a derived field (compare=False): identity unchanged.
+            object.__setattr__(self, "_key", self.scenario.key())  # repro: noqa[API001]
         return self._key
 
     def coord(self, axis: str, default=None):

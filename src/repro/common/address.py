@@ -10,6 +10,7 @@ memory access consults them several times).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.errors import ConfigError
 
@@ -70,7 +71,7 @@ class AddressMap:
             )
         return ((addr >> self._line_shift) >> self._slice_shift) & (sets_per_slice - 1)
 
-    def set_index_fn(self, sets_per_slice: int):
+    def set_index_fn(self, sets_per_slice: int) -> Callable[[int], int]:
         """Return a fast closure computing :meth:`set_index` for a fixed set count."""
 
         if not is_power_of_two(sets_per_slice):

@@ -8,7 +8,7 @@ capacity accounting and occupancy statistics uniform.
 from __future__ import annotations
 
 from collections import deque
-from typing import Generic, Iterable, Iterator, Optional, TypeVar
+from typing import Callable, Generic, Iterable, Iterator, Optional, TypeVar
 
 T = TypeVar("T")
 
@@ -109,7 +109,7 @@ class BoundedFifo(Generic[T]):
     def __iter__(self) -> Iterator[T]:
         return iter(self._items)
 
-    def find(self, predicate) -> Optional[int]:
+    def find(self, predicate: Callable[[T], bool]) -> Optional[int]:
         """Return the index of the first element satisfying ``predicate``."""
 
         for i, item in enumerate(self._items):

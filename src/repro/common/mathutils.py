@@ -72,7 +72,7 @@ def weighted_mean(values: Iterable[float], weights: Iterable[float]) -> float:
     total = sum(wts)
     if total == 0:
         raise ValueError("weighted_mean requires at least one positive weight")
-    return sum(v * w for v, w in zip(vals, wts)) / total
+    return sum(v * w for v, w in zip(vals, wts, strict=True)) / total
 
 
 def percentile(values: Sequence[float], point: float) -> float:

@@ -1,9 +1,9 @@
 """Shared sliced last-level cache: storage, MSHR, queues and the slice pipeline."""
 
+from repro.llc.llc import SlicedLLC
 from repro.llc.mshr import MshrEntry, MshrFile
 from repro.llc.slice import LLCSlice
 from repro.llc.storage import CacheStorage, EvictedLine
-from repro.llc.llc import SlicedLLC
 
 __all__ = [
     "CacheStorage",

@@ -321,7 +321,9 @@ class ServeMetrics:
             "requests": [r.to_dict() for r in self.requests],
             "slo": self.slo.to_dict(),
             "meta": dict(self.meta),
-            "metrics": self.headline_metrics(),
+            # Derived ride-along block for humans/dashboards; recomputed from
+            # the request records on load, so from_dict never reads it.
+            "metrics": self.headline_metrics(),  # repro: noqa[SER001]
         }
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry.to_dict()

@@ -147,7 +147,9 @@ class SimResult:
             "noc_requests": self.noc_requests,
             "noc_responses": self.noc_responses,
             "meta": dict(self.meta),
-            "metrics": self.headline_metrics(),
+            # Derived ride-along block for humans/dashboards; recomputed from
+            # the component stats on load, so from_dict never reads it.
+            "metrics": self.headline_metrics(),  # repro: noqa[SER001]
         }
 
     @classmethod

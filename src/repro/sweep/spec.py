@@ -19,7 +19,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field, fields, is_dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.common.errors import ConfigError
 from repro.config.policies import PolicyConfig
@@ -31,6 +31,9 @@ from repro.dataflow.constraints import DataflowConstraints
 from repro.dataflow.ordering import ThreadBlockOrdering, parse_ordering
 from repro.registry import WORKLOADS, resolve_policy, resolve_workload
 
+if TYPE_CHECKING:  # deferred at runtime: keeps the spec module import-light
+    from repro.sim.results import SimResult
+
 
 def workload_for(model: str, seq_len: int) -> WorkloadConfig:
     """Build the registered workload ``model`` at ``seq_len`` (registry lookup)."""
@@ -38,7 +41,7 @@ def workload_for(model: str, seq_len: int) -> WorkloadConfig:
     return resolve_workload(model, seq_len)
 
 
-def config_to_jsonable(obj):
+def config_to_jsonable(obj: Any) -> Any:
     """Recursively convert nested (frozen) config dataclasses to JSON-able data."""
 
     if is_dataclass(obj) and not isinstance(obj, type):
@@ -97,10 +100,12 @@ class SweepPoint:
 
         if self._key is None:
             canonical = json.dumps(self.config_dict(), sort_keys=True, separators=(",", ":"))
-            object.__setattr__(self, "_key", hashlib.sha256(canonical.encode()).hexdigest())
+            # Lazy memo of a derived field: _key is compare=False/init=False,
+            # so the point's identity (the hashed config) never changes.
+            object.__setattr__(self, "_key", hashlib.sha256(canonical.encode()).hexdigest())  # repro: noqa[API001]
         return self._key
 
-    def coord(self, axis: str, default=None):
+    def coord(self, axis: str, default: Any = None) -> Any:
         for name, value in self.coords:
             if name == axis:
                 return value
@@ -114,7 +119,7 @@ class SweepPoint:
             f"L2={l2_mib:g}MiB policy={self.policy.label}"
         )
 
-    def execute(self):
+    def execute(self) -> "SimResult":
         """Simulate this point (the executor's uniform worker entry point).
 
         Every sweepable point type (this class, serve points, ...) exposes

@@ -37,7 +37,7 @@ RESULT_KINDS = {
 }
 
 
-def result_class(kind: str):
+def result_class(kind: str) -> type:
     """The result class registered for ``kind`` (lazy import by dotted path)."""
 
     try:
@@ -50,7 +50,7 @@ def result_class(kind: str):
     return getattr(importlib.import_module(module), attr)
 
 
-def result_kind_of(result) -> str:
+def result_kind_of(result: object) -> str:
     """The kind tag of a result object (``result_kind`` attribute, "sim" default)."""
 
     return getattr(type(result), "result_kind", "sim")

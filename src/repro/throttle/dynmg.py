@@ -63,7 +63,7 @@ class DynMgController(ThrottleController):
         count = self.state.throttled_core_count(len(self.cores))
 
         progress = self.llc.progress_by_core()
-        deltas = [p - last for p, last in zip(progress, self._last_progress)]
+        deltas = [p - last for p, last in zip(progress, self._last_progress, strict=True)]
         self._last_progress = progress
 
         # Throttle the cores that made the most progress during the last period.

@@ -12,8 +12,8 @@ configuration on decode-stage attention (§6.3.1).
 from __future__ import annotations
 
 from repro.common.mathutils import clamp
-from repro.throttle.base import ThrottleController
 from repro.config.policies import LcsParams
+from repro.throttle.base import ThrottleController
 
 
 class LcsController(ThrottleController):

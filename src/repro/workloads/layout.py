@@ -57,7 +57,7 @@ class OperandLayout:
                 f"{self.name}: expected {len(self.shape)} indices, got {len(indices)}"
             )
         addr = self.base
-        for idx, extent, stride in zip(indices, self.shape, self.strides):
+        for idx, extent, stride in zip(indices, self.shape, self.strides, strict=True):
             if not 0 <= idx < extent:
                 raise ConfigError(
                     f"{self.name}: index {idx} out of range [0, {extent}) "

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import pytest
 
 from repro.api import Scenario, Simulation, scenario_matrix
@@ -69,7 +71,7 @@ class TestScenarioResolution:
 
 
 class TestScenarioRoundTrip:
-    CASES = [
+    CASES: ClassVar[list[Scenario]] = [
         Scenario(workload="llama3-70b"),
         Scenario(
             workload="llama3-405b-attend",

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cluster.simulator import ReplicaSim
 from repro.registry import SYSTEMS, WORKLOADS, register_system, register_workload
 from repro.serve.request import RequestSampler
 from repro.serve.scheduler import BatchConfig
 from repro.serve.stepcost import LinearStepCostModel
-from repro.cluster.simulator import ReplicaSim
 
 
 def linear_fleet(

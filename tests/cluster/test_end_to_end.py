@@ -2,12 +2,11 @@
 
 import pytest
 
+from repro.cluster import ClusterScenario, ClusterSimulator
 from repro.common.errors import ConfigError
 from repro.config.scale import ScaleTier
-from repro.cluster import ClusterScenario, ClusterSimulator
 from repro.registry import ROUTERS, resolve_router
 from repro.serve.arrival import closed_loop_arrivals, poisson_arrivals
-
 from tests.cluster.conftest import linear_fleet, make_sampler
 
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.common.errors import ConfigError
 from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
+from repro.common.errors import ConfigError
 from repro.serve.metrics import RequestMetrics, ServeSLO
 
 

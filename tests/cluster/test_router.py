@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.common.errors import ConfigError
 from repro.cluster.router import (
     JoinShortestQueueRouter,
     LeastOutstandingRouter,
     RoundRobinRouter,
     WeightedRouter,
 )
+from repro.common.errors import ConfigError
 from repro.registry import ROUTERS, register_router, resolve_router
 from repro.serve.request import Request
 

@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.cluster import ClusterSweepSpec
 from repro.common.errors import ConfigError
 from repro.config.scale import ScaleTier
-from repro.cluster import ClusterSweepSpec
 from repro.sweep.executor import run_sweep
 from repro.sweep.store import ResultStore
 

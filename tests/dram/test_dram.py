@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.rng import make_rng
 from repro.config.system import DramConfig, SystemConfig
 from repro.dram.system import DramSystem
 from repro.dram.timing import DramTiming
@@ -127,10 +128,8 @@ class TestBandwidthAndStats:
 
     def test_random_accesses_hit_rows_less_often(self):
         dram = make_dram()
-        import random
-
-        rng = random.Random(7)
-        lines = [rng.randrange(0, 1 << 30) // 64 * 64 for _ in range(256)]
+        rng = make_rng(7)
+        lines = [int(rng.integers(0, 1 << 30)) // 64 * 64 for _ in range(256)]
         cycle = 0
         pending = list(lines)
         completed = 0

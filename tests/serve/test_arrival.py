@@ -68,7 +68,7 @@ class TestBursty:
         # Within a burst the spacing is exactly the intra-burst gap.
         for start in (0, 4, 8):
             burst = times[start : start + 4]
-            gaps = [b - a for a, b in zip(burst, burst[1:])]
+            gaps = [b - a for a, b in zip(burst, burst[1:], strict=False)]
             assert all(g == pytest.approx(intra_gap) for g in gaps)
 
     def test_rejects_degenerate_factor(self):

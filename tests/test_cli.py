@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+from typing import ClassVar
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -42,7 +44,7 @@ class TestParser:
 
 
 class TestSweepCommand:
-    GRID = [
+    GRID: ClassVar[list[str]] = [
         "sweep", "--model", "llama3-70b", "--seq-len", "2048",
         "--policy", "unopt", "--policy", "dynmg",
         "--l2-mib", "16", "--tier", "ci",
@@ -382,7 +384,7 @@ class TestInfoAndHwcost:
 
 
 class TestObservabilityFlags:
-    SERVE = ["serve", "--smoke", "--seed", "0"]
+    SERVE: ClassVar[list[str]] = ["serve", "--smoke", "--seed", "0"]
 
     def test_obs_flags_parse(self):
         args = build_parser().parse_args(
@@ -441,7 +443,7 @@ class TestObservabilityFlags:
 
 
 class TestTimelineCommand:
-    SWEEP = [
+    SWEEP: ClassVar[list[str]] = [
         "sweep", "--serve", "--tier", "smoke", "--model", "llama3-70b",
         "--rate", "2000", "--num-requests", "8", "--max-batch", "2",
         "--telemetry", "2", "--quiet",

@@ -2,9 +2,12 @@
 
 import pytest
 
-from repro.config.policies import ContentionLevel, ContentionThresholds
+from repro.config.policies import (
+    ContentionLevel,
+    ContentionThresholds,
+    MultiGearParams,
+)
 from repro.throttle.multigear import MultiGearState
-from repro.config.policies import MultiGearParams
 
 
 class TestClassifierIntegration:
