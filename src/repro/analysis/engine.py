@@ -1,0 +1,445 @@
+"""The AST lint engine behind ``llamcat check``.
+
+A deliberately small framework over stdlib :mod:`ast` (no new dependencies):
+
+* **Rules** are classes registered in :data:`RULES` -- a
+  :class:`repro.registry.core.Registry`, the same decorator pattern every
+  other pluggable component of the stack uses -- keyed by their code
+  (``DET001``...).  A file rule inspects one parsed module; a
+  :class:`ProjectRule` sees every parsed module at once (cross-file
+  invariants such as registry-bootstrap coverage).
+* **Suppressions**: a ``# repro: noqa[CODE]`` (or ``noqa[A,B]``) comment on a
+  finding's line suppresses it.  Suppressions that suppress nothing are
+  themselves findings (:data:`UNUSED_SUPPRESSION_CODE`), so stale escape
+  hatches cannot accumulate; a bare ``# repro: noqa`` without codes is
+  rejected (:data:`MALFORMED_SUPPRESSION_CODE`) -- blanket waivers would
+  silently cover future rules.
+* **Determinism**: findings sort by ``(path, line, col, code)`` and both the
+  text and JSON renderings are canonical, so ``llamcat check`` output is
+  byte-identical across runs (it is itself subject to the repo's CI ``cmp``
+  discipline).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.common.errors import ConfigError
+from repro.registry.core import Registry
+
+#: Engine-level codes (not AST rules, but documented and explainable).
+UNUSED_SUPPRESSION_CODE = "NOQ001"
+MALFORMED_SUPPRESSION_CODE = "NOQ002"
+SYNTAX_ERROR_CODE = "SYN001"
+
+#: Matches suppression comments, with or without their bracketed code list
+#: (rule codes, comma-separated; the list is validated by the scanner).
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?P<codes>\[[A-Za-z0-9_,\s]*\])?", re.IGNORECASE
+)
+
+#: Directories never descended into during file discovery.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+#: The lint-rule registry: ``code -> rule class``.  Registered through
+#: :func:`register_rule`, bootstrapped from the built-in rule module exactly
+#: like the scenario registries bootstrap from their preset modules.
+RULES: Registry = Registry("lint rule", bootstrap=("repro.analysis.rules",))
+
+
+def register_rule(code: str, **kwargs: Any) -> Callable[[type], type]:
+    """Register a :class:`LintRule` subclass under its rule code."""
+
+    return RULES.register(code, **kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass(slots=True)
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Line -> requested suppression codes (empty set for a bare ``noqa``).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: Lines whose ``repro: noqa`` comment is malformed (no code list).
+    malformed_noqa: tuple[int, ...] = ()
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return Path(self.path).parts
+
+    @property
+    def module_name(self) -> str | None:
+        """Dotted module name, rooted at the last ``repro`` path segment."""
+
+        parts = self.parts
+        if "repro" not in parts:
+            return None
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = list(parts[start:])
+        dotted[-1] = dotted[-1].removesuffix(".py")
+        if dotted[-1] == "__init__":
+            dotted.pop()
+        return ".".join(dotted)
+
+
+class LintRule:
+    """Base class of all per-file rules.
+
+    Subclasses set ``code`` / ``summary`` / ``rationale`` and implement
+    :meth:`check`; override :meth:`applies` to scope the rule to part of the
+    tree (e.g. library code only).  ``rationale`` is what ``llamcat check
+    --explain CODE`` prints -- it must say *why* the invariant exists, not
+    just restate the message.
+    """
+
+    code: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def applies(self, path: str) -> bool:
+        return True
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+class ProjectRule(LintRule):
+    """A rule that needs every parsed module at once (cross-file invariants)."""
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def all_rules() -> list[LintRule]:
+    """Instantiate every registered rule, in code order."""
+
+    return [RULES.get(code)() for code in RULES.names()]
+
+
+def rule_codes() -> list[str]:
+    """Every explainable code: registered rules plus the engine codes."""
+
+    return sorted(
+        set(RULES.names())
+        | {UNUSED_SUPPRESSION_CODE, MALFORMED_SUPPRESSION_CODE, SYNTAX_ERROR_CODE}
+    )
+
+
+#: ``--explain`` docs of the engine-level codes.
+_ENGINE_EXPLANATIONS = {
+    UNUSED_SUPPRESSION_CODE: (
+        "unused suppression",
+        "A '# repro: noqa[CODE]' comment suppressed nothing.  Stale escape\n"
+        "hatches hide future violations on their line, so they must be\n"
+        "removed the moment the code they excused is gone.",
+    ),
+    MALFORMED_SUPPRESSION_CODE: (
+        "malformed suppression",
+        "A '# repro: noqa' comment must name the rule codes it suppresses,\n"
+        "e.g. '# repro: noqa[DET002]'.  Blanket waivers would silently cover\n"
+        "rules added later, defeating unused-suppression detection.",
+    ),
+    SYNTAX_ERROR_CODE: (
+        "syntax error",
+        "The file failed to parse; none of the lint rules ran over it.",
+    ),
+}
+
+
+def explain_rule(code: str) -> str:
+    """Human documentation of one rule code (for ``--explain``)."""
+
+    normalized = code.strip().upper()
+    if normalized in _ENGINE_EXPLANATIONS:
+        summary, rationale = _ENGINE_EXPLANATIONS[normalized]
+        body = rationale
+    else:
+        try:
+            rule = RULES.get(normalized)()
+        except ConfigError:
+            raise ConfigError(
+                f"unknown rule code {code!r}; known codes: {', '.join(rule_codes())}"
+            ) from None
+        summary, body = rule.summary, rule.rationale.strip()
+    return (
+        f"{normalized}: {summary}\n\n{body}\n\n"
+        f"Suppress a deliberate violation with '# repro: noqa[{normalized}]' "
+        f"on its line\n(unused suppressions are themselves flagged)."
+    )
+
+
+# -- parsing ------------------------------------------------------------------------------
+def _comment_tokens(source: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(line, text)`` for every real comment token of ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps docstrings and
+    string literals that merely *mention* the noqa syntax -- like this
+    module's own documentation -- from registering as suppressions.
+    """
+
+    readline = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return  # unparseable tail; ast.parse already reported the real error
+
+
+def _scan_suppressions(source: str) -> tuple[dict[int, set[str]], tuple[int, ...]]:
+    suppressions: dict[int, set[str]] = {}
+    malformed: list[int] = []
+    for lineno, text in _comment_tokens(source):
+        match = NOQA_PATTERN.search(text)
+        if match is None:
+            continue
+        codes_group = match.group("codes")
+        if not codes_group:
+            malformed.append(lineno)
+            continue
+        codes = {
+            c.strip().upper() for c in codes_group.strip("[]").split(",") if c.strip()
+        }
+        if not codes:
+            malformed.append(lineno)
+            continue
+        suppressions[lineno] = codes
+    return suppressions, tuple(malformed)
+
+
+def parse_module(path: str, source: str) -> ParsedModule:
+    """Parse one file into the shared per-rule representation.
+
+    Raises :class:`SyntaxError` (the caller maps it to a
+    :data:`SYNTAX_ERROR_CODE` finding so one broken file cannot abort a whole
+    check run).
+    """
+
+    tree = ast.parse(source, filename=path)
+    suppressions, malformed = _scan_suppressions(source)
+    return ParsedModule(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+        malformed_noqa=malformed,
+    )
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not SKIPPED_DIRS.intersection(candidate.parts):
+                    seen.setdefault(candidate, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+        elif not path.exists():
+            raise ConfigError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+# -- the check loop -----------------------------------------------------------------------
+def _select_rules(select: Sequence[str] | None) -> list[LintRule]:
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {code.strip().upper() for code in select}
+    unknown = wanted - {rule.code for rule in rules}
+    if unknown:
+        raise ConfigError(
+            f"unknown rule code(s) {sorted(unknown)}; known: {RULES.names()}"
+        )
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def _apply_suppressions(
+    module: ParsedModule, findings: Iterable[Finding]
+) -> tuple[list[Finding], set[tuple[int, str]]]:
+    """Split ``findings`` into surviving ones and the (line, code) hits used."""
+
+    kept: list[Finding] = []
+    used: set[tuple[int, str]] = set()
+    for finding in findings:
+        codes = module.suppressions.get(finding.line)
+        if codes is not None and finding.code in codes:
+            used.add((finding.line, finding.code))
+        else:
+            kept.append(finding)
+    return kept, used
+
+
+def _suppression_findings(
+    module: ParsedModule, used: set[tuple[int, str]]
+) -> Iterator[Finding]:
+    for lineno in module.malformed_noqa:
+        yield Finding(
+            code=MALFORMED_SUPPRESSION_CODE,
+            message="'# repro: noqa' must name codes, e.g. '# repro: noqa[DET001]'",
+            path=module.path,
+            line=lineno,
+        )
+    for lineno in sorted(module.suppressions):
+        for code in sorted(module.suppressions[lineno]):
+            if (lineno, code) not in used:
+                yield Finding(
+                    code=UNUSED_SUPPRESSION_CODE,
+                    message=f"suppression of {code} matches no finding on this line",
+                    path=module.path,
+                    line=lineno,
+                )
+
+
+def check_modules(
+    modules: Sequence[ParsedModule], select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Run the (selected) rules over already-parsed modules."""
+
+    rules = _select_rules(select)
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    raw_by_path: dict[str, list[Finding]] = {m.path: [] for m in modules}
+    for module in modules:
+        for rule in file_rules:
+            if rule.applies(module.path):
+                raw_by_path[module.path].extend(rule.check(module))
+    for rule in project_rules:
+        scoped = [m for m in modules if rule.applies(m.path)]
+        for finding in rule.check_project(scoped):
+            if finding.path in raw_by_path:
+                raw_by_path[finding.path].append(finding)
+            else:  # a project rule may report against a path outside the set
+                raw_by_path.setdefault(finding.path, []).append(finding)
+
+    module_by_path = {m.path: m for m in modules}
+    findings: list[Finding] = []
+    for path, raw in raw_by_path.items():
+        module = module_by_path.get(path)
+        if module is None:
+            findings.extend(raw)
+            continue
+        kept, used = _apply_suppressions(module, raw)
+        findings.extend(kept)
+        findings.extend(_suppression_findings(module, used))
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+def check_source(
+    source: str, path: str = "src/repro/module.py", select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Check one in-memory source string (the unit-test entry point).
+
+    ``path`` controls which path-scoped rules apply; the default makes the
+    source count as library code.
+    """
+
+    try:
+        module = parse_module(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code=SYNTAX_ERROR_CODE,
+                message=str(exc.msg),
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    return check_modules([module], select=select)
+
+
+def check_paths(
+    paths: Sequence[str | Path], select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Discover, parse and check every ``*.py`` file under ``paths``."""
+
+    modules: list[ParsedModule] = []
+    findings: list[Finding] = []
+    for file_path in discover_files(paths):
+        text = file_path.read_text(encoding="utf-8")
+        posix = file_path.as_posix()
+        try:
+            modules.append(parse_module(posix, text))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    code=SYNTAX_ERROR_CODE,
+                    message=str(exc.msg),
+                    path=posix,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                )
+            )
+    findings.extend(check_modules(modules, select=select))
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+def findings_to_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """Canonical JSON report (SARIF-flavoured, byte-stable across runs)."""
+
+    by_code: dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    payload = {
+        "tool": {"name": "llamcat-check", "rules": rule_codes()},
+        "results": [f.to_dict() for f in findings],
+        "summary": {
+            "files_checked": files_checked,
+            "findings": len(findings),
+            "by_code": by_code,
+        },
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)

@@ -9,6 +9,9 @@ Subcommands
   of serving points (``--serve`` with repeatable ``--rate``) or of cluster
   points (``--cluster`` with repeatable ``--replicas``/``--router``)
 * ``timeline`` -- render ASCII telemetry timelines from a stored sweep point
+* ``check``   -- run the determinism & invariant checks (static lint rules
+  over the source tree, ``--explain CODE`` docs, ``--determinism SCENARIO``
+  runtime divergence localization)
 * ``list``    -- list registered workloads / systems / policies / throttles /
   arrivals / schedulers / routers
 * ``fig7``  -- regenerate the Fig 7 speedup panels
@@ -26,11 +29,20 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import logging
 import os
 import sys
 from dataclasses import replace
 
+from repro.analysis import (
+    RngJitterArrival,
+    check_determinism,
+    check_paths,
+    discover_files,
+    explain_rule,
+    findings_to_json,
+)
 from repro.api import Scenario
 from repro.cluster.scenario import ClusterScenario, parse_disaggregated
 from repro.cluster.sweep import ClusterSweepSpec
@@ -340,6 +352,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=DEFAULT_WIDTH,
         help=f"sparkline width in glyphs (default: {DEFAULT_WIDTH})",
     )
+
+    check_p = sub.add_parser(
+        "check",
+        help="run the determinism & invariant checks (repro.analysis)",
+    )
+    check_p.add_argument(
+        "paths", nargs="*", default=["src", "tests", "examples"], metavar="PATH",
+        help="files/directories to lint (default: src tests examples)",
+    )
+    check_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is canonical and byte-stable)",
+    )
+    check_p.add_argument(
+        "--select", action="append", dest="select", metavar="CODE",
+        help="repeatable: run only these rule codes",
+    )
+    check_p.add_argument(
+        "--explain", metavar="CODE", default=None,
+        help="print one rule code's documentation and exit",
+    )
+    check_p.add_argument(
+        "--determinism", metavar="SCENARIO", default=None,
+        choices=("serve-smoke", "cluster-smoke"),
+        help="run SCENARIO twice and bisect to the first divergent step "
+             "instead of linting",
+    )
+    check_p.add_argument(
+        "--inject-rng", action="store_true",
+        help="with --determinism: inject an unseeded-RNG arrival jitter to "
+             "demonstrate localization (expected to diverge, exits 1)",
+    )
+    check_p.add_argument("--seed", type=int, default=0,
+                         help="scenario seed for --determinism")
 
     list_p = sub.add_parser("list", help="list registered scenario components")
     list_p.add_argument(
@@ -828,6 +874,63 @@ def _list_command(what: str) -> int:
     return 0
 
 
+#: ``--determinism SCENARIO`` presets, mirroring the ``--smoke`` serve/cluster
+#: shapes so the checked scenarios are exactly the ones CI already pins.
+def _determinism_scenario(name: str, seed: int):
+    if name == "serve-smoke":
+        return ServeScenario(
+            workload="llama3-70b",
+            arrival="poisson",
+            rate=2000.0,
+            num_requests=8,
+            max_batch=2,
+            seed=seed,
+            tier=parse_tier("smoke"),
+            label=name,
+        )
+    return ClusterScenario(
+        workload="llama3-70b",
+        arrival="poisson",
+        rate=2000.0,
+        num_requests=8,
+        max_batch=2,
+        replicas=2,
+        seed=seed,
+        tier=parse_tier("smoke"),
+        label=name,
+    )
+
+
+def _check_command(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        print(explain_rule(args.explain))
+        return 0
+
+    if args.determinism is not None:
+        scenario = _determinism_scenario(args.determinism, args.seed)
+        wrap = (lambda arrival: RngJitterArrival(arrival)) if args.inject_rng else None
+        report = check_determinism(scenario, label=args.determinism, wrap_arrival=wrap)
+        if args.format == "json":
+            print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+        else:
+            print(report.render())
+        return 0 if report.deterministic else 1
+
+    files_checked = len(discover_files(args.paths))
+    findings = check_paths(args.paths, select=args.select)
+    if args.format == "json":
+        print(findings_to_json(findings, files_checked))
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "file" if files_checked == 1 else "files"
+        if findings:
+            print(f"{len(findings)} finding(s) in {files_checked} {noun} checked")
+        else:
+            print(f"checked {files_checked} {noun}: no findings")
+    return 1 if findings else 0
+
+
 def _load_plugins() -> None:
     """Import the modules named in ``LLAMCAT_PLUGINS`` (comma-separated).
 
@@ -882,6 +985,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "timeline":
         return _timeline_command(args)
+
+    if args.command == "check":
+        return _check_command(args)
 
     if args.command == "list":
         return _list_command(args.what)

@@ -373,7 +373,7 @@ class ClusterScenario:
             telemetry_ms=self.telemetry_ms,
         )
 
-    def run(self, tracer=None, profiler=None) -> ClusterMetrics:
+    def run(self, tracer=None, profiler=None, probe=None) -> ClusterMetrics:
         """Simulate this cluster point and return its fleet metrics.
 
         Like :meth:`ServeScenario.run`, the module-level trace cache is
@@ -384,13 +384,15 @@ class ClusterScenario:
         ``tracer`` receives the fleet's event timeline (None keeps the
         zero-overhead null tracer); ``profiler`` (a
         :class:`~repro.obs.profile.Profiler`) accumulates the fleet's
-        wall-clock profile -- both are side channels that never influence the
+        wall-clock profile; ``probe`` (a
+        :class:`~repro.analysis.runtime.StepProbe`) collects per-step
+        determinism digests -- all side channels that never influence the
         metrics.
         """
 
         simulator = self.build_simulator()
         try:
-            metrics = simulator.run(tracer=tracer)
+            metrics = simulator.run(tracer=tracer, probe=probe)
         finally:
             clear_trace_cache()
         if profiler is not None:

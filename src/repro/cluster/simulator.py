@@ -137,6 +137,7 @@ class ReplicaSim:
         #: (the null defaults keep standalone replicas zero-overhead).
         self.tracer: Tracer = NULL_TRACER
         self.recorder: TelemetryRecorder | None = None
+        self.probe = None
 
     # -- load signals (read by routers) ------------------------------------------------
     @property
@@ -211,6 +212,15 @@ class ReplicaSim:
                 continue
             self.steps += 1
             self.total_cycles += cycles
+            if self.probe is not None:
+                self.probe.record_step(
+                    replica_id=self.replica_id,
+                    step=self.steps,
+                    start_s=now_s,
+                    scheduler=self.scheduler,
+                    plan=plan,
+                    cycles=cycles,
+                )
             duration_s = cycles / (self.frequency_ghz * 1e9)
             self.busy_s += duration_s
             self.step_end_s = now_s + duration_s
@@ -357,8 +367,14 @@ class ClusterSimulator:
             )
         return group[chosen]
 
-    def run(self, tracer: Tracer | None = None) -> ClusterMetrics:
+    def run(self, tracer: Tracer | None = None, probe=None) -> ClusterMetrics:
         tracer = NULL_TRACER if tracer is None else tracer
+        if probe is not None:
+            # The determinism probe (repro.analysis.runtime.StepProbe) digests
+            # per-replica scheduler state; like the tracer and recorder it is
+            # installed on every replica and reads the arrival's RNG position
+            # through this attribute.
+            probe.arrival = self.arrival
         recorder = (
             TelemetryRecorder(
                 interval_s=self.telemetry_ms * 1e-3,
@@ -380,6 +396,7 @@ class ClusterSimulator:
         for replica in self.replicas:
             replica.tracer = tracer
             replica.recorder = recorder
+            replica.probe = probe
 
         # The pending heap orders un-routed requests by (arrival, id); ids are
         # unique, so heap order -- and thus every routing decision -- is total.

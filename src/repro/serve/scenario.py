@@ -236,7 +236,7 @@ class ServeScenario:
             telemetry_ms=self.telemetry_ms,
         )
 
-    def run(self, tracer=None, profiler=None) -> ServeMetrics:
+    def run(self, tracer=None, profiler=None, probe=None) -> ServeMetrics:
         """Simulate this serving point and return its metrics.
 
         Long-lived processes run many scenarios back to back, so each run ends
@@ -250,12 +250,14 @@ class ServeScenario:
         ``tracer`` receives the run's event timeline (None keeps the
         zero-overhead null tracer); ``profiler`` (a
         :class:`~repro.obs.profile.Profiler`) accumulates the run's wall-clock
-        profile -- both are side channels that never influence the metrics.
+        profile; ``probe`` (a :class:`~repro.analysis.runtime.StepProbe`)
+        collects per-step determinism digests -- all side channels that never
+        influence the metrics.
         """
 
         simulator = self.build_simulator()
         try:
-            metrics = simulator.run(tracer=tracer)
+            metrics = simulator.run(tracer=tracer, probe=probe)
         finally:
             clear_trace_cache()
         if profiler is not None:

@@ -157,8 +157,13 @@ class ServingSimulator:
     def _cycles_to_seconds(self, cycles: int) -> float:
         return cycles / (self.frequency_ghz * 1e9)
 
-    def run(self, tracer: Tracer | None = None) -> ServeMetrics:
+    def run(self, tracer: Tracer | None = None, probe=None) -> ServeMetrics:
         tracer = NULL_TRACER if tracer is None else tracer
+        if probe is not None:
+            # The determinism probe (repro.analysis.runtime.StepProbe) digests
+            # scheduler state per step; it reads the arrival's RNG position
+            # through this attribute rather than per-call plumbing.
+            probe.arrival = self.arrival
         recorder = (
             TelemetryRecorder(interval_s=self.telemetry_ms * 1e-3, num_replicas=1)
             if self.telemetry_ms is not None
@@ -225,6 +230,15 @@ class ServingSimulator:
             step_start_s = now_s
             queue_depth = len(scheduler.waiting)
             running = len(scheduler.running)
+            if probe is not None:
+                probe.record_step(
+                    replica_id=0,
+                    step=steps,
+                    start_s=step_start_s,
+                    scheduler=scheduler,
+                    plan=plan,
+                    cycles=cycles,
+                )
             now_s += self._cycles_to_seconds(cycles)
             if tracer.enabled:
                 args = plan.trace_args()

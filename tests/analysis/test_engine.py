@@ -1,0 +1,164 @@
+"""Tests for the lint engine: suppressions, discovery, reporting, explain."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    check_paths,
+    check_source,
+    discover_files,
+    explain_rule,
+    findings_to_json,
+    parse_module,
+    rule_codes,
+)
+from repro.common.errors import ConfigError
+
+DIRTY = "import random\n"
+
+
+class TestSuppressions:
+    def test_noqa_suppresses_matching_code(self):
+        source = "import random  # repro: noqa[DET001]\n"
+        assert check_source(source) == []
+
+    def test_noqa_with_justification_text(self):
+        source = "import random  # repro: noqa[DET001] -- fault injector\n"
+        assert check_source(source) == []
+
+    def test_noqa_is_per_line(self):
+        source = "import random  # repro: noqa[DET001]\nimport random\n"
+        findings = check_source(source)
+        assert [(f.code, f.line) for f in findings] == [("DET001", 2)]
+
+    def test_noqa_multiple_codes(self):
+        source = "import random  # repro: noqa[DET001, DET002]\n"
+        findings = check_source(source)
+        # DET001 is used; the DET002 half suppresses nothing on this line.
+        assert [f.code for f in findings] == ["NOQ001"]
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "import random  # repro: noqa[DET002]\n"
+        codes = sorted(f.code for f in check_source(source))
+        assert codes == ["DET001", "NOQ001"]
+
+    def test_unused_suppression_is_flagged(self):
+        source = "x = 1  # repro: noqa[DET001]\n"
+        findings = check_source(source)
+        assert [f.code for f in findings] == ["NOQ001"]
+        assert "DET001" in findings[0].message
+
+    def test_bare_noqa_is_malformed(self):
+        source = "import random  # repro: noqa\n"
+        codes = sorted(f.code for f in check_source(source))
+        # The blanket waiver is rejected AND suppresses nothing.
+        assert codes == ["DET001", "NOQ002"]
+
+    def test_empty_code_list_is_malformed(self):
+        source = "x = 1  # repro: noqa[]\n"
+        assert [f.code for f in check_source(source)] == ["NOQ002"]
+
+    def test_case_insensitive(self):
+        source = "import random  # REPRO: NOQA[det001]\n"
+        assert check_source(source) == []
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        source = '"""Docs may mention # repro: noqa[DET001] freely."""\nx = 1\n'
+        assert check_source(source) == []
+
+    def test_string_literal_mention_is_not_a_suppression(self):
+        source = "MSG = 'suppress with # repro: noqa[DET001]'\n"
+        assert check_source(source) == []
+
+
+class TestParsing:
+    def test_syntax_error_becomes_finding(self):
+        findings = check_source("def broken(:\n")
+        assert [f.code for f in findings] == ["SYN001"]
+        assert findings[0].line == 1
+
+    def test_module_name_rooted_at_repro(self):
+        module = parse_module("src/repro/serve/arrival.py", "x = 1\n")
+        assert module.module_name == "repro.serve.arrival"
+
+    def test_module_name_init_strips(self):
+        module = parse_module("src/repro/serve/__init__.py", "x = 1\n")
+        assert module.module_name == "repro.serve"
+
+    def test_module_name_outside_repro(self):
+        module = parse_module("tests/test_thing.py", "x = 1\n")
+        assert module.module_name is None
+
+
+class TestDiscovery:
+    def test_discovers_sorted_unique_py_files(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        sub = tmp_path / "__pycache__"
+        sub.mkdir()
+        (sub / "cached.py").write_text("x = 1\n")
+        files = discover_files([tmp_path, tmp_path / "a.py"])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="no such file"):
+            discover_files([tmp_path / "nope"])
+
+
+class TestCheckPaths:
+    def test_findings_report_and_sort(self, tmp_path):
+        (tmp_path / "z.py").write_text(DIRTY)
+        (tmp_path / "a.py").write_text("import time\nimport random\n")
+        findings = check_paths([tmp_path])
+        paths = [f.path for f in findings]
+        assert paths == sorted(paths)
+        assert {f.code for f in findings} == {"DET001"}
+
+    def test_select_filters_rules(self, tmp_path):
+        (tmp_path / "a.py").write_text(DIRTY)
+        assert check_paths([tmp_path], select=["CLI001"]) == []
+        with pytest.raises(ConfigError, match="unknown rule code"):
+            check_paths([tmp_path], select=["NOPE01"])
+
+    def test_non_library_paths_skip_library_rules(self, tmp_path):
+        # print() is only constrained inside the repro package.
+        (tmp_path / "script.py").write_text("print('hello')\n")
+        assert check_paths([tmp_path]) == []
+
+
+class TestReporting:
+    def test_render_format(self):
+        finding = check_source(DIRTY)[0]
+        assert finding.render().startswith("src/repro/module.py:1:0: DET001 ")
+
+    def test_json_report_is_canonical(self, tmp_path):
+        (tmp_path / "a.py").write_text(DIRTY)
+        findings = check_paths([tmp_path])
+        first = findings_to_json(findings, files_checked=1)
+        second = findings_to_json(list(findings), files_checked=1)
+        assert first == second
+        payload = json.loads(first)
+        assert payload["summary"] == {
+            "files_checked": 1,
+            "findings": 1,
+            "by_code": {"DET001": 1},
+        }
+        assert payload["tool"]["name"] == "llamcat-check"
+        assert payload["results"][0]["code"] == "DET001"
+
+
+class TestExplain:
+    def test_explains_every_code(self):
+        for code in rule_codes():
+            text = explain_rule(code)
+            assert text.startswith(f"{code}: ")
+            assert f"noqa[{code}]" in text
+
+    def test_explain_is_case_insensitive(self):
+        assert explain_rule("det001").startswith("DET001: ")
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ConfigError, match="unknown rule code"):
+            explain_rule("XYZ999")
