@@ -1,53 +1,29 @@
 """Cluster throughput: one request stream over a 4-replica fleet.
 
-Times one `repro.cluster` run end to end (arrival generation, routing, four
-independent continuous-batching schedulers and the shared memoized step-cost
-table) and prints the fleet headline metrics.  The shared table is the whole
-trick at fleet scale: replicas with the same system preset reuse one
-(batch, seq-bucket) cycle table, so a 4-replica fleet performs barely more
-cycle-engine runs than one accelerator would.
+Times the registered ``cluster_throughput`` bench (tracked in
+``BENCH_cluster_throughput.json`` by ``llamcat bench``): arrival generation,
+routing, four independent continuous-batching schedulers and the shared
+memoized step-cost table.  The shared table is the whole trick at fleet
+scale: replicas with the same system preset reuse one (batch, seq-bucket)
+cycle table, so a 4-replica fleet performs barely more cycle-engine runs than
+one accelerator would.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once_timed, write_trend
-from repro.cluster import ClusterScenario
+from benchmarks.conftest import run_once
+from repro.bench.suite import cluster_throughput
 
 
 def test_cluster_round_robin_throughput(benchmark, tier):
-    scenario = ClusterScenario(
-        workload="llama3-70b",
-        arrival="poisson",
-        rate=4000.0,
-        num_requests=32,
-        replicas=4,
-        router="round-robin",
-        max_batch=4,
-        seed=0,
-        tier=tier,
-    ).validate()
-    metrics, wall_s = run_once_timed(benchmark, scenario.run)
-    write_trend(
-        "cluster",
-        config={
-            "workload": scenario.workload,
-            "arrival": scenario.arrival,
-            "rate": scenario.rate,
-            "num_requests": scenario.num_requests,
-            "replicas": scenario.replicas,
-            "router": scenario.router,
-            "max_batch": scenario.max_batch,
-            "seed": scenario.seed,
-            "tier": scenario.tier.name,
-        },
-        tokens_per_s=metrics.tokens_per_s,
-        wall_s=wall_s,
-    )
+    output = run_once(benchmark, cluster_throughput, tier)
     print()
-    print(metrics.summary())
+    print(output.detail)
+    metrics = output.raw
     assert metrics.num_requests == 32
     assert metrics.num_replicas == 4
     assert metrics.tokens_per_s > 0
+    assert output.value_of("tokens_per_s") == metrics.tokens_per_s
     # Percentiles must be ordered, and the shared memo table must be doing its
     # job: far fewer cycle-engine runs than fleet serving steps.
     assert metrics.latency_percentile_ms(50) <= metrics.latency_percentile_ms(99)

@@ -1,19 +1,21 @@
 """Figure 7 (b) & (e): arbitration-policy speedups (cobrra, B, MA, BMA) over dynmg.
 
-Every arbitration policy runs on top of dynmg throttling and is normalised to
-dynmg alone, exactly as in the paper.
+Times the registered ``fig7_arbitration`` bench: every arbitration policy runs
+on top of dynmg throttling and is normalised to dynmg alone, exactly as in the
+paper.
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.fig7 import run_fig7_arbitration
+from repro.bench.suite import fig7_arbitration
 
 
-def test_fig7_arbitration_panels(benchmark, tier, models):
-    result = run_once(benchmark, run_fig7_arbitration, tier=tier, models=models)
+def test_fig7_arbitration_panels(benchmark, tier):
+    output = run_once(benchmark, fig7_arbitration, tier)
     print()
-    print(result.render())
+    print(output.detail)
+    result = output.raw
     for model in result.speedups:
         series = result.speedups[model]
         assert set(series) == {"cobrra", "B", "MA", "BMA"}

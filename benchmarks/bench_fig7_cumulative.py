@@ -3,13 +3,18 @@
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.fig7 import run_fig7_cumulative
+from repro.bench.suite import fig7_cumulative
 
 
-def test_fig7_cumulative_panels(benchmark, tier, models):
-    result = run_once(benchmark, run_fig7_cumulative, tier=tier, models=models)
+def test_fig7_cumulative_panels(benchmark, tier):
+    output = run_once(benchmark, fig7_cumulative, tier)
     print()
-    print(result.render())
+    print(output.detail)
+    result = output.raw
     for model in result.speedups:
         # The final cumulative policy must not lose to the unoptimized baseline.
         assert result.geomean(model, "dynmg+BMA") > 0.97
+        assert (
+            output.value_of(f"{model}_dynmg+BMA_geomean")
+            == result.geomean(model, "dynmg+BMA")
+        )

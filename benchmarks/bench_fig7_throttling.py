@@ -1,24 +1,26 @@
 """Figure 7 (a) & (d): throttling-policy speedups (dyncta, lcs, dynmg).
 
-Regenerates the two panels: speedup of each throttling policy over the
-unoptimized configuration for Llama3-70B and Llama3-405B at 4K/8K/16K
-(scaled by the selected tier).
+Times the registered ``fig7_throttling`` bench: speedup of each throttling
+policy over the unoptimized configuration for Llama3-70B and Llama3-405B at
+4K/8K/16K (scaled by the selected tier).
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.fig7 import run_fig7_throttling
+from repro.bench.suite import fig7_throttling
 
 
-def test_fig7_throttling_panels(benchmark, tier, models):
-    result = run_once(benchmark, run_fig7_throttling, tier=tier, models=models)
+def test_fig7_throttling_panels(benchmark, tier):
+    output = run_once(benchmark, fig7_throttling, tier)
     print()
-    print(result.render())
+    print(output.detail)
+    result = output.raw
     # Sanity on the regenerated series: the paper's policy (dynmg) must not lose
     # to the unoptimized configuration on geomean for either model.
     for model in result.speedups:
         assert result.geomean(model, "dynmg") > 0.97
+        assert output.value_of(f"{model}_dynmg_geomean") == result.geomean(model, "dynmg")
         for policy, values in result.speedups[model].items():
             assert len(values) == len(result.seq_lens)
             assert all(0.5 < v < 3.0 for v in values)

@@ -5,14 +5,14 @@ progression unoptimized -> dynmg -> dynmg+BMA (plus the intermediate points)."""
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.fig8 import run_fig8
+from repro.bench.suite import fig8_mechanism
 
 
 def test_fig8_mechanism_panel(benchmark, tier):
-    result = run_once(benchmark, run_fig8, tier=tier)
+    output = run_once(benchmark, fig8_mechanism, tier)
     print()
-    print(result.render())
-    by_policy = {row["policy"]: row for row in result.rows}
+    print(output.detail)
+    by_policy = {row["policy"]: row for row in output.raw.rows}
     # The mechanism the paper highlights: the final policy raises the MSHR hit
     # rate relative to the unoptimized configuration.
     assert by_policy["dynmg+BMA"]["mshr_hit_rate"] > by_policy["unoptimized"]["mshr_hit_rate"]

@@ -1,20 +1,21 @@
 """Figure 9 (a) & (b): 32K-token sequences against 16/32/64 MB L2 configurations.
 
-All policies (dyncta, lcs, cobrra, dynmg, dynmg+cobrra, dynmg+BMA and the
-unoptimized reference) are normalised against unoptimized @ 32 MB.
+Times the registered ``fig9_cache_sweep`` bench: all policies (dyncta, lcs,
+cobrra, dynmg, dynmg+cobrra, dynmg+BMA and the unoptimized reference) are
+normalised against unoptimized @ 32 MB.
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.fig9 import run_fig9
+from repro.bench.suite import fig9_cache_sweep
 
 
-def test_fig9_cache_size_sweep(benchmark, tier, models):
-    result = run_once(benchmark, run_fig9, tier=tier, models=models)
+def test_fig9_cache_size_sweep(benchmark, tier):
+    output = run_once(benchmark, fig9_cache_sweep, tier)
     print()
-    print(result.render())
-    for model, series in result.speedups.items():
+    print(output.detail)
+    for model, series in output.raw.speedups.items():
         unopt = series["unoptimized"]
         # The unoptimized configuration must benefit from growing the cache.
         assert unopt[-1] >= unopt[0] * 0.98

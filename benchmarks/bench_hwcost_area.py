@@ -3,18 +3,14 @@
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.hwcost_exp import (
-    PAPER_ARBITER_UM2,
-    PAPER_HIT_BUFFER_UM2,
-    run_hwcost,
-)
-from repro.experiments.reporting import format_grid
+from repro.bench.suite import hwcost_area
+from repro.experiments.hwcost_exp import PAPER_ARBITER_UM2, PAPER_HIT_BUFFER_UM2
 
 
-def test_hwcost_area_estimates(benchmark):
-    rows = run_once(benchmark, run_hwcost)
+def test_hwcost_area_estimates(benchmark, tier):
+    output = run_once(benchmark, hwcost_area, tier)
     print()
-    print(format_grid("Section 6.1 -- area estimates (15 nm)", rows))
+    print(output.detail)
     print(f"  paper: arbiter {PAPER_ARBITER_UM2} um^2, hit buffer {PAPER_HIT_BUFFER_UM2} um^2")
-    for row in rows:
+    for row in output.raw:
         assert 0.4 < row["ratio"] < 2.5

@@ -1,57 +1,24 @@
 """Prefill scheduling: TTFT/TPOT across decode-first, prefill-first, chunked.
 
-Times one bursty-traffic `repro.serve` run per registered scheduling
-discipline and prints the TTFT / TPOT / tail-latency headline each reports.
-The comparison is the point of the prefill model: decode-first protects TPOT
-(in-flight decodes never stall) at the price of queueing prompts,
-prefill-first minimizes prompt queueing at the price of TPOT jitter, and
-chunked prefill buys most of both by riding token-budgeted prompt chunks
-along with every decode batch.
+Times the registered ``prefill_schedulers`` bench: one bursty-traffic
+`repro.serve` run per registered scheduling discipline.  The comparison is
+the point of the prefill model: decode-first protects TPOT (in-flight decodes
+never stall) at the price of queueing prompts, prefill-first minimizes prompt
+queueing at the price of TPOT jitter, and chunked prefill buys most of both
+by riding token-budgeted prompt chunks along with every decode batch.
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.serve import ServeScenario
-
-SCHEDULERS = ("decode-first", "prefill-first", "chunked")
-
-
-def scenario(scheduler: str, tier) -> ServeScenario:
-    return ServeScenario(
-        workload="llama3-70b",
-        arrival="bursty",
-        rate=4000.0,
-        num_requests=24,
-        max_batch=4,
-        seed=0,
-        scheduler=scheduler,
-        prefill_chunk=256,
-        tier=tier,
-    ).validate()
+from repro.bench.suite import prefill_schedulers
 
 
 def test_prefill_scheduler_comparison(benchmark, tier):
-    results = {}
-
-    def run_all():
-        for name in SCHEDULERS:
-            results[name] = scenario(name, tier).run()
-        return results
-
-    run_once(benchmark, run_all)
+    output = run_once(benchmark, prefill_schedulers, tier)
     print()
-    header = (f"{'scheduler':>15} {'ttft p95 ms':>12} {'tpot ms':>9} "
-              f"{'p99 ms':>9} {'prefill p95 ms':>15} {'tok/s':>10}")
-    print(header)
-    for name, metrics in results.items():
-        print(
-            f"{name:>15} {metrics.ttft_percentile_ms(95):>12.3f} "
-            f"{metrics.mean_tpot_ms:>9.4f} {metrics.latency_percentile_ms(99):>9.3f} "
-            f"{metrics.prefill_percentile_ms(95):>15.3f} "
-            f"{metrics.tokens_per_s:>10.0f}"
-        )
-
+    print(output.detail)
+    results = output.raw
     for name, metrics in results.items():
         assert metrics.num_requests == 24, name
         assert metrics.has_prefill_phase, name

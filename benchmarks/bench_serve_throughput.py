@@ -1,48 +1,27 @@
 """Serving throughput: a Poisson request stream under continuous batching.
 
-Times one `repro.serve` run end to end (arrival generation, scheduler
-iterations and the memoized cycle-engine step costs) and prints the latency /
-throughput headline metrics.  The step-cost table is the whole trick: the run
-takes hundreds of serving steps but only a handful of cycle-engine
-simulations, which is what makes request-level simulation affordable on top of
-a cycle-accurate model.
+Times the registered ``serve_throughput`` bench (the one ``llamcat bench``
+tracks in ``BENCH_serve_throughput.json``) end to end: arrival generation,
+scheduler iterations and the memoized cycle-engine step costs.  The step-cost
+table is the whole trick: the run takes hundreds of serving steps but only a
+handful of cycle-engine simulations, which is what makes request-level
+simulation affordable on top of a cycle-accurate model.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once_timed, write_trend
-from repro.serve import ServeScenario
+from benchmarks.conftest import run_once
+from repro.bench.suite import serve_throughput
 
 
 def test_serve_poisson_throughput(benchmark, tier):
-    scenario = ServeScenario(
-        workload="llama3-70b",
-        arrival="poisson",
-        rate=2000.0,
-        num_requests=32,
-        max_batch=4,
-        seed=0,
-        tier=tier,
-    ).validate()
-    metrics, wall_s = run_once_timed(benchmark, scenario.run)
-    write_trend(
-        "serve",
-        config={
-            "workload": scenario.workload,
-            "arrival": scenario.arrival,
-            "rate": scenario.rate,
-            "num_requests": scenario.num_requests,
-            "max_batch": scenario.max_batch,
-            "seed": scenario.seed,
-            "tier": scenario.tier.name,
-        },
-        tokens_per_s=metrics.tokens_per_s,
-        wall_s=wall_s,
-    )
+    output = run_once(benchmark, serve_throughput, tier)
     print()
-    print(metrics.summary())
+    print(output.detail)
+    metrics = output.raw
     assert metrics.num_requests == 32
     assert metrics.tokens_per_s > 0
+    assert output.value_of("tokens_per_s") == metrics.tokens_per_s
     # Percentiles must be ordered, and the memo table must be doing its job:
     # far fewer cycle-engine runs than serving steps.
     assert metrics.latency_percentile_ms(50) <= metrics.latency_percentile_ms(99)

@@ -3,16 +3,13 @@
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.reporting import format_grid
-from repro.experiments.tables import run_table2_sampling_sweep
+from repro.bench.suite import table2_throttle_sweep
 
 
 def test_table2_sampling_period_sweep(benchmark, tier):
-    rows = run_once(
-        benchmark, run_table2_sampling_sweep, tier=tier,
-        sampling_periods=(1000, 2000, 4000),
-    )
+    output = run_once(benchmark, table2_throttle_sweep, tier)
     print()
-    print(format_grid("Table 2 -- dynmg sampling-period sweep", rows))
+    print(output.detail)
+    rows = output.raw
     assert any(row["sampling_period"] == 2000 for row in rows)
     assert all(row["speedup"] > 0.8 for row in rows)

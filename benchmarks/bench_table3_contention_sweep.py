@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.reporting import format_grid
-from repro.experiments.tables import run_table3_contention_sweep
+from repro.bench.suite import table3_contention_sweep
 
 
 def test_table3_contention_threshold_sweep(benchmark, tier):
-    rows = run_once(benchmark, run_table3_contention_sweep, tier=tier)
+    output = run_once(benchmark, table3_contention_sweep, tier)
     print()
-    print(format_grid("Table 3 -- contention-threshold sweep", rows))
+    print(output.detail)
+    rows = output.raw
     assert len(rows) == 3
     assert all(row["speedup"] > 0.8 for row in rows)

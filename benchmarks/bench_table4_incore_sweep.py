@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.reporting import format_grid
-from repro.experiments.tables import run_table4_incore_sweep
+from repro.bench.suite import table4_incore_sweep
 
 
 def test_table4_incore_threshold_sweep(benchmark, tier):
-    rows = run_once(benchmark, run_table4_incore_sweep, tier=tier)
+    output = run_once(benchmark, table4_incore_sweep, tier)
     print()
-    print(format_grid("Table 4 -- in-core C_mem threshold sweep", rows))
+    print(output.detail)
+    rows = output.raw
     assert any(row["c_mem_upper"] == 250 and row["c_mem_lower"] == 180 for row in rows)
     assert all(row["speedup"] > 0.8 for row in rows)

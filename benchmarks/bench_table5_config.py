@@ -1,27 +1,20 @@
 """Table 5: the simulated system configuration, plus its analytical implications.
 
 This benchmark validates that the Table 5 preset is what the paper specifies and
-times the analytical model on the paper's workloads (the fast half of the hybrid
-framework).
+times the registered ``table5_config`` bench -- the analytical model on the
+paper's workloads (the fast half of the hybrid framework).
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.config.presets import FIG7_SEQ_LENS, llama3_70b_logit, table5_system
+from repro.bench.suite import table5_config
+from repro.config.presets import table5_system
 from repro.config.system import MIB
-from repro.dataflow.analytical import analyze
 
 
-def _analyze_all():
-    system = table5_system()
-    return {
-        seq: analyze(llama3_70b_logit(seq), system) for seq in FIG7_SEQ_LENS
-    }
-
-
-def test_table5_system_configuration(benchmark):
-    estimates = run_once(benchmark, _analyze_all)
+def test_table5_system_configuration(benchmark, tier):
+    output = run_once(benchmark, table5_config, tier)
     system = table5_system()
     print()
     print("Table 5 -- simulated system configuration")
@@ -32,10 +25,9 @@ def test_table5_system_configuration(benchmark):
           f"{system.l2.mshr_num_targets} targets per slice")
     print(f"  DRAM               {system.dram.standard}, {system.dram.num_channels} channels, "
           f"{system.dram.peak_bandwidth_gbps:.1f} GB/s peak")
-    for seq, est in estimates.items():
-        print(f"  analytical {seq:>6}: {est.stall_free_cycles} stall-free cycles, "
-              f"bottleneck={est.bottleneck}")
+    print(output.detail)
     assert system.frequency_ghz == 1.96
     assert system.core.num_cores == 16
     assert system.l2.size_bytes == 16 * MIB
+    estimates = output.raw
     assert all(est.bottleneck in ("dram", "l2") for est in estimates.values())

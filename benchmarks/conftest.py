@@ -1,18 +1,22 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark regenerates one table or figure of the paper.  The scale tier
-is selected with the ``REPRO_BENCH_TIER`` environment variable (``ci`` by
-default so the whole suite finishes in tens of minutes; ``paper_scaled`` or
-``full`` reproduce progressively larger versions of the experiments).
+Every benchmark is a thin pytest wrapper around a bench registered in
+:data:`repro.bench.registry.BENCHES` -- the same functions ``llamcat bench``
+runs -- plus domain assertions on the returned
+:class:`~repro.bench.registry.BenchOutput`.  The scale tier is selected with
+the ``REPRO_BENCH_TIER`` environment variable (``ci`` by default so the whole
+suite finishes in tens of minutes; ``paper_scaled`` or ``full`` reproduce
+progressively larger versions of the experiments).
 
 Each benchmark prints the regenerated rows/series to stdout (run pytest with
 ``-s`` to see them) and reports the wall-clock time of the underlying
-simulations through pytest-benchmark.
+simulations through pytest-benchmark.  Trend files are **not** written here:
+``llamcat bench`` owns every write to the root-level ``BENCH_<name>.json``
+history files.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -24,6 +28,7 @@ _SRC = Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.bench.suite import bench_models  # noqa: E402, F401  (fixture + re-export)
 from repro.config.scale import ScaleTier  # noqa: E402
 from repro.sim.runner import clear_trace_cache  # noqa: E402
 
@@ -31,18 +36,6 @@ from repro.sim.runner import clear_trace_cache  # noqa: E402
 def bench_tier() -> ScaleTier:
     name = os.environ.get("REPRO_BENCH_TIER", "ci").upper()
     return ScaleTier[name]
-
-
-def bench_models(tier: ScaleTier) -> tuple[str, ...]:
-    """Models swept by the Fig 7 / Fig 9 benchmarks.
-
-    The SMOKE tier restricts the sweep to Llama3-70B so a full regeneration of
-    every figure finishes in minutes; every other tier runs both paper models.
-    """
-
-    if tier is ScaleTier.SMOKE:
-        return ("llama3-70b",)
-    return ("llama3-70b", "llama3-405b")
 
 
 @pytest.fixture(scope="session")
@@ -75,25 +68,3 @@ def run_once_timed(benchmark, fn, *args, **kwargs):
     start = time.perf_counter()
     result = run_once(benchmark, fn, *args, **kwargs)
     return result, time.perf_counter() - start
-
-
-def write_trend(bench: str, config: dict, tokens_per_s: float, wall_s: float) -> Path:
-    """Persist one benchmark's headline numbers as a committed trend file.
-
-    ``benchmarks/BENCH_<bench>.json`` lives next to the benchmark code so a
-    throughput regression shows up as a reviewable diff, not only as local
-    pytest-benchmark output.  The schema is deliberately tiny and stable:
-    ``{bench, config, tokens_per_s, wall_s}``.
-    """
-
-    payload = {
-        "bench": bench,
-        "config": config,
-        "tokens_per_s": round(tokens_per_s, 1),
-        "wall_s": round(wall_s, 3),
-    }
-    path = Path(__file__).parent / f"BENCH_{bench}.json"
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    return path

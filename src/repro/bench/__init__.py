@@ -1,0 +1,60 @@
+"""Continuous benchmarking: registered benches, trend files, reports.
+
+The package turns performance tracking into a first-class subsystem:
+
+* :mod:`repro.bench.registry` -- the :data:`BENCHES` registry; every bench is
+  a named ``(tier) -> BenchOutput`` component, discoverable via ``llamcat
+  list benches``.
+* :mod:`repro.bench.suite` -- the built-in benches (one per paper artifact
+  plus the serving-stack scenarios), lazily bootstrapped.
+* :mod:`repro.bench.runner` -- warmup/repeat wall-clock timing around a bench.
+* :mod:`repro.bench.trend` -- append-only ``BENCH_<name>.json`` history files
+  at the repo root, schema validation, and baseline comparison with a noise
+  threshold (the ``llamcat bench --compare`` regression gate).
+* :mod:`repro.bench.report` -- self-contained markdown/HTML run reports from
+  trend files and result stores (``llamcat report``).
+"""
+
+from repro.bench.registry import (
+    BENCHES,
+    BenchOutput,
+    BenchValue,
+    bench_names,
+    register_bench,
+    resolve_bench,
+)
+from repro.bench.runner import BenchRun, run_bench, run_benches
+from repro.bench.trend import (
+    TrendComparison,
+    TrendDelta,
+    TrendRecord,
+    append_trend,
+    compare_trends,
+    load_trend,
+    load_trends,
+    trend_path,
+    validate_trends,
+    write_trend,
+)
+
+__all__ = [
+    "BENCHES",
+    "BenchOutput",
+    "BenchRun",
+    "BenchValue",
+    "TrendComparison",
+    "TrendDelta",
+    "TrendRecord",
+    "append_trend",
+    "bench_names",
+    "compare_trends",
+    "load_trend",
+    "load_trends",
+    "register_bench",
+    "resolve_bench",
+    "run_bench",
+    "run_benches",
+    "trend_path",
+    "validate_trends",
+    "write_trend",
+]

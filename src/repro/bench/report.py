@@ -1,0 +1,248 @@
+"""Self-contained run reports from trend files and result stores.
+
+``llamcat report`` turns the two on-disk performance artifacts -- the
+root-level ``BENCH_*.json`` trend files and a sweep/serve
+:class:`~repro.sweep.store.ResultStore` -- into one human-readable document:
+a benchmark-trend summary (latest value, previous value, delta per metric),
+per-record headline tables, per-phase latency breakdowns for request-level
+results, and :func:`repro.obs.timeline.render_timeline` sparklines for every
+stored telemetry series.
+
+Everything here **returns strings** (markdown or a dependency-free HTML page);
+printing belongs to the CLI layer (the CLI001 rule enforces that split).  The
+HTML output inlines its own CSS so the CI artifact opens anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.trend import TrendRecord, load_trends
+from repro.common.mathutils import safe_div
+from repro.obs.timeline import render_timeline
+from repro.sweep.store import ResultStore
+
+
+@dataclass(slots=True)
+class ReportSection:
+    """One section: a heading plus a table and/or preformatted text blocks."""
+
+    heading: str
+    headers: tuple[str, ...] = ()
+    rows: list[tuple[str, ...]] = field(default_factory=list)
+    blocks: list[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Report:
+    """A full report, renderable as markdown or a standalone HTML page."""
+
+    title: str
+    sections: list[ReportSection] = field(default_factory=list)
+
+    # -- markdown ----------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        out = [f"# {self.title}", ""]
+        for section in self.sections:
+            out.append(f"## {section.heading}")
+            out.append("")
+            if section.headers:
+                out.append("| " + " | ".join(section.headers) + " |")
+                out.append("|" + "|".join(" --- " for _ in section.headers) + "|")
+                for row in section.rows:
+                    out.append("| " + " | ".join(row) + " |")
+                out.append("")
+            for block in section.blocks:
+                out.append("```")
+                out.append(block)
+                out.append("```")
+                out.append("")
+        return "\n".join(out).rstrip() + "\n"
+
+    # -- html --------------------------------------------------------------------------
+    def to_html(self) -> str:
+        out = [
+            "<!DOCTYPE html>",
+            '<html lang="en"><head><meta charset="utf-8">',
+            f"<title>{html.escape(self.title)}</title>",
+            "<style>",
+            "body{font-family:system-ui,sans-serif;margin:2rem;max-width:72rem}",
+            "table{border-collapse:collapse;margin:0.5rem 0}",
+            "th,td{border:1px solid #ccc;padding:0.25rem 0.6rem;"
+            "text-align:left;font-variant-numeric:tabular-nums}",
+            "th{background:#f0f0f0}",
+            "pre{background:#f7f7f7;padding:0.6rem;overflow-x:auto}",
+            "</style></head><body>",
+            f"<h1>{html.escape(self.title)}</h1>",
+        ]
+        for section in self.sections:
+            out.append(f"<h2>{html.escape(section.heading)}</h2>")
+            if section.headers:
+                out.append("<table><thead><tr>")
+                out += [f"<th>{html.escape(h)}</th>" for h in section.headers]
+                out.append("</tr></thead><tbody>")
+                for row in section.rows:
+                    out.append(
+                        "<tr>"
+                        + "".join(f"<td>{html.escape(cell)}</td>" for cell in row)
+                        + "</tr>"
+                    )
+                out.append("</tbody></table>")
+            for block in section.blocks:
+                out.append(f"<pre>{html.escape(block)}</pre>")
+        out.append("</body></html>")
+        return "\n".join(out) + "\n"
+
+
+def _fmt(value: float | None) -> str:
+    return "-" if value is None else f"{value:g}"
+
+
+def _trend_section(trends: dict[str, list[TrendRecord]]) -> ReportSection:
+    section = ReportSection(
+        heading="Benchmark trends",
+        headers=("bench", "metric", "latest", "unit", "previous", "delta", "runs",
+                 "wall s"),
+    )
+    for bench in sorted(trends):
+        records = trends[bench]
+        by_metric: dict[str, list[TrendRecord]] = {}
+        for record in records:
+            by_metric.setdefault(record.metric, []).append(record)
+        for metric in sorted(by_metric):
+            history = by_metric[metric]
+            latest = history[-1]
+            previous = history[-2] if len(history) > 1 else None
+            delta = "-"
+            if previous is not None:
+                pct = safe_div(
+                    latest.value - previous.value, abs(previous.value)
+                ) * 100.0
+                delta = f"{pct:+.2f}%"
+            section.rows.append(
+                (
+                    bench,
+                    metric,
+                    _fmt(latest.value),
+                    latest.unit,
+                    _fmt(previous.value if previous else None),
+                    delta,
+                    str(len(history)),
+                    _fmt(latest.wall_s),
+                )
+            )
+    if not section.rows:
+        section.blocks.append("no trend records")
+    return section
+
+
+def _pct(result: object, method: str, point: float) -> str:
+    """One formatted percentile of a request-level result, "-" when absent."""
+
+    fn = getattr(result, method, None)
+    if fn is None:
+        return "-"
+    try:
+        return f"{fn(point):.3f}"
+    except Exception:  # noqa: BLE001 - e.g. no prefill phase recorded
+        return "-"
+
+
+def _headline(result: object) -> str:
+    tokens = getattr(result, "tokens_per_s", None)
+    if tokens is not None:
+        return f"{tokens:.0f} tok/s"
+    cycles = getattr(result, "cycles", None)
+    if cycles is not None:
+        return f"{cycles} cycles"
+    return ""
+
+
+def _store_sections(store: ResultStore) -> list[ReportSection]:
+    records = sorted(store.records(), key=lambda r: (r.label, r.key))
+
+    overview = ReportSection(
+        heading="Stored results",
+        headers=("key", "label", "kind", "status", "elapsed s", "headline"),
+    )
+    phases = ReportSection(
+        heading="Per-phase latency breakdown",
+        headers=("record", "ttft p95 ms", "prefill p95 ms", "decode p95 ms",
+                 "latency p50 ms", "latency p99 ms"),
+    )
+    timelines = ReportSection(heading="Telemetry timelines")
+
+    for record in records:
+        overview.rows.append(
+            (
+                record.key[:12],
+                record.label,
+                record.kind,
+                record.status,
+                f"{record.elapsed_s:.3f}",
+                _headline(record.result) if record.ok else (record.error or ""),
+            )
+        )
+        result = record.result
+        if result is None:
+            continue
+        if hasattr(result, "latency_percentile_ms"):
+            phases.rows.append(
+                (
+                    record.label or record.key[:12],
+                    _pct(result, "ttft_percentile_ms", 95),
+                    _pct(result, "prefill_percentile_ms", 95),
+                    _pct(result, "decode_percentile_ms", 95),
+                    _pct(result, "latency_percentile_ms", 50),
+                    _pct(result, "latency_percentile_ms", 99),
+                )
+            )
+        telemetry = getattr(result, "telemetry", None)
+        if telemetry is not None and telemetry.samples:
+            timelines.blocks.append(
+                f"{record.label or record.key[:12]}\n{render_timeline(telemetry)}"
+            )
+
+    sections = [overview]
+    if phases.rows:
+        sections.append(phases)
+    if timelines.blocks:
+        sections.append(timelines)
+    return sections
+
+
+def build_report(
+    trend_root: str | Path | None = None,
+    store: ResultStore | None = None,
+    title: str = "llamcat run report",
+) -> Report:
+    """Assemble a report from any combination of trend files and a store."""
+
+    report = Report(title=title)
+    if trend_root is not None:
+        report.sections.append(_trend_section(load_trends(trend_root)))
+    if store is not None:
+        report.sections.extend(_store_sections(store))
+    if not report.sections:
+        report.sections.append(
+            ReportSection(heading="Empty report", blocks=["no inputs given"])
+        )
+    return report
+
+
+def render_report(
+    trend_root: str | Path | None = None,
+    store: ResultStore | None = None,
+    fmt: str = "markdown",
+    title: str = "llamcat run report",
+) -> str:
+    """The report as one string: ``fmt`` is ``"markdown"`` or ``"html"``."""
+
+    report = build_report(trend_root=trend_root, store=store, title=title)
+    if fmt == "html":
+        return report.to_html()
+    if fmt == "markdown":
+        return report.to_markdown()
+    raise ValueError(f"unknown report format {fmt!r} (use 'markdown' or 'html')")

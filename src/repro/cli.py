@@ -9,11 +9,16 @@ Subcommands
   of serving points (``--serve`` with repeatable ``--rate``) or of cluster
   points (``--cluster`` with repeatable ``--replicas``/``--router``)
 * ``timeline`` -- render ASCII telemetry timelines from a stored sweep point
+* ``bench``   -- run registered benchmarks (warmup/repeat timing), append the
+  results to the root-level ``BENCH_<name>.json`` trend files, and gate on
+  regressions with ``--compare BASELINE``
+* ``report``  -- render a self-contained markdown/HTML run report from trend
+  files and/or a result store
 * ``check``   -- run the determinism & invariant checks (static lint rules
   over the source tree, ``--explain CODE`` docs, ``--determinism SCENARIO``
   runtime divergence localization)
 * ``list``    -- list registered workloads / systems / policies / throttles /
-  arrivals / schedulers / routers
+  arrivals / schedulers / routers / benches
 * ``fig7``  -- regenerate the Fig 7 speedup panels
 * ``fig8``  -- regenerate the Fig 8 mechanism statistics
 * ``fig9``  -- regenerate the Fig 9 cache-size sweep
@@ -44,6 +49,15 @@ from repro.analysis import (
     findings_to_json,
 )
 from repro.api import Scenario
+from repro.bench.registry import BENCHES, bench_names, resolve_bench
+from repro.bench.report import render_report
+from repro.bench.runner import run_bench
+from repro.bench.trend import (
+    append_trend,
+    compare_trends,
+    trend_path,
+    validate_trends,
+)
 from repro.cluster.scenario import ClusterScenario, parse_disaggregated
 from repro.cluster.sweep import ClusterSweepSpec
 from repro.common.errors import ConfigError
@@ -83,7 +97,11 @@ LISTABLE_REGISTRIES = {
     "arrivals": ARRIVALS,
     "schedulers": SCHEDULERS,
     "routers": ROUTERS,
+    "benches": BENCHES,
 }
+
+#: Default noise threshold of ``llamcat bench --compare`` (percent).
+BENCH_COMPARE_THRESHOLD_PCT = 10.0
 
 #: Defaults of the serving sweep's traffic axis (requests/s).
 SERVE_SWEEP_RATES = (1000.0, 2000.0, 4000.0)
@@ -127,6 +145,12 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--telemetry", type=float, default=None, metavar="MS",
         help="sample queue depth / batch size / utilization every MS simulated "
              "milliseconds and print an ASCII timeline",
+    )
+    parser.add_argument(
+        "--metrics-sketch", action="store_true",
+        help="compute latency percentiles from merged log-bucketed histograms "
+             "(fixed memory, bounded relative error) instead of exact "
+             "per-request sample lists",
     )
 
 
@@ -353,6 +377,82 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"sparkline width in glyphs (default: {DEFAULT_WIDTH})",
     )
 
+    bench_p = sub.add_parser(
+        "bench",
+        help="run registered benchmarks and track the results as trend files",
+    )
+    bench_p.add_argument(
+        "--bench", action="append", dest="benches", metavar="NAME",
+        help="repeatable registered bench name (default: every bench; "
+             "see `llamcat list benches`)",
+    )
+    bench_p.add_argument("--tier", default="ci")
+    bench_p.add_argument(
+        "--warmup", type=int, default=0,
+        help="untimed executions before timing (populates the step-cost memo)",
+    )
+    bench_p.add_argument(
+        "--repeat", type=int, default=1,
+        help="timed executions; the minimum wall time is recorded",
+    )
+    bench_p.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding the BENCH_<name>.json trend files "
+             "(default: the current directory, i.e. the repo root)",
+    )
+    bench_p.add_argument(
+        "--no-write", action="store_true",
+        help="run and print without appending to the trend files",
+    )
+    bench_p.add_argument(
+        "--compare", nargs="?", const="", default=None, metavar="BASELINE",
+        help="compare instead of running: deltas of --root's trend files vs "
+             "BASELINE (a directory or one trend file); comparing a root "
+             "against itself diffs each bench's latest run vs its previous "
+             "one; exits 1 on regression beyond the threshold",
+    )
+    bench_p.add_argument(
+        "--threshold", type=float, default=BENCH_COMPARE_THRESHOLD_PCT,
+        metavar="PCT",
+        help="noise threshold for --compare in percent "
+             f"(default: {BENCH_COMPARE_THRESHOLD_PCT:g})",
+    )
+    bench_p.add_argument(
+        "--wall-threshold", type=float, default=None, metavar="PCT",
+        help="also gate on wall-clock regressions beyond PCT percent "
+             "(default: wall time is informational only)",
+    )
+    bench_p.add_argument(
+        "--validate", action="store_true",
+        help="schema-check the trend files under --root and exit",
+    )
+
+    report_p = sub.add_parser(
+        "report",
+        help="render a run report from trend files and/or a result store",
+    )
+    report_p.add_argument(
+        "--trend-root", default=None, metavar="DIR",
+        help="directory holding BENCH_<name>.json trend files to summarize",
+    )
+    report_p.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="JSON-lines result store to summarize (headline tables, "
+             "per-phase latency breakdowns, telemetry sparklines)",
+    )
+    report_p.add_argument(
+        "--format", choices=("markdown", "html"), default="markdown",
+        help="output format (html is a self-contained page)",
+    )
+    report_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    report_p.add_argument(
+        "--title", default="llamcat run report",
+        help="report title",
+    )
+
     check_p = sub.add_parser(
         "check",
         help="run the determinism & invariant checks (repro.analysis)",
@@ -471,6 +571,8 @@ def _serve_command(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     profiler = Profiler()
     metrics = scenario.run(tracer=tracer, profiler=profiler)
+    if args.metrics_sketch:
+        metrics = metrics.with_sketch()
     logger.debug("profile:\n%s", profiler.summary())
     print(metrics.summary())
     print()
@@ -536,6 +638,8 @@ def _cluster_command(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     profiler = Profiler()
     metrics = scenario.run(tracer=tracer, profiler=profiler)
+    if args.metrics_sketch:
+        metrics = metrics.with_sketch()
     logger.debug("profile:\n%s", profiler.summary())
     print(metrics.summary())
     print()
@@ -831,6 +935,67 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _bench_command(args: argparse.Namespace) -> int:
+    if args.validate:
+        validation = validate_trends(args.root)
+        print(validation.render())
+        return 0 if validation.ok else 1
+    if args.compare is not None:
+        # A bare `--compare` baselines the trend root against itself, i.e.
+        # each bench's latest run against its previous one.
+        comparison = compare_trends(
+            args.root,
+            args.compare or args.root,
+            threshold_pct=args.threshold,
+            wall_threshold_pct=args.wall_threshold,
+            benches=tuple(args.benches) if args.benches else None,
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+    names = list(args.benches or bench_names())
+    for name in names:
+        resolve_bench(name)  # an unknown name is a usage error, not a bench failure
+    tier = parse_tier(args.tier)
+    failed: list[str] = []
+    for name in names:
+        try:
+            run = run_bench(name, tier=tier, warmup=args.warmup, repeat=args.repeat)
+        except ConfigError:
+            raise
+        except Exception as exc:  # one failing bench must not silence the rest
+            failed.append(name)
+            print(f"FAILED {name}: {type(exc).__name__}: {exc}")
+            continue
+        print(run.render())
+        if not args.no_write:
+            path = append_trend(trend_path(args.root, run.output.bench), run.records())
+            print(f"trend: {path} (+{len(run.records())} records)")
+    if failed:
+        print(f"{len(failed)}/{len(names)} benches failed: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def _report_command(args: argparse.Namespace) -> int:
+    if args.trend_root is None and args.store is None:
+        raise SystemExit("report needs --trend-root and/or --store")
+    store = None
+    if args.store is not None:
+        if not os.path.exists(args.store):
+            raise SystemExit(f"no result store at {args.store}")
+        store = ResultStore(args.store)
+    text = render_report(
+        trend_root=args.trend_root, store=store, fmt=args.format, title=args.title
+    )
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report: {args.out} ({len(text)} bytes, {args.format})")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _timeline_command(args: argparse.Namespace) -> int:
     if not os.path.exists(args.store):
         raise SystemExit(f"no result store at {args.store}")
@@ -985,6 +1150,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "timeline":
         return _timeline_command(args)
+
+    if args.command == "bench":
+        return _bench_command(args)
+
+    if args.command == "report":
+        return _report_command(args)
 
     if args.command == "check":
         return _check_command(args)

@@ -20,6 +20,7 @@ from typing import ClassVar
 
 from repro.common.errors import ConfigError
 from repro.common.mathutils import mean, percentile, percentiles, safe_div, weighted_mean
+from repro.obs.metrics import Histogram
 from repro.obs.telemetry import TelemetrySeries
 from repro.serve.metrics import REPORTED_PERCENTILES, RequestMetrics, ServeSLO
 
@@ -130,6 +131,13 @@ class ClusterMetrics:
     #: telemetry, and omitted from serialization when None so pre-telemetry
     #: metrics dicts (and golden fixtures) stay bit-for-bit identical.
     telemetry: TelemetrySeries | None = None
+    #: Opt-in sketch mode (``--metrics-sketch``): fleet percentiles are
+    #: answered by merging one log-bucketed histogram per replica (see
+    #: :meth:`merged_histogram`) within the documented relative error bound,
+    #: instead of concatenating and re-sorting every replica's per-request
+    #: list.  Off by default (and omitted from serialization when off) so
+    #: golden fixtures stay bit-for-bit identical.
+    sketch: bool = False
 
     # -- fleet-level series ------------------------------------------------------------
     @property
@@ -160,11 +168,43 @@ class ClusterMetrics:
         return sum(replica.total_cycles for replica in self.replicas)
 
     # -- headline aggregates -----------------------------------------------------------
+    def merged_histogram(self, span: str) -> Histogram:
+        """One histogram per replica, merged -- the fixed-memory fleet path.
+
+        ``span`` is "latency", "ttft" or "prefill".  Each replica's requests
+        are bucketed independently and the per-replica histograms are merged
+        (exact bucket-count addition, deterministic replica order), which is
+        how fleet percentiles scale to runs too large to concatenate
+        per-request lists for.
+        """
+
+        merged = Histogram()
+        for replica in self.replicas:
+            merged.merge(Histogram.of(self._spans_s(replica.requests, span)))
+        return merged
+
+    @staticmethod
+    def _spans_s(requests: tuple[RequestMetrics, ...], span: str) -> list[float]:
+        if span == "latency":
+            return [r.latency_s for r in requests]
+        if span == "ttft":
+            return [r.ttft_s for r in requests]
+        if span == "prefill":
+            return [r.prefill_s for r in requests if r.prefill_s is not None]
+        raise ConfigError(f"unknown request span {span!r}")
+
+    def _percentile_s(self, span: str, point: float) -> float:
+        """Exact merged-list percentile, or the histogram merge when opted in."""
+
+        if self.sketch:
+            return self.merged_histogram(span).quantile(point)
+        return percentile(self._spans_s(self.requests, span), point)
+
     def latency_percentile_ms(self, point: float) -> float:
-        return percentile([r.latency_s for r in self.requests], point) * 1e3
+        return self._percentile_s("latency", point) * 1e3
 
     def ttft_percentile_ms(self, point: float) -> float:
-        return percentile([r.ttft_s for r in self.requests], point) * 1e3
+        return self._percentile_s("ttft", point) * 1e3
 
     @property
     def mean_tpot_ms(self) -> float:
@@ -230,8 +270,7 @@ class ClusterMetrics:
     def prefill_percentile_ms(self, point: float) -> float:
         """Merged prefill-span percentile over the prefill-phase requests (ms)."""
 
-        spans = [r.prefill_s for r in self.requests if r.prefill_s is not None]
-        return percentile(spans, point) * 1e3
+        return self._percentile_s("prefill", point) * 1e3
 
     @property
     def load_imbalance(self) -> float:
@@ -277,16 +316,23 @@ class ClusterMetrics:
             "utilizations": self.utilizations,
         }
         if requests:
-            latency = percentiles([r.latency_s for r in requests], REPORTED_PERCENTILES)
-            ttft = percentiles([r.ttft_s for r in requests], REPORTED_PERCENTILES)
+            if self.sketch:
+                latency = self.merged_histogram("latency").quantiles(REPORTED_PERCENTILES)
+                ttft = self.merged_histogram("ttft").quantiles(REPORTED_PERCENTILES)
+            else:
+                latency = percentiles([r.latency_s for r in requests], REPORTED_PERCENTILES)
+                ttft = percentiles([r.ttft_s for r in requests], REPORTED_PERCENTILES)
             for point, lat_ms, ttft_ms in zip(REPORTED_PERCENTILES, latency, ttft, strict=True):
                 out[f"latency_p{point:g}_ms"] = lat_ms * 1e3
                 out[f"ttft_p{point:g}_ms"] = ttft_ms * 1e3
-        prefill_spans = [r.prefill_s for r in requests if r.prefill_s is not None]
+        prefill_spans = self._spans_s(requests, "prefill")
         if prefill_spans:
-            for point, span in zip(
-                REPORTED_PERCENTILES, percentiles(prefill_spans, REPORTED_PERCENTILES), strict=True
-            ):
+            spans = (
+                self.merged_histogram("prefill").quantiles(REPORTED_PERCENTILES)
+                if self.sketch
+                else percentiles(prefill_spans, REPORTED_PERCENTILES)
+            )
+            for point, span in zip(REPORTED_PERCENTILES, spans, strict=True):
                 out[f"prefill_p{point:g}_ms"] = span * 1e3
         if self.is_disaggregated:
             out["handoffs"] = self.handoffs
@@ -298,10 +344,7 @@ class ClusterMetrics:
         requests = self.requests
         if not requests:
             return f"[{self.label}] {self.workload}: no completed requests"
-        p50, p95, p99 = (
-            p * 1e3
-            for p in percentiles([r.latency_s for r in requests], REPORTED_PERCENTILES)
-        )
+        p50, p95, p99 = (self.latency_percentile_ms(p) for p in REPORTED_PERCENTILES)
         disagg = (
             f"{self.handoffs} handoffs, prefill/decode util "
             f"{self.prefill_utilization:.1%}/{self.decode_utilization:.1%}, "
@@ -313,7 +356,7 @@ class ClusterMetrics:
             f"{len(requests)} requests in {self.duration_s * 1e3:.2f} ms "
             f"({self.steps} fleet steps), "
             f"latency p50/p95/p99 = {p50:.3f}/{p95:.3f}/{p99:.3f} ms, "
-            f"TTFT p95 {percentile([r.ttft_s for r in requests], 95) * 1e3:.3f} ms, "
+            f"TTFT p95 {self.ttft_percentile_ms(95):.3f} ms, "
             f"{self.tokens_per_s:.0f} tokens/s, {self.requests_per_s:.0f} req/s, "
             f"{disagg}imbalance {self.load_imbalance:.2f}, SLO {self.slo_attainment:.1%}"
         )
@@ -341,6 +384,8 @@ class ClusterMetrics:
         }
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry.to_dict()
+        if self.sketch:
+            data["sketch"] = True
         return data
 
     @classmethod
@@ -358,7 +403,13 @@ class ClusterMetrics:
                 if data.get("telemetry") is not None
                 else None
             ),
+            sketch=bool(data.get("sketch", False)),
         )
 
     def with_label(self, label: str) -> "ClusterMetrics":
         return self if label == self.label else replace(self, label=label)
+
+    def with_sketch(self, sketch: bool = True) -> "ClusterMetrics":
+        """A copy answering fleet percentiles via merged histograms."""
+
+        return self if sketch == self.sketch else replace(self, sketch=sketch)

@@ -8,11 +8,15 @@ Three orthogonal instruments, all zero-overhead when off:
   occupancy, per-replica utilization, tokens/s) stored next to metrics.
 * :mod:`repro.obs.profile` -- wall-clock profiling of the simulator's own hot
   paths (step-cost builds, sweep points), kept out of deterministic outputs.
+* :mod:`repro.obs.metrics` -- mergeable metric primitives: log-bucketed
+  quantile histograms with a guaranteed error bound, counters and gauges
+  (the fixed-memory alternative to exact per-request percentile lists).
 
 :mod:`repro.obs.timeline` renders stored telemetry as ASCII sparklines for
 ``llamcat timeline``.
 """
 
+from repro.obs.metrics import DEFAULT_GROWTH, Counter, Gauge, Histogram
 from repro.obs.profile import Profiler
 from repro.obs.telemetry import (
     MAX_TELEMETRY_SAMPLES,
@@ -39,6 +43,10 @@ __all__ = [
     "CAT_REQUEST",
     "CAT_STEP",
     "ChromeTracer",
+    "Counter",
+    "DEFAULT_GROWTH",
+    "Gauge",
+    "Histogram",
     "MAX_TELEMETRY_SAMPLES",
     "NULL_TRACER",
     "Profiler",

@@ -1,0 +1,321 @@
+"""Mergeable metric primitives: log-bucketed histograms, counters, gauges.
+
+The exact-list percentile path in :mod:`repro.serve.metrics` and
+:mod:`repro.cluster.metrics` keeps every per-request sample alive and re-sorts
+it on each query -- fine for thousands of requests, hopeless for the
+million-request traces the analytical fast path is meant to unlock.  This
+module provides the fixed-memory alternative: a :class:`Histogram` with
+deterministic, logarithmically spaced bucket boundaries that can be
+
+* **recorded into** in O(1) per sample with no per-sample storage,
+* **merged** exactly (bucket-count addition; merging per-replica histograms is
+  bit-identical to recording the concatenated streams), and
+* **queried** for any quantile with a guaranteed relative error bound.
+
+Error bound
+-----------
+Bucket ``k`` covers ``[growth**k, growth**(k + 1))`` and is represented by its
+geometric midpoint ``growth**(k + 0.5)``, so any recorded value is within a
+factor ``sqrt(growth)`` of its representative.  :meth:`Histogram.quantile`
+interpolates between representatives with exactly the convention of
+:func:`repro.common.mathutils.percentile` and clamps to the exact, separately
+tracked min/max, so for every quantile point
+
+``|sketch - exact| <= (sqrt(growth) - 1) * exact``
+
+where *exact* is the interpolated percentile of the recorded samples.  The
+bound is exposed as :attr:`Histogram.relative_error_bound` and asserted by the
+sketch-vs-exact tests in ``tests/serve`` / ``tests/cluster``.
+
+Determinism
+-----------
+Bucket indices are pure functions of (value, growth); serialization keeps the
+sparse bucket table exactly (``to_dict``/``from_dict`` round-trips every
+count), so histograms recorded from a seeded run are byte-stable in the JSONL
+store and across merge orders.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+#: Default bucket growth factor: ~2.47% worst-case quantile error
+#: (``sqrt(1.05) - 1``), ~470 buckets per 10 decades of dynamic range.
+DEFAULT_GROWTH = 1.05
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Fixed-memory quantile sketch over positive values (zeros allowed).
+
+    ``growth`` sets the bucket-boundary ratio and thereby the error bound;
+    histograms only merge with identically configured peers.
+    """
+
+    growth: float = DEFAULT_GROWTH
+    #: Sparse bucket table: index -> count, where bucket ``k`` covers
+    #: ``[growth**k, growth**(k+1))``.
+    buckets: dict[int, int] = field(default_factory=dict)
+    #: Zero-valued samples, tracked outside the log buckets.
+    zero_count: int = 0
+    #: Exact running aggregates (no bucketing error).
+    total: float = 0.0
+    min_value: float | None = None
+    max_value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.growth <= 1.0:
+            raise ConfigError(
+                f"histogram growth must be > 1, got {self.growth}"
+            )
+
+    # -- recording ---------------------------------------------------------------------
+    def bucket_index(self, value: float) -> int:
+        """The deterministic bucket of a positive ``value``."""
+
+        return math.floor(math.log(value) / math.log(self.growth))
+
+    def representative(self, index: int) -> float:
+        """Bucket ``index``'s geometric midpoint (its reported value)."""
+
+        return self.growth ** (index + 0.5)
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Add ``count`` observations of ``value`` (non-negative, finite)."""
+
+        if count <= 0:
+            raise ConfigError(f"histogram count must be positive, got {count}")
+        if not math.isfinite(value) or value < 0:
+            raise ConfigError(
+                f"histogram values must be finite and >= 0, got {value}"
+            )
+        if value == 0.0:
+            self.zero_count += count
+        else:
+            index = self.bucket_index(value)
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.total += value * count
+        self.min_value = value if self.min_value is None else min(self.min_value, value)
+        self.max_value = value if self.max_value is None else max(self.max_value, value)
+
+    def record_all(self, values) -> None:
+        for value in values:
+            self.record(value)
+
+    # -- merging -----------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place (and return self).
+
+        Merging is exact -- bucket counts add -- so any merge order of any
+        partition of a sample stream yields the same histogram.
+        """
+
+        if other.growth != self.growth:
+            raise ConfigError(
+                f"cannot merge histograms with growth {other.growth} into "
+                f"growth {self.growth}"
+            )
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.zero_count += other.zero_count
+        self.total += other.total
+        if other.min_value is not None:
+            self.min_value = (
+                other.min_value
+                if self.min_value is None
+                else min(self.min_value, other.min_value)
+            )
+        if other.max_value is not None:
+            self.max_value = (
+                other.max_value
+                if self.max_value is None
+                else max(self.max_value, other.max_value)
+            )
+        return self
+
+    # -- queries -----------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self.zero_count + sum(self.buckets.values())
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self.total / n if n else 0.0
+
+    @property
+    def relative_error_bound(self) -> float:
+        """Worst-case relative quantile error: ``sqrt(growth) - 1``."""
+
+        return math.sqrt(self.growth) - 1.0
+
+    def _ordered(self) -> list[tuple[float, int]]:
+        """(representative, count) pairs in ascending value order."""
+
+        pairs: list[tuple[float, int]] = []
+        if self.zero_count:
+            pairs.append((0.0, self.zero_count))
+        for index in sorted(self.buckets):
+            pairs.append((self.representative(index), self.buckets[index]))
+        return pairs
+
+    def quantiles(self, points) -> list[float]:
+        """Interpolated quantiles at each point in [0, 100].
+
+        Uses the exact interpolation convention of
+        :func:`repro.common.mathutils.percentiles` over bucket
+        representatives, clamped to the tracked min/max, so the result is
+        within ``relative_error_bound`` of the exact-list percentile.
+        """
+
+        n = self.count
+        if n == 0:
+            raise ConfigError("quantile of an empty histogram")
+        ordered = self._ordered()
+        cumulative: list[int] = []
+        running = 0
+        for _, bucket_count in ordered:
+            running += bucket_count
+            cumulative.append(running)
+
+        def value_at(position: int) -> float:
+            # The position-th (0-based) sample in ascending order.
+            lo, hi = 0, len(cumulative) - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cumulative[mid] > position:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return ordered[lo][0]
+
+        out: list[float] = []
+        for p in points:
+            if not 0.0 <= p <= 100.0:
+                raise ConfigError(f"quantile point out of range: {p}")
+            if n == 1:
+                rank_lo = rank_hi = 0
+                frac = 0.0
+            else:
+                rank = (p / 100.0) * (n - 1)
+                rank_lo = math.floor(rank)
+                rank_hi = math.ceil(rank)
+                frac = rank - rank_lo
+            value = value_at(rank_lo) * (1 - frac) + value_at(rank_hi) * frac
+            # min/max are exact, and the exact percentile lies inside them:
+            # clamping can only shrink the sketch error.
+            value = max(self.min_value or 0.0, min(self.max_value or 0.0, value))
+            out.append(value)
+        return out
+
+    def quantile(self, point: float) -> float:
+        """Interpolated quantile at ``point`` in [0, 100]."""
+
+        return self.quantiles((point,))[0]
+
+    # -- serialization -----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; round-trips exactly via :meth:`from_dict`."""
+
+        return {
+            "growth": self.growth,
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+            "zero_count": self.zero_count,
+            "total": self.total,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        return cls(
+            growth=data["growth"],
+            buckets={int(k): v for k, v in data["buckets"].items()},
+            zero_count=data["zero_count"],
+            total=data["total"],
+            min_value=data["min_value"],
+            max_value=data["max_value"],
+        )
+
+    @classmethod
+    def of(cls, values, growth: float = DEFAULT_GROWTH) -> "Histogram":
+        """A histogram recording every value in ``values``."""
+
+        hist = cls(growth=growth)
+        hist.record_all(values)
+        return hist
+
+
+@dataclass(slots=True)
+class Counter:
+    """A monotonically increasing count; merges by addition."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigError(f"counter increments must be >= 0, got {n}")
+        self.value += n
+
+    def merge(self, other: "Counter") -> "Counter":
+        self.value += other.value
+        return self
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counter":
+        return cls(value=data["value"])
+
+
+@dataclass(slots=True)
+class Gauge:
+    """A sampled level (queue depth, utilization): last value plus min/max.
+
+    Merging keeps the joint min/max and the *other* gauge's last value, so a
+    deterministic merge order (replica 0..N-1) yields a deterministic result.
+    """
+
+    last: float = 0.0
+    min_value: float | None = None
+    max_value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.last = value
+        self.min_value = value if self.min_value is None else min(self.min_value, value)
+        self.max_value = value if self.max_value is None else max(self.max_value, value)
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        if other.min_value is not None:
+            self.min_value = (
+                other.min_value
+                if self.min_value is None
+                else min(self.min_value, other.min_value)
+            )
+        if other.max_value is not None:
+            self.max_value = (
+                other.max_value
+                if self.max_value is None
+                else max(self.max_value, other.max_value)
+            )
+        self.last = other.last
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "last": self.last,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Gauge":
+        return cls(
+            last=data["last"],
+            min_value=data["min_value"],
+            max_value=data["max_value"],
+        )

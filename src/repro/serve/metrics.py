@@ -18,6 +18,7 @@ from typing import ClassVar
 
 from repro.common.errors import ConfigError
 from repro.common.mathutils import percentile, safe_div, weighted_mean
+from repro.obs.metrics import Histogram
 from repro.obs.telemetry import TelemetrySeries
 
 #: The percentile points every summary reports.
@@ -180,6 +181,12 @@ class ServeMetrics:
     #: telemetry, and omitted from serialization when None so pre-telemetry
     #: metrics dicts (and golden fixtures) stay bit-for-bit identical.
     telemetry: TelemetrySeries | None = None
+    #: Opt-in sketch mode (``--metrics-sketch``): percentiles are answered by
+    #: a log-bucketed :class:`~repro.obs.metrics.Histogram` within its
+    #: documented relative error bound instead of the exact per-request list.
+    #: Off by default (and omitted from serialization when off) so golden
+    #: fixtures stay bit-for-bit identical.
+    sketch: bool = False
 
     # -- per-request series ------------------------------------------------------------
     @property
@@ -219,19 +226,26 @@ class ServeMetrics:
         return sum(r.prompt_tokens for r in self.requests)
 
     # -- headline aggregates -----------------------------------------------------------
+    def _percentile_s(self, values: list[float], point: float) -> float:
+        """Exact-list percentile, or the histogram sketch when opted in."""
+
+        if self.sketch:
+            return Histogram.of(values).quantile(point)
+        return percentile(values, point)
+
     def latency_percentile_ms(self, point: float) -> float:
-        return percentile(self.latencies_s, point) * 1e3
+        return self._percentile_s(self.latencies_s, point) * 1e3
 
     def ttft_percentile_ms(self, point: float) -> float:
-        return percentile(self.ttfts_s, point) * 1e3
+        return self._percentile_s(self.ttfts_s, point) * 1e3
 
     def prefill_percentile_ms(self, point: float) -> float:
         """Prefill-span percentile over the prefill-phase requests (ms)."""
 
-        return percentile(self.prefills_s, point) * 1e3
+        return self._percentile_s(self.prefills_s, point) * 1e3
 
     def decode_percentile_ms(self, point: float) -> float:
-        return percentile(self.decodes_s, point) * 1e3
+        return self._percentile_s(self.decodes_s, point) * 1e3
 
     @property
     def mean_tpot_ms(self) -> float:
@@ -327,6 +341,8 @@ class ServeMetrics:
         }
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry.to_dict()
+        if self.sketch:
+            data["sketch"] = True
         return data
 
     @classmethod
@@ -346,7 +362,13 @@ class ServeMetrics:
                 if data.get("telemetry") is not None
                 else None
             ),
+            sketch=bool(data.get("sketch", False)),
         )
 
     def with_label(self, label: str) -> "ServeMetrics":
         return self if label == self.label else replace(self, label=label)
+
+    def with_sketch(self, sketch: bool = True) -> "ServeMetrics":
+        """A copy answering percentiles via the histogram sketch path."""
+
+        return self if sketch == self.sketch else replace(self, sketch=sketch)

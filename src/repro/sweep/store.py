@@ -23,7 +23,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.sim.results import SimResult
 from repro.sweep.spec import SweepPoint
@@ -176,16 +176,29 @@ class ResultStore:
         if not matches:
             matches = [r for r in self._records.values() if r.label == prefix]
         if not matches:
+            available = self._describe(self._records.values())
+            hint = f"; available: {available}" if available else ""
             raise KeyError(
                 f"no stored result matches {prefix!r} "
-                f"({len(self._records)} records in {self.path})"
+                f"({len(self._records)} records in {self.path}){hint}"
             )
         if len(matches) > 1:
             raise KeyError(
                 f"{prefix!r} is ambiguous: matches "
-                f"{[m.key[:12] for m in matches]}"
+                f"{self._describe(matches, limit=len(matches))}"
             )
         return matches[0]
+
+    @staticmethod
+    def _describe(records: Iterable[StoreRecord], limit: int = 8) -> str:
+        """Stored keys (with labels) as a short comma-separated suggestion."""
+
+        described = sorted(
+            f"{r.key[:12]} ({r.label})" if r.label else r.key[:12] for r in records
+        )
+        shown = ", ".join(described[:limit])
+        more = f", +{len(described) - limit} more" if len(described) > limit else ""
+        return f"{shown}{more}"
 
     @property
     def completed_count(self) -> int:

@@ -125,3 +125,44 @@ class TestRuleScoping:
     def test_cli001_ignores_stderr_prints(self):
         source = "import sys\n\n\ndef f(msg):\n    print(msg, file=sys.stderr)\n"
         assert check_source(source, select=["CLI001"]) == []
+
+
+class TestReg001BenchRegistry:
+    """The BENCHES registry is covered by the bootstrap check like any other."""
+
+    REPO = Path(__file__).parents[2]
+
+    def check_with_registry(self, source: str, path: str):
+        from repro.analysis.engine import check_modules, parse_module
+
+        registry_path = "src/repro/bench/registry.py"
+        registry_src = (self.REPO / registry_path).read_text(encoding="utf-8")
+        modules = [
+            parse_module(registry_path, registry_src),
+            parse_module(path, source),
+        ]
+        return check_modules(modules, select=["REG001"])
+
+    def test_bench_outside_bootstrap_is_flagged(self):
+        source = (
+            "from repro.bench.registry import register_bench\n"
+            "\n"
+            "\n"
+            "@register_bench('rogue')\n"
+            "def rogue_bench(tier):\n"
+            "    return None\n"
+        )
+        findings = self.check_with_registry(source, "src/repro/bench/rogue.py")
+        assert [f.code for f in findings] == ["REG001"]
+        assert "BENCHES" in findings[0].message
+
+    def test_bench_in_suite_module_is_accepted(self):
+        source = (
+            "from repro.bench.registry import register_bench\n"
+            "\n"
+            "\n"
+            "@register_bench('fine')\n"
+            "def fine_bench(tier):\n"
+            "    return None\n"
+        )
+        assert self.check_with_registry(source, "src/repro/bench/suite.py") == []

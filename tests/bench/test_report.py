@@ -1,0 +1,139 @@
+"""llamcat report: markdown/HTML rendering from trend files and result stores."""
+
+import pytest
+
+from repro.bench.report import build_report, render_report
+from repro.bench.trend import TrendRecord, append_trend, trend_path
+from repro.obs.telemetry import TelemetrySample, TelemetrySeries
+from repro.serve.metrics import RequestMetrics, ServeMetrics
+from repro.sweep.store import ResultStore
+
+
+def trend_record(value: float) -> TrendRecord:
+    return TrendRecord(
+        bench="demo",
+        config={"tier": "ci"},
+        metric="tokens_per_s",
+        value=value,
+        unit="tokens/s",
+        wall_s=1.0,
+    ).validate()
+
+
+class FakePoint:
+    """Duck-typed sweep point: just enough for ResultStore.put."""
+
+    def __init__(self, key: str, label: str):
+        self._key = key
+        self.label = label
+
+    def key(self) -> str:
+        return self._key
+
+    def config_dict(self) -> dict:
+        return {"label": self.label}
+
+
+def serve_result(with_telemetry: bool = False) -> ServeMetrics:
+    requests = tuple(
+        RequestMetrics(
+            request_id=rid,
+            arrival_s=0.0,
+            admitted_s=0.0,
+            first_token_s=0.01 * (rid + 1),
+            finish_s=0.1 * (rid + 1),
+            prompt_tokens=64,
+            output_tokens=8,
+        ).validate()
+        for rid in range(4)
+    )
+    telemetry = None
+    if with_telemetry:
+        telemetry = TelemetrySeries(
+            interval_s=0.1,
+            t0_s=0.0,
+            num_replicas=1,
+            samples=tuple(
+                TelemetrySample(
+                    t_s=0.1 * (i + 1), dt_s=0.1, queue_depth=i, running=1,
+                    tokens=8, busy_s=(0.05,),
+                ).validate()
+                for i in range(5)
+            ),
+        ).validate()
+    return ServeMetrics(
+        label="report-test",
+        workload="tiny",
+        frequency_ghz=2.0,
+        duration_s=1.0,
+        steps=10,
+        total_cycles=1000,
+        requests=requests,
+        telemetry=telemetry,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    store = ResultStore(tmp_path / "results.jsonl")
+    store.put(FakePoint("a" * 40, "good-run"), result=serve_result(with_telemetry=True),
+              elapsed_s=0.5)
+    store.put(FakePoint("b" * 40, "bad-run"), error="SimulationError: boom")
+    return store
+
+
+class TestTrendReport:
+    def test_markdown_table_shows_latest_previous_delta(self, tmp_path):
+        path = trend_path(tmp_path, "demo")
+        append_trend(path, [trend_record(100.0)])
+        append_trend(path, [trend_record(110.0)])
+        text = render_report(trend_root=tmp_path, fmt="markdown")
+        assert "# llamcat run report" in text
+        assert "## Benchmark trends" in text
+        assert "| demo | tokens_per_s | 110 | tokens/s | 100 | +10.00% | 2 |" in text
+
+    def test_empty_trend_root_renders_placeholder(self, tmp_path):
+        text = render_report(trend_root=tmp_path, fmt="markdown")
+        assert "no trend records" in text
+
+
+class TestStoreReport:
+    def test_overview_lists_ok_and_error_records(self, store):
+        text = render_report(store=store, fmt="markdown")
+        assert "## Stored results" in text
+        assert "good-run" in text
+        assert "SimulationError: boom" in text
+
+    def test_phase_breakdown_has_percentiles(self, store):
+        report = build_report(store=store)
+        phases = next(s for s in report.sections
+                      if s.heading == "Per-phase latency breakdown")
+        (row,) = phases.rows
+        assert row[0] == "good-run"
+        # No prefill phase recorded -> "-" placeholders, not a crash.
+        assert row[2] == "-"
+        assert float(row[1]) > 0.0
+
+    def test_telemetry_sparkline_block_present(self, store):
+        report = build_report(store=store)
+        timelines = next(s for s in report.sections
+                         if s.heading == "Telemetry timelines")
+        assert any("good-run" in block for block in timelines.blocks)
+
+    def test_html_is_self_contained_and_escaped(self, store, tmp_path):
+        append_trend(trend_path(tmp_path, "demo"), [trend_record(1.0)])
+        html_text = render_report(trend_root=tmp_path, store=store, fmt="html",
+                                  title="Perf <report>")
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<style>" in html_text
+        assert "Perf &lt;report&gt;" in html_text
+        assert "<script" not in html_text
+
+
+class TestFormats:
+    def test_no_inputs_renders_empty_report(self):
+        assert "no inputs given" in render_report(fmt="markdown")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown report format"):
+            render_report(fmt="pdf")

@@ -1,9 +1,14 @@
 """ClusterMetrics: fleet aggregation, imbalance, serialization."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
 from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.obs.metrics import Histogram
 from repro.serve.metrics import RequestMetrics, ServeSLO
 
 
@@ -171,3 +176,81 @@ class TestValidation:
                 replica_id=0, system="s", frequency_ghz=0.0, steps=0,
                 total_cycles=0, busy_s=0.0, routed=0,
             ).validate()
+
+
+class TestSketchPercentiles:
+    """Fleet percentiles via per-replica histogram merge (``--metrics-sketch``)."""
+
+    @staticmethod
+    def seeded_fleet(num_replicas: int = 4, per_replica: int = 40, seed: int = 0) -> ClusterMetrics:
+        rng = make_rng(seed)
+        replicas = []
+        rid = 0
+        for rep in range(num_replicas):
+            requests = []
+            for _ in range(per_replica):
+                arrival = rng.uniform(0.0, 2.0)
+                admitted = arrival + rng.uniform(0.0, 0.05)
+                first = admitted + rng.uniform(0.001, 0.25)
+                finish = first + rng.uniform(0.01, 1.2)
+                requests.append(
+                    RequestMetrics(
+                        request_id=rid,
+                        arrival_s=arrival,
+                        admitted_s=admitted,
+                        first_token_s=first,
+                        finish_s=finish,
+                        prompt_tokens=64,
+                        output_tokens=1 + int(rng.integers(16)),
+                    ).validate()
+                )
+                rid += 1
+            replicas.append(replica(rep, requests))
+        return cluster(replicas, duration_s=4.0)
+
+    def test_merged_histogram_equals_one_histogram_over_all_requests(self):
+        metrics = self.seeded_fleet()
+        merged = metrics.merged_histogram("ttft")
+        direct = Histogram.of(r.ttft_s for r in metrics.requests)
+        assert merged.buckets == direct.buckets
+        assert merged.count == direct.count
+        assert merged.min_value == direct.min_value
+        assert merged.max_value == direct.max_value
+
+    def test_p95_ttft_within_documented_bound_of_exact(self):
+        metrics = self.seeded_fleet()
+        sketch = metrics.with_sketch()
+        bound = Histogram().relative_error_bound
+        for point in (50.0, 95.0, 99.0):
+            for accessor in ("ttft_percentile_ms", "latency_percentile_ms"):
+                want = getattr(metrics, accessor)(point)
+                got = getattr(sketch, accessor)(point)
+                assert abs(got - want) <= bound * want
+
+    def test_fleet_counters_unaffected_by_sketch(self):
+        metrics = self.seeded_fleet(num_replicas=2, per_replica=8)
+        sketch = metrics.with_sketch()
+        assert sketch.tokens_per_s == metrics.tokens_per_s
+        assert sketch.load_imbalance == metrics.load_imbalance
+        assert sketch.slo_attainment == metrics.slo_attainment
+
+    def test_exact_mode_serializes_without_sketch_key(self):
+        metrics = self.seeded_fleet(num_replicas=2, per_replica=4)
+        assert "sketch" not in metrics.to_dict()
+
+    def test_sketch_flag_round_trips(self):
+        sketch = self.seeded_fleet(num_replicas=2, per_replica=4).with_sketch()
+        data = sketch.to_dict()
+        assert data["sketch"] is True
+        assert ClusterMetrics.from_dict(data) == sketch
+
+    def test_smoke_seed_p95_ttft_within_bound(self):
+        # The acceptance criterion: on the `--smoke` seed (pinned by the
+        # golden fixture) the histogram-merged fleet p95 TTFT agrees with
+        # the exact-list path within the documented error bound.
+        fixture = Path(__file__).parents[1] / "golden" / "cluster_smoke.json"
+        metrics = ClusterMetrics.from_dict(json.loads(fixture.read_text()))
+        sketch = metrics.with_sketch()
+        bound = Histogram().relative_error_bound
+        exact = metrics.ttft_percentile_ms(95.0)
+        assert abs(sketch.ttft_percentile_ms(95.0) - exact) <= bound * exact

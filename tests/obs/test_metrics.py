@@ -1,0 +1,220 @@
+"""The mergeable metric primitives: histograms, counters, gauges.
+
+The load-bearing properties are the ones ``llamcat bench`` and the
+``--metrics-sketch`` percentile path rely on:
+
+* merge exactness -- bucket counts add, so any merge order of any partition
+  of a sample stream yields identical bucket tables;
+* the documented quantile error bound -- every sketch quantile is within
+  ``sqrt(growth) - 1`` relative error of the exact-list percentile;
+* quantile monotonicity -- p50 <= p95 <= p99 always;
+* serialization -- ``to_dict``/``from_dict`` round-trips every count exactly.
+
+``derandomize=True`` pins the hypothesis example corpus, like the golden
+fixtures, so CI never flakes on a novel example.
+"""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.mathutils import percentile
+from repro.obs.metrics import DEFAULT_GROWTH, Counter, Gauge, Histogram
+
+hypothesis = pytest.importorskip("hypothesis", reason="property tests need hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+settings.register_profile("repro-seeded", derandomize=True, deadline=None, max_examples=25)
+settings.load_profile("repro-seeded")
+
+#: Positive-or-zero finite sample streams spanning ~12 decades.
+samples = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+QUANTILE_POINTS = (0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0)
+
+
+def bucket_state(hist: Histogram) -> tuple:
+    """The exactly mergeable part of a histogram (no float accumulators)."""
+
+    return (dict(hist.buckets), hist.zero_count, hist.min_value, hist.max_value)
+
+
+class TestHistogramRecording:
+    def test_rejects_negative_and_non_finite(self):
+        hist = Histogram()
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ConfigError):
+                hist.record(bad)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ConfigError):
+            Histogram().record(1.0, count=0)
+
+    def test_rejects_growth_at_or_below_one(self):
+        with pytest.raises(ConfigError):
+            Histogram(growth=1.0)
+
+    def test_zeros_tracked_outside_log_buckets(self):
+        hist = Histogram.of([0.0, 0.0, 1.0])
+        assert hist.zero_count == 2
+        assert hist.count == 3
+        assert hist.quantile(0.0) == 0.0
+
+    def test_exact_aggregates(self):
+        values = [0.5, 1.0, 2.0, 4.0]
+        hist = Histogram.of(values)
+        assert hist.count == len(values)
+        assert hist.total == pytest.approx(sum(values))
+        assert hist.mean == pytest.approx(sum(values) / len(values))
+        assert hist.min_value == 0.5
+        assert hist.max_value == 4.0
+
+    def test_bucket_index_is_deterministic(self):
+        hist = Histogram()
+        for value in (1e-6, 0.37, 1.0, 42.0, 9.9e5):
+            index = hist.bucket_index(value)
+            assert hist.growth**index <= value * (1 + 1e-12)
+            assert value <= hist.growth ** (index + 1) * (1 + 1e-12)
+
+
+class TestHistogramMerge:
+    @given(samples, st.integers(min_value=1, max_value=199))
+    def test_merge_equals_one_shot_recording(self, values, split):
+        split = split % len(values) or 1 if len(values) > 1 else 0
+        left = Histogram.of(values[:split]) if split else Histogram()
+        right = Histogram.of(values[split:])
+        merged = left.merge(right)
+        assert bucket_state(merged) == bucket_state(Histogram.of(values))
+        assert merged.total == pytest.approx(sum(values), abs=1e-9)
+
+    @given(samples)
+    def test_merge_is_associative_on_buckets(self, values):
+        third = max(1, len(values) // 3)
+        a, b, c = values[:third], values[third : 2 * third], values[2 * third :]
+        left_first = Histogram.of(a).merge(Histogram.of(b)).merge(Histogram.of(c))
+        right_first = Histogram.of(a).merge(
+            Histogram.of(b).merge(Histogram.of(c))
+        )
+        assert bucket_state(left_first) == bucket_state(right_first)
+
+    def test_merge_rejects_mismatched_growth(self):
+        with pytest.raises(ConfigError):
+            Histogram(growth=1.05).merge(Histogram(growth=1.1))
+
+    def test_merge_into_empty_copies(self):
+        hist = Histogram.of([1.0, 2.0])
+        merged = Histogram().merge(hist)
+        assert bucket_state(merged) == bucket_state(hist)
+
+
+class TestHistogramQuantiles:
+    @given(samples)
+    def test_error_bound_vs_exact_percentile(self, values):
+        hist = Histogram.of(values)
+        bound = hist.relative_error_bound
+        for point in QUANTILE_POINTS:
+            exact = percentile(values, point)
+            assert abs(hist.quantile(point) - exact) <= bound * exact + 1e-12
+
+    @given(samples)
+    def test_quantiles_are_monotone(self, values):
+        hist = Histogram.of(values)
+        points = [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0]
+        results = hist.quantiles(points)
+        assert results == sorted(results)
+
+    @given(samples)
+    def test_quantiles_clamped_inside_exact_range(self, values):
+        hist = Histogram.of(values)
+        for point in QUANTILE_POINTS:
+            assert min(values) <= hist.quantile(point) <= max(values)
+
+    def test_default_growth_bound_is_documented(self):
+        # README/ISSUE promise ~2.5% worst-case error at the default growth.
+        assert Histogram().relative_error_bound == pytest.approx(
+            math.sqrt(DEFAULT_GROWTH) - 1.0
+        )
+        assert Histogram().relative_error_bound < 0.025
+
+    def test_empty_histogram_has_no_quantiles(self):
+        with pytest.raises(ConfigError):
+            Histogram().quantile(50.0)
+
+    def test_out_of_range_point_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram.of([1.0]).quantile(101.0)
+
+
+class TestHistogramSerialization:
+    @given(samples)
+    def test_round_trip_is_exact(self, values):
+        hist = Histogram.of(values)
+        restored = Histogram.from_dict(hist.to_dict())
+        assert restored == hist
+        assert restored.to_dict() == hist.to_dict()
+
+    @given(samples)
+    def test_restored_histogram_still_merges(self, values):
+        hist = Histogram.of(values)
+        restored = Histogram.from_dict(hist.to_dict())
+        merged = restored.merge(Histogram.of(values))
+        assert merged.count == 2 * hist.count
+
+    def test_bucket_keys_serialize_as_sorted_strings(self):
+        data = Histogram.of([0.5, 1.5, 300.0]).to_dict()
+        keys = list(data["buckets"])
+        assert all(isinstance(k, str) for k in keys)
+        assert [int(k) for k in keys] == sorted(int(k) for k in keys)
+
+
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        assert a.merge(b).value == 7
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ConfigError):
+            Counter().inc(-1)
+
+    def test_round_trip(self):
+        counter = Counter(value=9)
+        assert Counter.from_dict(counter.to_dict()) == counter
+
+
+class TestGauge:
+    def test_set_tracks_extremes(self):
+        gauge = Gauge()
+        for value in (3.0, 1.0, 5.0):
+            gauge.set(value)
+        assert (gauge.last, gauge.min_value, gauge.max_value) == (5.0, 1.0, 5.0)
+
+    def test_merge_keeps_joint_extremes_and_other_last(self):
+        a, b = Gauge(), Gauge()
+        a.set(2.0)
+        b.set(7.0)
+        b.set(1.0)
+        merged = a.merge(b)
+        assert (merged.last, merged.min_value, merged.max_value) == (1.0, 1.0, 7.0)
+
+    def test_merge_with_empty_is_identity_on_extremes(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        merged = gauge.merge(Gauge())
+        assert (merged.min_value, merged.max_value) == (4.0, 4.0)
+
+    def test_round_trip(self):
+        gauge = Gauge()
+        gauge.set(2.5)
+        assert Gauge.from_dict(gauge.to_dict()) == gauge

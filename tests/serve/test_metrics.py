@@ -1,8 +1,13 @@
 """Serving metrics: derived aggregates, SLOs and serialization round-trips."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.obs.metrics import Histogram
 from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
 
 
@@ -163,3 +168,71 @@ class TestServeMetrics:
 
     def test_result_kind_tag(self):
         assert ServeMetrics.result_kind == "serve"
+
+
+class TestSketchPercentiles:
+    """The ``--metrics-sketch`` path: bounded error, identical serialization."""
+
+    @staticmethod
+    def seeded_metrics(n: int = 120, seed: int = 0) -> ServeMetrics:
+        rng = make_rng(seed)
+        requests = []
+        for rid in range(n):
+            arrival = rng.uniform(0.0, 2.0)
+            admitted = arrival + rng.uniform(0.0, 0.05)
+            first = admitted + rng.uniform(0.001, 0.2)
+            finish = first + rng.uniform(0.01, 1.5)
+            requests.append(
+                RequestMetrics(
+                    request_id=rid,
+                    arrival_s=arrival,
+                    admitted_s=admitted,
+                    first_token_s=first,
+                    finish_s=finish,
+                    prompt_tokens=128,
+                    output_tokens=1 + int(rng.integers(32)),
+                ).validate()
+            )
+        return metrics_of(requests, duration=4.0)
+
+    def test_sketch_percentiles_within_documented_bound(self):
+        exact = self.seeded_metrics()
+        sketch = exact.with_sketch()
+        bound = Histogram().relative_error_bound
+        for point in (50.0, 90.0, 95.0, 99.0):
+            for accessor in ("latency_percentile_ms", "ttft_percentile_ms"):
+                want = getattr(exact, accessor)(point)
+                got = getattr(sketch, accessor)(point)
+                assert abs(got - want) <= bound * want
+
+    def test_throughput_unaffected_by_sketch(self):
+        exact = self.seeded_metrics()
+        sketch = exact.with_sketch()
+        assert sketch.tokens_per_s == exact.tokens_per_s
+        assert sketch.requests_per_s == exact.requests_per_s
+        assert sketch.mean_tpot_ms == exact.mean_tpot_ms
+
+    def test_with_sketch_is_idempotent(self):
+        metrics = self.seeded_metrics(n=4)
+        sketch = metrics.with_sketch()
+        assert sketch.with_sketch() is sketch
+        assert sketch.with_sketch(False).sketch is False
+
+    def test_exact_mode_serializes_without_sketch_key(self):
+        # Golden fixtures predate the sketch flag; off must stay byte-identical.
+        assert "sketch" not in self.seeded_metrics(n=4).to_dict()
+
+    def test_sketch_flag_round_trips(self):
+        sketch = self.seeded_metrics(n=4).with_sketch()
+        data = sketch.to_dict()
+        assert data["sketch"] is True
+        assert ServeMetrics.from_dict(data) == sketch
+
+    def test_smoke_seed_percentiles_within_bound(self):
+        fixture = Path(__file__).parents[1] / "golden" / "serve_smoke.json"
+        metrics = ServeMetrics.from_dict(json.loads(fixture.read_text()))
+        sketch = metrics.with_sketch()
+        bound = Histogram().relative_error_bound
+        for point in (50.0, 95.0, 99.0):
+            exact = metrics.ttft_percentile_ms(point)
+            assert abs(sketch.ttft_percentile_ms(point) - exact) <= bound * exact

@@ -307,3 +307,31 @@ class TestFind:
         store.put(tiny_points[2], result=sim_result)
         with pytest.raises(KeyError, match="ambiguous"):
             store.find(tiny_points[0].label)
+
+    def test_missing_prefix_suggests_available_records(self, store, tiny_points):
+        with pytest.raises(KeyError) as excinfo:
+            store.find("zzzz-no-such-key")
+        message = excinfo.value.args[0]
+        assert "available:" in message
+        for point in tiny_points[:2]:
+            assert point.key()[:12] in message
+            assert point.label in message
+
+    def test_missing_prefix_on_empty_store_has_no_suggestions(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        with pytest.raises(KeyError) as excinfo:
+            store.find("anything")
+        message = excinfo.value.args[0]
+        assert "0 records" in message
+        assert "available:" not in message
+
+    def test_ambiguous_error_lists_every_match(self, tmp_path, tiny_points, sim_result):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.put(tiny_points[0], result=sim_result)
+        store.put(tiny_points[2], result=sim_result)
+        with pytest.raises(KeyError) as excinfo:
+            store.find(tiny_points[0].label)
+        message = excinfo.value.args[0]
+        assert "ambiguous" in message
+        for point in (tiny_points[0], tiny_points[2]):
+            assert point.key()[:12] in message

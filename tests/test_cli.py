@@ -497,3 +497,251 @@ class TestTimelineCommand:
         assert main([*self.SWEEP, "--store", store]) == 0
         with pytest.raises(SystemExit, match="no stored result"):
             main(["timeline", store, "zzzz"])
+
+    def test_timeline_unknown_key_suggests_available(self, capsys, tmp_path):
+        from repro.sweep.store import ResultStore
+
+        store = str(tmp_path / "results.jsonl")
+        assert main([*self.SWEEP, "--store", store]) == 0
+        key = next(ResultStore(store).records()).key
+        with pytest.raises(SystemExit, match="available:") as excinfo:
+            main(["timeline", store, "zzzz"])
+        message = str(excinfo.value)
+        assert key[:12] in message
+        assert "unopt@poisson@2000" in message
+
+    def test_timeline_ambiguous_prefix_lists_matches(self, tmp_path):
+        from repro.serve.metrics import ServeMetrics
+        from repro.sweep.store import ResultStore
+
+        class Point:
+            def __init__(self, key, label):
+                self._key, self.label = key, label
+
+            def key(self):
+                return self._key
+
+            def config_dict(self):
+                return {}
+
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path)
+        result = ServeMetrics(
+            label="amb", workload="w", frequency_ghz=2.0, duration_s=1.0,
+            steps=1, total_cycles=1, requests=(),
+        )
+        store.put(Point("feed0" + "0" * 35, "amb-one"), result=result)
+        store.put(Point("feed1" + "1" * 35, "amb-two"), result=result)
+        with pytest.raises(SystemExit, match="ambiguous") as excinfo:
+            main(["timeline", path, "feed"])
+        message = str(excinfo.value)
+        assert "amb-one" in message and "amb-two" in message
+
+
+class TestBenchCommand:
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.benches is None
+        assert args.tier == "ci"
+        assert (args.warmup, args.repeat) == (0, 1)
+        assert args.root == "."
+        assert args.compare is None
+        assert args.threshold == 10.0
+        assert args.wall_threshold is None
+
+    def test_list_benches(self, capsys):
+        assert main(["list", "benches"]) == 0
+        out = capsys.readouterr().out
+        assert "serve_throughput" in out
+        assert "table5_config" in out
+        assert "hwcost_area" in out
+
+    def test_unknown_bench_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="bench"):
+            main(["bench", "--bench", "warp-drive", "--root", str(tmp_path)])
+
+    def test_failing_bench_does_not_silence_the_rest(self, capsys, tmp_path):
+        from repro.bench.registry import BENCHES, BenchOutput, BenchValue, register_bench
+        from repro.bench.trend import load_trend, trend_path
+
+        @register_bench("boom")
+        def boom(tier):
+            raise RuntimeError("3/15 sweep points failed")
+
+        @register_bench("steady")
+        def steady(tier):
+            return BenchOutput(
+                bench="steady",
+                config={"tier": tier.name},
+                values=(BenchValue("ticks", 1.0, ""),),
+            )
+
+        try:
+            code = main(
+                ["bench", "--bench", "boom", "--bench", "steady",
+                 "--tier", "smoke", "--root", str(tmp_path)]
+            )
+        finally:
+            BENCHES.unregister("boom")
+            BENCHES.unregister("steady")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED boom: RuntimeError: 3/15 sweep points failed" in out
+        assert "1/2 benches failed: boom" in out
+        # The failure is isolated: the healthy bench still ran and recorded.
+        assert "bench steady" in out
+        assert load_trend(trend_path(tmp_path, "steady"))
+
+    def test_run_appends_schema_valid_trend_records(self, capsys, tmp_path):
+        from repro.bench.trend import load_trend, trend_path, validate_trends
+
+        assert main(
+            ["bench", "--bench", "table5_config", "--tier", "smoke",
+             "--root", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bench table5_config" in out
+        assert "trend:" in out
+        path = trend_path(tmp_path, "table5_config")
+        records = load_trend(path)
+        assert records
+        assert all(r.bench == "table5_config" for r in records)
+        assert validate_trends(tmp_path).ok
+
+    def test_repeat_appends_history(self, capsys, tmp_path):
+        from repro.bench.trend import load_trend, trend_path
+
+        args = ["bench", "--bench", "table5_config", "--tier", "smoke",
+                "--root", str(tmp_path)]
+        assert main(args) == 0
+        first = load_trend(trend_path(tmp_path, "table5_config"))
+        assert main(args) == 0
+        second = load_trend(trend_path(tmp_path, "table5_config"))
+        assert len(second) == 2 * len(first)
+
+    def test_no_write_leaves_root_untouched(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--bench", "table5_config", "--tier", "smoke",
+             "--root", str(tmp_path), "--no-write"]
+        ) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_self_compare_after_two_runs_is_ok(self, capsys, tmp_path):
+        args = ["bench", "--bench", "table5_config", "--tier", "smoke",
+                "--root", str(tmp_path)]
+        assert main(args) == 0
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["bench", "--root", str(tmp_path), "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+        assert "+0.0%" in out
+
+    def test_synthetic_slowdown_gates_compare(self, capsys, tmp_path):
+        from dataclasses import replace
+
+        from repro.bench.trend import append_trend, load_trend, trend_path
+
+        args = ["bench", "--bench", "table5_config", "--tier", "smoke",
+                "--root", str(tmp_path)]
+        assert main(args) == 0
+        path = trend_path(tmp_path, "table5_config")
+        # Fake a run where every cycle count doubled (a 2x slowdown).
+        slow = [replace(r, value=r.value * 2.0) for r in load_trend(path)]
+        append_trend(path, slow)
+        capsys.readouterr()
+        assert main(["bench", "--root", str(tmp_path), "--compare"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "+100.0%" in out
+
+    def test_compare_against_separate_baseline_root(self, capsys, tmp_path):
+        from dataclasses import replace
+
+        from repro.bench.trend import load_trend, trend_path, write_trend
+
+        current, baseline = tmp_path / "cur", tmp_path / "base"
+        assert main(
+            ["bench", "--bench", "table5_config", "--tier", "smoke",
+             "--root", str(current)]
+        ) == 0
+        records = load_trend(trend_path(current, "table5_config"))
+        write_trend(trend_path(baseline, "table5_config"), records)
+        capsys.readouterr()
+        assert main(
+            ["bench", "--root", str(current), "--compare", str(baseline)]
+        ) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_validate_reports_broken_trend_file(self, capsys, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{oops")
+        assert main(["bench", "--root", str(tmp_path), "--validate"]) == 1
+        assert "invalid trend file" in capsys.readouterr().out
+
+    def test_validate_ok_on_committed_root(self, capsys):
+        # The repo root's own BENCH_*.json files must always be schema-valid.
+        assert main(["bench", "--root", ".", "--validate"]) == 0
+        assert "trend schema OK" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def run_bench_once(self, tmp_path) -> str:
+        assert main(
+            ["bench", "--bench", "table5_config", "--tier", "smoke",
+             "--root", str(tmp_path)]
+        ) == 0
+        return str(tmp_path)
+
+    def test_report_requires_an_input(self):
+        with pytest.raises(SystemExit, match="--trend-root"):
+            main(["report"])
+
+    def test_markdown_report_from_trend_root(self, capsys, tmp_path):
+        root = self.run_bench_once(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--trend-root", root]) == 0
+        out = capsys.readouterr().out
+        assert "# llamcat run report" in out
+        assert "table5_config" in out
+
+    def test_html_report_written_to_file(self, capsys, tmp_path):
+        root = self.run_bench_once(tmp_path)
+        out_file = tmp_path / "report.html"
+        assert main(
+            ["report", "--trend-root", root, "--format", "html",
+             "--out", str(out_file), "--title", "smoke perf"]
+        ) == 0
+        text = out_file.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "smoke perf" in text
+        assert "report:" in capsys.readouterr().out
+
+    def test_report_from_store_renders_timelines(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main([
+            "sweep", "--serve", "--tier", "smoke", "--model", "llama3-70b",
+            "--rate", "2000", "--num-requests", "8", "--max-batch", "2",
+            "--telemetry", "2", "--quiet", "--store", store,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "Stored results" in out
+        assert "Per-phase latency breakdown" in out
+        assert "Telemetry timelines" in out
+
+    def test_missing_store_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["report", "--store", str(tmp_path / "nope.jsonl")])
+
+
+class TestMetricsSketchFlag:
+    def test_serve_smoke_with_sketch(self, capsys):
+        assert main(["serve", "--smoke", "--seed", "0", "--metrics-sketch"]) == 0
+        out = capsys.readouterr().out
+        assert "p95" in out and "tokens/s" in out
+
+    def test_cluster_smoke_with_sketch(self, capsys):
+        assert main(["cluster", "--smoke", "--seed", "0", "--metrics-sketch"]) == 0
+        out = capsys.readouterr().out
+        assert "p95" in out
