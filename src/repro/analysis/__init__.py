@@ -20,6 +20,11 @@ machine-checked invariants:
   through a zero-overhead probe hook on the serve/cluster simulators, plus
   ``check_determinism`` which runs a scenario twice and bisects to the first
   divergent step (``llamcat check --determinism``).
+* :mod:`repro.analysis.liveness` -- the kernel-sim liveness smoke: runs the
+  previously-livelocked cobrra drain point twice, demanding ``completed``
+  status and byte-identical results, and a starvation fault injector proving
+  the engine watchdog turns the regression into a structured stall report
+  (``llamcat check --determinism liveness-smoke``).
 
 Quick start::
 
@@ -47,6 +52,12 @@ from repro.analysis.engine import (
     register_rule,
     rule_codes,
 )
+from repro.analysis.liveness import (
+    LivenessReport,
+    StarvationInjectedArbiter,
+    check_liveness,
+    livelock_scenario,
+)
 from repro.analysis.runtime import (
     DeterminismReport,
     RngJitterArrival,
@@ -61,21 +72,25 @@ __all__ = [
     "DeterminismReport",
     "Finding",
     "LintRule",
+    "LivenessReport",
     "NOQA_PATTERN",
     "ParsedModule",
     "ProjectRule",
     "RULES",
     "RngJitterArrival",
+    "StarvationInjectedArbiter",
     "StepDigest",
     "StepProbe",
     "all_rules",
     "check_determinism",
+    "check_liveness",
     "check_paths",
     "check_source",
     "collect_digests",
     "discover_files",
     "explain_rule",
     "findings_to_json",
+    "livelock_scenario",
     "localize_divergence",
     "parse_module",
     "register_rule",

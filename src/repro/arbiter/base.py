@@ -37,6 +37,12 @@ class BaseArbiter:
         self.num_cores = num_cores
         self.progress_counters: list[int] = [0] * num_cores
         self.stats = ArbiterStats()
+        # -- storage-port arbitration grant counters (kept on the base class so
+        # conservation -- grants summing to calls -- holds for every policy).
+        self.response_priority_grants = 0
+        self.request_priority_grants = 0
+        self.default_priority_grants = 0
+        self.arbitration_calls = 0
 
     # -- request selection -----------------------------------------------------------
     def select(
@@ -70,16 +76,44 @@ class BaseArbiter:
 
     # -- request-vs-response arbitration hook ----------------------------------------------
     def wants_response_priority(
-        self, resp_queue_len: int, resp_queue_capacity: int
+        self, resp_queue_len: int, resp_queue_capacity: int, req_queue_len: int
     ) -> bool | None:
         """Override the slice's request/response arbitration.
 
         Return ``True`` to force serving a response this cycle, ``False`` to
         force serving a request, or ``None`` to use the slice's configured
         default (response-queue-first in the paper's experiments).
+
+        Liveness contract (pinned by the arbiter conformance suite): an
+        implementation must never return ``False`` while ``req_queue_len`` is
+        zero and ``resp_queue_len`` is positive -- forcing request priority
+        with nothing to serve starves the response queue and livelocks the
+        uncore drain once the request stream dries up.
         """
 
         return None
+
+    def arbitrate_port(
+        self, resp_queue_len: int, resp_queue_capacity: int, req_queue_len: int
+    ) -> bool | None:
+        """Storage-port arbitration entry point used by the LLC slice.
+
+        Delegates the decision to :meth:`wants_response_priority` and keeps the
+        grant accounting in one place so every policy satisfies
+        ``response + request + default grants == arbitration calls``.
+        """
+
+        decision = self.wants_response_priority(
+            resp_queue_len, resp_queue_capacity, req_queue_len
+        )
+        self.arbitration_calls += 1
+        if decision is True:
+            self.response_priority_grants += 1
+        elif decision is False:
+            self.request_priority_grants += 1
+        else:
+            self.default_priority_grants += 1
+        return decision
 
     # -- control ------------------------------------------------------------------------------
     def reset_progress(self) -> None:

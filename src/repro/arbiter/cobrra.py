@@ -27,29 +27,28 @@ class CobrraArbiter(BaseArbiter):
         params.validate()
         self.params = params
         self._serve_response_next = False
-        self.response_priority_grants = 0
-        self.request_priority_grants = 0
 
     def wants_response_priority(
-        self, resp_queue_len: int, resp_queue_capacity: int
+        self, resp_queue_len: int, resp_queue_capacity: int, req_queue_len: int
     ) -> bool | None:
         """Prioritise requests until the response queue crosses the threshold.
 
         Above the threshold, alternate between responses and requests so the
-        response queue drains without starving the request path.
+        response queue drains without starving the request path.  When the
+        request queue is empty there is nothing to prioritise: pending
+        responses get the storage port unconditionally, which guarantees the
+        response queue drains once the request stream dries up (below the
+        occupancy threshold the old behaviour kept forcing request priority
+        forever, livelocking the uncore drain at the end of the operator).
         """
 
-        occupancy = resp_queue_len / resp_queue_capacity if resp_queue_capacity else 0.0
         if resp_queue_len == 0:
-            self.request_priority_grants += 1
             return False
+        if req_queue_len == 0:
+            return True
+        occupancy = resp_queue_len / resp_queue_capacity if resp_queue_capacity else 0.0
         if occupancy < self.params.resp_priority_threshold:
-            self.request_priority_grants += 1
             return False
         # Saturated response queue: serve responses and requests in turn.
         self._serve_response_next = not self._serve_response_next
-        if self._serve_response_next:
-            self.response_priority_grants += 1
-            return True
-        self.request_priority_grants += 1
-        return False
+        return self._serve_response_next

@@ -1,4 +1,11 @@
-"""Construct the arbiter instance requested by a :class:`PolicyConfig`."""
+"""Construct the arbiter instance requested by a :class:`PolicyConfig`.
+
+Every arbitration policy is registered in the :data:`repro.registry.ARBITERS`
+registry under its :class:`ArbitrationKind` value, so new policies plug in
+with one decorator and are automatically covered by the arbiter conformance
+suite (``tests/arbiter/test_conformance.py``), which pins the response-drain
+guarantee and grant-count conservation for every registered entry.
+"""
 
 from __future__ import annotations
 
@@ -10,30 +17,64 @@ from repro.arbiter.mshr_aware import BalancedMshrAwareArbiter, MshrAwareArbiter
 from repro.common.errors import ConfigError
 from repro.config.policies import ArbitrationKind, PolicyConfig
 from repro.config.system import L2Config
+from repro.registry import ARBITERS, register_arbiter
+
+
+@register_arbiter(ArbitrationKind.FCFS.value, description="First-come first-served")
+def _build_fcfs(policy: PolicyConfig, l2: L2Config, num_cores: int) -> BaseArbiter:
+    return FcfsArbiter(num_cores)
+
+
+@register_arbiter(
+    ArbitrationKind.BALANCED.value,
+    description="'B': smallest per-core progress counter first",
+)
+def _build_balanced(policy: PolicyConfig, l2: L2Config, num_cores: int) -> BaseArbiter:
+    return BalancedArbiter(num_cores)
+
+
+@register_arbiter(
+    ArbitrationKind.MSHR_AWARE.value,
+    description="'MA': predicted cache hits > MSHR hits > others",
+)
+def _build_mshr_aware(policy: PolicyConfig, l2: L2Config, num_cores: int) -> BaseArbiter:
+    return MshrAwareArbiter(
+        num_cores,
+        policy.mshr_aware,
+        hit_latency=l2.hit_latency,
+        mshr_latency=l2.mshr_latency,
+    )
+
+
+@register_arbiter(
+    ArbitrationKind.BALANCED_MSHR_AWARE.value,
+    description="'BMA': MSHR-aware with balanced tie-breaking",
+)
+def _build_balanced_mshr_aware(
+    policy: PolicyConfig, l2: L2Config, num_cores: int
+) -> BaseArbiter:
+    return BalancedMshrAwareArbiter(
+        num_cores,
+        policy.mshr_aware,
+        hit_latency=l2.hit_latency,
+        mshr_latency=l2.mshr_latency,
+    )
+
+
+@register_arbiter(
+    ArbitrationKind.COBRRA.value,
+    description="COBRRA baseline: occupancy-driven request/response arbitration",
+)
+def _build_cobrra(policy: PolicyConfig, l2: L2Config, num_cores: int) -> BaseArbiter:
+    return CobrraArbiter(num_cores, policy.cobrra)
 
 
 def make_arbiter(policy: PolicyConfig, l2: L2Config, num_cores: int) -> BaseArbiter:
     """Build one arbiter (per LLC slice) for the configured arbitration policy."""
 
     kind = policy.arbitration
-    if kind == ArbitrationKind.FCFS:
-        return FcfsArbiter(num_cores)
-    if kind == ArbitrationKind.BALANCED:
-        return BalancedArbiter(num_cores)
-    if kind == ArbitrationKind.MSHR_AWARE:
-        return MshrAwareArbiter(
-            num_cores,
-            policy.mshr_aware,
-            hit_latency=l2.hit_latency,
-            mshr_latency=l2.mshr_latency,
-        )
-    if kind == ArbitrationKind.BALANCED_MSHR_AWARE:
-        return BalancedMshrAwareArbiter(
-            num_cores,
-            policy.mshr_aware,
-            hit_latency=l2.hit_latency,
-            mshr_latency=l2.mshr_latency,
-        )
-    if kind == ArbitrationKind.COBRRA:
-        return CobrraArbiter(num_cores, policy.cobrra)
-    raise ConfigError(f"unsupported arbitration kind {kind}")
+    try:
+        builder = ARBITERS.get(kind.value)
+    except ConfigError as exc:
+        raise ConfigError(f"unsupported arbitration kind {kind}") from exc
+    return builder(policy, l2, num_cores)

@@ -43,6 +43,7 @@ from dataclasses import replace
 from repro.analysis import (
     RngJitterArrival,
     check_determinism,
+    check_liveness,
     check_paths,
     discover_files,
     explain_rule,
@@ -60,7 +61,7 @@ from repro.bench.trend import (
 )
 from repro.cluster.scenario import ClusterScenario, parse_disaggregated
 from repro.cluster.sweep import ClusterSweepSpec
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, LivelockError
 from repro.config.presets import FIG9_L2_MIB, FIG9_SEQ_LEN
 from repro.config.scale import parse_tier
 from repro.dataflow.analytical import analyze
@@ -475,17 +476,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_p.add_argument(
         "--determinism", metavar="SCENARIO", default=None,
-        choices=("serve-smoke", "cluster-smoke"),
+        choices=("serve-smoke", "cluster-smoke", "liveness-smoke"),
         help="run SCENARIO twice and bisect to the first divergent step "
-             "instead of linting",
+             "instead of linting; liveness-smoke runs the previously-"
+             "livelocked cobrra kernel point and demands completed status "
+             "plus byte-identical results",
     )
     check_p.add_argument(
         "--inject-rng", action="store_true",
         help="with --determinism: inject an unseeded-RNG arrival jitter to "
              "demonstrate localization (expected to diverge, exits 1)",
     )
+    check_p.add_argument(
+        "--inject-starvation", action="store_true",
+        help="with --determinism liveness-smoke: swap the pre-fix starving "
+             "cobrra arbiter back in to demonstrate the liveness watchdog "
+             "(expected to livelock with a stall report, exits 1)",
+    )
     check_p.add_argument("--seed", type=int, default=0,
                          help="scenario seed for --determinism")
+    check_p.add_argument(
+        "--patience", type=int, default=None, metavar="CYCLES",
+        help="liveness watchdog patience for --determinism liveness-smoke "
+             "(default: the engine default)",
+    )
 
     list_p = sub.add_parser("list", help="list registered scenario components")
     list_p.add_argument(
@@ -1071,6 +1085,17 @@ def _check_command(args: argparse.Namespace) -> int:
         print(explain_rule(args.explain))
         return 0
 
+    if args.determinism == "liveness-smoke":
+        kwargs = {} if args.patience is None else {"patience": args.patience}
+        liveness = check_liveness(
+            inject_starvation=args.inject_starvation, **kwargs
+        )
+        if args.format == "json":
+            print(json.dumps(liveness.to_dict(), sort_keys=True, indent=2))
+        else:
+            print(liveness.render())
+        return 0 if liveness.ok else 1
+
     if args.determinism is not None:
         scenario = _determinism_scenario(args.determinism, args.seed)
         wrap = (lambda arrival: RngJitterArrival(arrival)) if args.inject_rng else None
@@ -1132,8 +1157,14 @@ def _dispatch(args: argparse.Namespace) -> int:
             seq_len=args.seq_len,
             tier=parse_tier(args.tier),
         ).validate()
-        baseline = replace(scenario, policy="unopt", label="unoptimized").run()
-        result = scenario.run()
+        try:
+            baseline = replace(scenario, policy="unopt", label="unoptimized").run()
+            result = scenario.run()
+        except LivelockError as exc:
+            # The message embeds the rendered stall report (queue occupancies,
+            # MSHR state, arbiter grants, first stuck cycle).
+            print(f"LIVELOCK: {exc}")
+            return 1
         print(baseline.summary())
         print(result.summary())
         print(f"speedup over unoptimized: {baseline.cycles / result.cycles:.3f}x")

@@ -17,5 +17,20 @@ class SimulationError(ReproError):
     """
 
 
+class LivelockError(SimulationError):
+    """Raised by the liveness watchdog when a run stops making progress.
+
+    ``report`` is the structured :class:`repro.sim.liveness.StallReport`
+    snapshot taken at the moment the watchdog fired (``None`` only when the
+    error is constructed without one); the rendered report is also embedded
+    in the message so any layer that merely stringifies the failure -- sweep
+    failure records, CI logs -- still shows the component-level stall state.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class TraceError(ReproError):
     """Raised when a memory trace is malformed or inconsistent."""

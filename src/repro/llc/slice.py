@@ -173,8 +173,8 @@ class LLCSlice:
         has_request = bool(self.request_queue) and not self.stalled
         if not has_response:
             return False
-        override = self.arbiter.wants_response_priority(
-            len(self.response_queue), self.response_queue.capacity
+        override = self.arbiter.arbitrate_port(
+            len(self.response_queue), self.response_queue.capacity, len(self.request_queue)
         )
         if override is not None:
             return override and has_response

@@ -129,6 +129,18 @@ class Interconnect:
             core_sinks[resp.core_id](resp, cycle)
 
     # -- engine support ----------------------------------------------------------------------
+    @property
+    def in_flight_requests(self) -> int:
+        return len(self._req_in_flight)
+
+    @property
+    def in_flight_responses(self) -> int:
+        return len(self._resp_in_flight)
+
+    @property
+    def staged_requests(self) -> int:
+        return sum(len(staging) for staging in self._staging)
+
     def has_work(self) -> bool:
         return bool(self._req_in_flight or self._resp_in_flight) or any(self._staging)
 

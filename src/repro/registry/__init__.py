@@ -1,6 +1,6 @@
 """Scenario-component registries: the extension point of the whole stack.
 
-Seven global registries name every pluggable piece of a simulation:
+Eight global registries name every pluggable piece of a simulation:
 
 * :data:`WORKLOADS` -- ``name -> builder(seq_len) -> WorkloadConfig``
 * :data:`SYSTEMS`   -- ``name -> builder() -> SystemConfig``
@@ -13,6 +13,8 @@ Seven global registries name every pluggable piece of a simulation:
   SchedulerPolicy`` (prefill/decode step planning for :mod:`repro.serve`)
 * :data:`ROUTERS`   -- ``name -> builder(num_replicas, **params) -> Router``
   (replica dispatch for :mod:`repro.cluster`)
+* :data:`ARBITERS`  -- ``kind -> builder(policy, l2, num_cores) ->
+  BaseArbiter`` (LLC-slice request/response arbitration policies)
 
 Registering a component makes it usable everywhere at once -- the CLI
 (``llamcat list/run/sweep``), declarative sweep grids, the figure harnesses and
@@ -69,6 +71,11 @@ SCHEDULERS: Registry = Registry(
 ROUTERS: Registry = Registry(
     "router",
     bootstrap=("repro.cluster.router",),
+    normalize=_policy_norm,
+)
+ARBITERS: Registry = Registry(
+    "arbiter",
+    bootstrap=("repro.arbiter.factory",),
     normalize=_policy_norm,
 )
 
@@ -134,6 +141,19 @@ def register_router(name: str, **kwargs):
     return ROUTERS.register(name, **kwargs)
 
 
+def register_arbiter(name: str, **kwargs):
+    """Register an LLC-slice arbiter builder under an arbitration-kind name.
+
+    The builder signature is ``(policy, l2, num_cores) -> BaseArbiter`` -- see
+    :mod:`repro.arbiter.factory` for the built-in policies.  Every registered
+    arbiter is pinned by the conformance suite in
+    ``tests/arbiter/test_conformance.py`` (drain guarantee, grant-count
+    conservation).
+    """
+
+    return ARBITERS.register(name, **kwargs)
+
+
 # -- resolution helpers (name strings -> config objects) ---------------------------------
 def resolve_workload(name: str, seq_len: int | None = None) -> "WorkloadConfig":
     """Build the workload registered under ``name``.
@@ -177,6 +197,12 @@ def resolve_router(name: str):
     return ROUTERS.get(name)
 
 
+def resolve_arbiter(name: str):
+    """The arbiter builder registered under ``name`` (an arbitration kind)."""
+
+    return ARBITERS.get(name)
+
+
 def resolve_policy(label: str):
     """Build a policy from a registered label or a compositional one.
 
@@ -190,6 +216,7 @@ def resolve_policy(label: str):
 
 
 __all__ = [
+    "ARBITERS",
     "ARRIVALS",
     "POLICIES",
     "ROUTERS",
@@ -199,6 +226,7 @@ __all__ = [
     "SYSTEMS",
     "THROTTLES",
     "WORKLOADS",
+    "register_arbiter",
     "register_arrival",
     "register_policy",
     "register_router",
@@ -206,6 +234,7 @@ __all__ = [
     "register_system",
     "register_throttle",
     "register_workload",
+    "resolve_arbiter",
     "resolve_arrival",
     "resolve_policy",
     "resolve_router",

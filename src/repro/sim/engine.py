@@ -5,6 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import SimulationError
+from repro.sim.liveness import (
+    LivenessConfig,
+    LivenessWatchdog,
+    StallReport,
+    TerminationStatus,
+    build_stall_report,
+)
 from repro.sim.system import SimulatedSystem
 
 #: Default safety bound; a decode-operator run at CI scale finishes in well under
@@ -22,19 +29,39 @@ class EngineReport:
     cycles: int
     finished: bool
     finish_checks: int
+    status: TerminationStatus = TerminationStatus.COMPLETED
+    #: Component-level stall snapshot; set only when ``status`` is not
+    #: ``completed`` and the engine ran with ``raise_on_stall=False``.
+    stall_report: StallReport | None = None
 
 
 class SimulationEngine:
-    """Drives a :class:`SimulatedSystem` cycle by cycle until it drains."""
+    """Drives a :class:`SimulatedSystem` cycle by cycle until it drains.
 
-    def __init__(self, system: SimulatedSystem, max_cycles: int = DEFAULT_MAX_CYCLES) -> None:
+    A :class:`~repro.sim.liveness.LivenessWatchdog` samples per-component
+    forward-progress counters at the finish-check cadence and aborts the run
+    with a :class:`~repro.common.errors.LivelockError` long before the cycle
+    guard when nothing moves for ``liveness.patience`` cycles.
+    """
+
+    def __init__(
+        self,
+        system: SimulatedSystem,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        liveness: LivenessConfig | None = None,
+    ) -> None:
         if max_cycles <= 0:
             raise SimulationError("max_cycles must be positive")
         self.system = system
         self.max_cycles = max_cycles
+        self.liveness = (liveness if liveness is not None else LivenessConfig()).validate()
 
-    def run(self) -> EngineReport:
+    def run(self, raise_on_stall: bool = True) -> EngineReport:
+        """Run to completion; ``raise_on_stall=False`` returns a report with a
+        ``livelock`` / ``max_cycles`` status instead of raising."""
+
         system = self.system
+        watchdog = LivenessWatchdog(system, self.liveness)
         finish_checks = 0
         cycle = 0
         for cycle in range(self.max_cycles):
@@ -45,8 +72,33 @@ class SimulationEngine:
                 finish_checks += 1
                 if system.finished():
                     return EngineReport(cycles=cycle + 1, finished=True, finish_checks=finish_checks)
+                try:
+                    watchdog.observe(cycle)
+                except SimulationError as exc:
+                    if raise_on_stall:
+                        raise
+                    return EngineReport(
+                        cycles=cycle + 1,
+                        finished=False,
+                        finish_checks=finish_checks,
+                        status=TerminationStatus.LIVELOCK,
+                        stall_report=getattr(exc, "report", None),
+                    )
         if system.finished():
             return EngineReport(cycles=cycle + 1, finished=True, finish_checks=finish_checks)
+        if not raise_on_stall:
+            return EngineReport(
+                cycles=cycle + 1,
+                finished=False,
+                finish_checks=finish_checks,
+                status=TerminationStatus.MAX_CYCLES,
+                stall_report=build_stall_report(
+                    system,
+                    cycle=cycle,
+                    first_stuck_cycle=watchdog.last_progress_cycle,
+                    patience=self.liveness.patience,
+                ),
+            )
         raise SimulationError(
             f"simulation did not complete within {self.max_cycles} cycles: "
             f"{system.scheduler.completed}/{system.scheduler.total_blocks} thread blocks done, "

@@ -1,0 +1,248 @@
+"""Forward-progress tracking and livelock detection for the cycle engine.
+
+A simulation that can no longer make progress used to burn silently to the
+20M-cycle engine guard (the cobrra drain livelock was found exactly this way:
+every thread block complete, zero outstanding core requests, yet
+``SimulatedSystem.finished()`` never went true because below-threshold
+responses starved in the LLC response queues).  This module gives the engine a
+cheap, deterministic watchdog:
+
+* :func:`progress_signature` samples one monotone counter per kind of forward
+  progress in every component -- thread-block retirements, core issues, NoC
+  flit injections, LLC transactions (hits/misses/MSHR merges/allocations/
+  storage fills), DRAM bursts and arbiter request selections.  Pure stall
+  counters (``stall_cycles``, ``busy_cycles``, idle/mem-stall cycles, port
+  arbitration calls) are deliberately excluded: they keep incrementing in a
+  livelocked system and would mask the hang.
+* :class:`LivenessWatchdog` compares consecutive signatures at the engine's
+  finish-check cadence and raises :class:`~repro.common.errors.LivelockError`
+  once ``patience`` cycles pass without any counter moving -- long before the
+  cycle guard.
+* :class:`StallReport` is the structured payload carried by the error: queue
+  occupancies, MSHR state and arbiter grant counts per slice, plus the first
+  stuck cycle, rendered into the report ``llamcat run/sweep`` print.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import LivelockError, SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.system import SimulatedSystem
+
+#: Default number of cycles without forward progress before the watchdog
+#: fires.  The longest legitimate quiet stretch in any component is a DRAM
+#: round-trip (hundreds of cycles), so this is conservative by two orders of
+#: magnitude while still firing ~200x earlier than the 20M-cycle guard.
+DEFAULT_PATIENCE_CYCLES = 100_000
+
+
+class TerminationStatus(str, enum.Enum):
+    """How a simulation run ended (serialized into :class:`SimResult`)."""
+
+    COMPLETED = "completed"      # drained normally
+    MAX_CYCLES = "max_cycles"    # hit the engine cycle guard while still moving
+    LIVELOCK = "livelock"        # the no-progress watchdog fired
+
+
+@dataclass(frozen=True, slots=True)
+class LivenessConfig:
+    """Watchdog knobs handed to :class:`~repro.sim.engine.SimulationEngine`."""
+
+    patience: int = DEFAULT_PATIENCE_CYCLES
+    enabled: bool = True
+
+    def validate(self) -> "LivenessConfig":
+        if self.patience <= 0:
+            raise SimulationError("liveness patience must be positive")
+        return self
+
+
+def progress_signature(system: "SimulatedSystem") -> tuple[int, ...]:
+    """Tuple of monotone progress counters across every component.
+
+    Two equal signatures mean *nothing* moved in between: no thread block was
+    dispatched or retired, no core issued or computed, no flit entered the
+    NoC, no LLC slice served a request or wrote a fill, and no DRAM burst
+    completed.  Counters that also increment while stuck (stall/busy/idle
+    cycles, storage-port arbitration grants) must never be added here.
+    """
+
+    scheduler = system.scheduler
+    sig: list[int] = [scheduler.dispatched, scheduler.completed]
+    for core in system.cores:
+        sig.append(core.stat_issued_requests)
+        sig.append(core.stat_completed_blocks)
+        sig.append(core.stat_l1_hits)
+        sig.append(core.stat_compute_cycles)
+    sig.append(system.noc.requests_sent)
+    sig.append(system.noc.responses_sent)
+    for llc_slice in system.llc.slices:
+        sig.append(llc_slice.hits)
+        sig.append(llc_slice.misses)
+        sig.append(llc_slice.mshr_merges)
+        sig.append(llc_slice.mshr_allocations)
+        sig.append(llc_slice.fills_written)
+        sig.append(llc_slice.requests_accepted)
+        sig.append(llc_slice.dram_reads_issued)
+        sig.append(llc_slice.dram_writes_issued)
+        sig.append(llc_slice.writebacks)
+        sig.append(llc_slice.arbiter.stats.selections)
+    for channel in system.dram.channels:
+        sig.append(channel.reads)
+        sig.append(channel.writes)
+    return tuple(sig)
+
+
+@dataclass(frozen=True, slots=True)
+class SliceStall:
+    """Snapshot of one LLC slice at the moment the watchdog fired."""
+
+    slice_id: int
+    request_queue: int
+    request_queue_capacity: int
+    response_queue: int
+    response_queue_capacity: int
+    mshr_occupancy: int
+    mshr_stage: int
+    pending_fills: int
+    dram_backlog: int
+    stalled: bool
+    last_activity_cycle: int
+    selections: int
+    response_priority_grants: int
+    request_priority_grants: int
+    default_priority_grants: int
+    arbitration_calls: int
+
+    def render(self) -> str:
+        return (
+            f"slice {self.slice_id}: "
+            f"reqq {self.request_queue}/{self.request_queue_capacity} "
+            f"respq {self.response_queue}/{self.response_queue_capacity} "
+            f"mshr {self.mshr_occupancy} stage {self.mshr_stage} "
+            f"pending-fills {self.pending_fills} dram-backlog {self.dram_backlog} "
+            f"stalled={self.stalled} last-activity={self.last_activity_cycle} | "
+            f"arbiter: {self.selections} selections, "
+            f"grants resp={self.response_priority_grants} "
+            f"req={self.request_priority_grants} "
+            f"default={self.default_priority_grants} "
+            f"of {self.arbitration_calls} calls"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class StallReport:
+    """Component-level stall state carried by :class:`LivelockError`."""
+
+    cycle: int
+    first_stuck_cycle: int
+    patience: int
+    blocks_completed: int
+    blocks_total: int
+    core_outstanding: int
+    noc_requests_in_flight: int
+    noc_responses_in_flight: int
+    noc_staged: int
+    dram_busy: bool
+    slices: tuple[SliceStall, ...]
+
+    def render(self) -> str:
+        """Human-readable stall report (printed by ``llamcat run/sweep``)."""
+
+        lines = [
+            f"no forward progress since cycle {self.first_stuck_cycle} "
+            f"(watchdog fired at cycle {self.cycle}, patience {self.patience})",
+            f"thread blocks {self.blocks_completed}/{self.blocks_total} complete, "
+            f"{self.core_outstanding} core requests outstanding",
+            f"NoC: {self.noc_requests_in_flight} requests / "
+            f"{self.noc_responses_in_flight} responses in flight, "
+            f"{self.noc_staged} staged; DRAM {'busy' if self.dram_busy else 'idle'}",
+        ]
+        lines.extend(s.render() for s in self.slices)
+        return "\n".join(lines)
+
+
+def build_stall_report(
+    system: "SimulatedSystem", cycle: int, first_stuck_cycle: int, patience: int
+) -> StallReport:
+    """Snapshot every component of ``system`` into a :class:`StallReport`."""
+
+    slices = []
+    for llc_slice in system.llc.slices:
+        arbiter = llc_slice.arbiter
+        slices.append(
+            SliceStall(
+                slice_id=llc_slice.slice_id,
+                request_queue=len(llc_slice.request_queue),
+                request_queue_capacity=llc_slice.request_queue.capacity,
+                response_queue=len(llc_slice.response_queue),
+                response_queue_capacity=llc_slice.response_queue.capacity,
+                mshr_occupancy=llc_slice.mshr.occupancy,
+                mshr_stage=len(llc_slice._mshr_stage),
+                pending_fills=len(llc_slice._pending_fills),
+                dram_backlog=len(llc_slice._dram_backlog),
+                stalled=llc_slice.stalled,
+                last_activity_cycle=llc_slice.last_activity_cycle,
+                selections=arbiter.stats.selections,
+                response_priority_grants=arbiter.response_priority_grants,
+                request_priority_grants=arbiter.request_priority_grants,
+                default_priority_grants=arbiter.default_priority_grants,
+                arbitration_calls=arbiter.arbitration_calls,
+            )
+        )
+    return StallReport(
+        cycle=cycle,
+        first_stuck_cycle=first_stuck_cycle,
+        patience=patience,
+        blocks_completed=system.scheduler.completed,
+        blocks_total=system.scheduler.total_blocks,
+        core_outstanding=sum(c.outstanding_requests for c in system.cores),
+        noc_requests_in_flight=system.noc.in_flight_requests,
+        noc_responses_in_flight=system.noc.in_flight_responses,
+        noc_staged=system.noc.staged_requests,
+        dram_busy=system.dram.has_work(),
+        slices=tuple(slices),
+    )
+
+
+class LivenessWatchdog:
+    """Raises :class:`LivelockError` after ``patience`` cycles of no progress.
+
+    Entirely deterministic: driven by the cycle counter and the component
+    progress counters, never by wall-clock time.
+    """
+
+    def __init__(self, system: "SimulatedSystem", config: LivenessConfig) -> None:
+        config.validate()
+        self.system = system
+        self.config = config
+        self._signature: tuple[int, ...] | None = None
+        self.last_progress_cycle = 0
+
+    def observe(self, cycle: int) -> None:
+        """Sample the progress signature; raise once patience is exhausted."""
+
+        if not self.config.enabled:
+            return
+        signature = progress_signature(self.system)
+        if signature != self._signature:
+            self._signature = signature
+            self.last_progress_cycle = cycle
+            return
+        if cycle - self.last_progress_cycle < self.config.patience:
+            return
+        report = build_stall_report(
+            self.system,
+            cycle=cycle,
+            first_stuck_cycle=self.last_progress_cycle,
+            patience=self.config.patience,
+        )
+        raise LivelockError(
+            f"livelock detected: {report.render()}",
+            report=report,
+        )

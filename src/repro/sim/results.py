@@ -56,7 +56,15 @@ class SimResult:
     total_requests_issued: int = 0
     noc_requests: int = 0
     noc_responses: int = 0
+    #: How the run terminated: "completed", "max_cycles" or "livelock" (the
+    #: :class:`~repro.sim.liveness.TerminationStatus` values).  Anything other
+    #: than "completed" means the counters describe a truncated run.
+    status: str = "completed"
     meta: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
 
     # -- headline metrics ------------------------------------------------------------------
     @property
@@ -146,6 +154,7 @@ class SimResult:
             "total_requests_issued": self.total_requests_issued,
             "noc_requests": self.noc_requests,
             "noc_responses": self.noc_responses,
+            "status": self.status,
             "meta": dict(self.meta),
             # Derived ride-along block for humans/dashboards; recomputed from
             # the component stats on load, so from_dict never reads it.
@@ -166,5 +175,8 @@ class SimResult:
             total_requests_issued=data["total_requests_issued"],
             noc_requests=data["noc_requests"],
             noc_responses=data["noc_responses"],
+            # Pre-PR-9 stores have no termination status; those runs could
+            # only have been written after a successful drain.
+            status=data.get("status", "completed"),
             meta=dict(data["meta"]),
         )

@@ -13,6 +13,7 @@ from repro.config.policies import PolicyConfig
 from repro.config.system import SystemConfig
 from repro.config.workload import WorkloadConfig
 from repro.sim.engine import DEFAULT_MAX_CYCLES, SimulationEngine
+from repro.sim.liveness import LivenessConfig
 from repro.sim.results import CoreResult, SimResult
 from repro.sim.system import SimulatedSystem
 from repro.trace.generator import generate_trace
@@ -30,22 +31,33 @@ class Simulator:
         max_cycles: int = DEFAULT_MAX_CYCLES,
         label: str | None = None,
         workload_name: str | None = None,
+        liveness: LivenessConfig | None = None,
     ) -> None:
         self.system_config = system
         self.policy = policy
         self.trace = trace
         self.max_cycles = max_cycles
+        self.liveness = liveness
         self.label = label if label is not None else policy.label
         self.workload_name = workload_name or trace.name
         self.system = SimulatedSystem(system, policy, trace)
 
-    def run(self) -> SimResult:
-        engine = SimulationEngine(self.system, max_cycles=self.max_cycles)
-        report = engine.run()
-        return self._collect(report.cycles)
+    def run(self, raise_on_stall: bool = True) -> SimResult:
+        """Run to completion.
+
+        With ``raise_on_stall=False`` a livelocked or guard-limited run
+        returns a truncated :class:`SimResult` whose ``status`` records the
+        termination kind instead of raising.
+        """
+
+        engine = SimulationEngine(
+            self.system, max_cycles=self.max_cycles, liveness=self.liveness
+        )
+        report = engine.run(raise_on_stall=raise_on_stall)
+        return self._collect(report.cycles, status=report.status.value)
 
     # -- result assembly ----------------------------------------------------------------------
-    def _collect(self, cycles: int) -> SimResult:
+    def _collect(self, cycles: int, status: str = "completed") -> SimResult:
         system = self.system
         cfg = self.system_config
         core_results = tuple(
@@ -73,6 +85,7 @@ class Simulator:
             total_requests_issued=sum(c.stat_issued_requests for c in system.cores),
             noc_requests=system.noc.requests_sent,
             noc_responses=system.noc.responses_sent,
+            status=status,
             meta={
                 "num_slices": cfg.l2.num_slices,
                 "num_cores": cfg.core.num_cores,
@@ -91,6 +104,7 @@ def simulate(
     trace: Trace | None = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     label: str | None = None,
+    liveness: LivenessConfig | None = None,
 ) -> SimResult:
     """Run one simulation and return its :class:`SimResult`.
 
@@ -113,5 +127,6 @@ def simulate(
         max_cycles=max_cycles,
         label=label,
         workload_name=workload_name,
+        liveness=liveness,
     )
     return sim.run()

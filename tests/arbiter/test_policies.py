@@ -149,13 +149,34 @@ class TestCobrra:
 
     def test_requests_prioritised_until_resp_queue_fills(self):
         arb = CobrraArbiter(4, CobrraParams(resp_priority_threshold=0.5))
-        assert arb.wants_response_priority(0, 64) is False
-        assert arb.wants_response_priority(10, 64) is False
+        assert arb.wants_response_priority(0, 64, req_queue_len=8) is False
+        assert arb.wants_response_priority(10, 64, req_queue_len=8) is False
 
     def test_alternates_when_resp_queue_saturated(self):
         arb = CobrraArbiter(4, CobrraParams(resp_priority_threshold=0.5))
-        decisions = [arb.wants_response_priority(40, 64) for _ in range(4)]
+        decisions = [arb.wants_response_priority(40, 64, req_queue_len=8) for _ in range(4)]
         assert decisions == [True, False, True, False]
+
+    def test_responses_drain_when_request_queue_empty(self):
+        # Regression for the uncore livelock: below-threshold responses must
+        # still win the storage port once the request stream dries up.
+        arb = CobrraArbiter(4, CobrraParams(resp_priority_threshold=0.5))
+        assert arb.wants_response_priority(1, 64, req_queue_len=0) is True
+        assert arb.wants_response_priority(31, 64, req_queue_len=0) is True
+
+    def test_grant_counters_centralised_on_base(self):
+        arb = CobrraArbiter(4, CobrraParams(resp_priority_threshold=0.5))
+        decisions = [
+            arb.arbitrate_port(0, 64, 8),
+            arb.arbitrate_port(10, 64, 8),
+            arb.arbitrate_port(40, 64, 8),
+            arb.arbitrate_port(5, 64, 0),
+        ]
+        assert decisions == [False, False, True, True]
+        assert arb.arbitration_calls == 4
+        assert arb.request_priority_grants == 2
+        assert arb.response_priority_grants == 2
+        assert arb.default_priority_grants == 0
 
 
 class TestFactory:
@@ -177,4 +198,4 @@ class TestFactory:
 
     def test_default_base_arbiter_no_response_override(self):
         arbiter = make_arbiter(PolicyConfig(), L2Config(), 4)
-        assert arbiter.wants_response_priority(10, 64) is None
+        assert arbiter.wants_response_priority(10, 64, req_queue_len=8) is None

@@ -1,0 +1,29 @@
+"""Regression reproducer for the PR 9 cobrra uncore livelock.
+
+The exact configuration from the bug report: llama3-70b Logit at ci tier
+(seq_len=4096 scales to L=128, the Table 5 L2 to 0.5 MiB) under ``cobrra``
+and ``dynmg+cobrra``.  Before the drain fix both points parked the final
+below-threshold responses in the LLC response queues forever and burned to
+the 20M-cycle engine guard; they must now terminate with ``completed``
+status well under it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.liveness import livelock_scenario
+from repro.sim.engine import DEFAULT_MAX_CYCLES
+
+#: Far below the 20M-cycle guard and even the 100k watchdog patience; the
+#: fixed runs drain in ~31k/34k cycles.
+CYCLE_BUDGET = 200_000
+
+
+@pytest.mark.parametrize("policy", ["cobrra", "dynmg+cobrra"])
+def test_previously_livelocked_point_now_drains(policy):
+    result = livelock_scenario(policy).run()
+    assert result.status == "completed"
+    assert result.completed
+    assert 0 < result.cycles < CYCLE_BUDGET
+    assert result.cycles < DEFAULT_MAX_CYCLES // 100

@@ -70,3 +70,28 @@ class TestSimResultRoundTrip:
         assert isinstance(restored.cores, tuple)
         assert all(isinstance(core, CoreResult) for core in restored.cores)
         assert restored.cores == real_result.cores
+
+
+class TestTerminationStatus:
+    def test_completed_run_reports_completed_status(self, real_result):
+        assert real_result.status == "completed"
+        assert real_result.completed
+        assert real_result.to_dict()["status"] == "completed"
+
+    def test_status_round_trips(self, real_result):
+        from dataclasses import replace
+
+        livelocked = replace(real_result, status="livelock")
+        restored = SimResult.from_dict(livelocked.to_dict())
+        assert restored.status == "livelock"
+        assert not restored.completed
+        assert restored == livelocked
+
+    def test_legacy_store_without_status_loads_as_completed(self, real_result):
+        # Pre-PR-9 JSONL stores predate the termination-status field; any run
+        # they recorded could only have drained successfully.
+        data = real_result.to_dict()
+        del data["status"]
+        restored = SimResult.from_dict(data)
+        assert restored.status == "completed"
+        assert restored == real_result
