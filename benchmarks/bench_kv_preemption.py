@@ -1,0 +1,35 @@
+"""KV preemption: recompute vs swap under a deliberately tight KV budget.
+
+Times the registered ``kv_preemption`` bench: one KV-constrained
+`repro.serve` run per registered preemption policy.  The comparison is the
+point of the KV memory model: under a budget too small for the full batch's
+context growth, recompute evicts KV and re-prefills (cheap eviction, repaid
+in compute), while swap preserves KV off-device and pays a transfer latency
+each way (requests return further along, but later).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.suite import kv_preemption
+
+
+def test_kv_preemption_comparison(benchmark, tier):
+    output = run_once(benchmark, kv_preemption, tier)
+    print()
+    print(output.detail)
+    results = output.raw
+    for name, metrics in results.items():
+        assert metrics.num_requests == 8, name
+        assert metrics.meta["preemption"] == name
+        assert metrics.meta["kv_budget_tokens"] == 1024, name
+        # The budget is sized to force memory pressure: every policy must
+        # actually preempt, otherwise the comparison is vacuous.
+        assert metrics.meta["preemptions"] > 0, name
+        assert 0.0 < metrics.meta["kv_peak_utilization"] <= 1.0, name
+    # The policies must be distinguishable on the smoke seed, not cosmetic
+    # variants: first-token latency tails diverge measurably.
+    assert (
+        results["recompute"].ttft_percentile_ms(95)
+        != results["swap"].ttft_percentile_ms(95)
+    )

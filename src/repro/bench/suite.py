@@ -172,6 +172,66 @@ def prefill_schedulers(tier: ScaleTier) -> BenchOutput:
     )
 
 
+@register_bench("kv_preemption")
+def kv_preemption(tier: ScaleTier) -> BenchOutput:
+    """Recompute vs swap preemption under a deliberately tight KV budget."""
+
+    policies = ("recompute", "swap")
+    results = {}
+    for name in policies:
+        results[name] = ServeScenario(
+            workload="llama3-70b",
+            arrival="poisson",
+            rate=4000.0,
+            num_requests=8,
+            max_batch=4,
+            seed=0,
+            kv_budget=1024,
+            kv_block=32,
+            preemption=name,
+            tier=tier,
+        ).validate().run()
+    values = []
+    for name, metrics in results.items():
+        values.append(
+            BenchValue(f"{name}_ttft_p95_ms", metrics.ttft_percentile_ms(95), "ms")
+        )
+        values.append(
+            BenchValue(f"{name}_preemptions", metrics.meta["preemptions"], "count")
+        )
+        values.append(
+            BenchValue(f"{name}_tokens_per_s", metrics.tokens_per_s, "tokens/s")
+        )
+    detail = "\n".join(
+        f"{name:>10}: ttft_p95 {m.ttft_percentile_ms(95):.3f} ms, "
+        f"{m.meta['preemptions']} preemptions, "
+        f"KV peak {m.meta['kv_peak_utilization']:.0%}, "
+        f"mem-bound {m.meta['kv_memory_bound_frac']:.1%}, "
+        f"{m.tokens_per_s:.0f} tok/s"
+        for name, m in results.items()
+    )
+    return BenchOutput(
+        bench="kv_preemption",
+        config=_tiered(
+            {
+                "workload": "llama3-70b",
+                "arrival": "poisson",
+                "rate": 4000.0,
+                "num_requests": 8,
+                "max_batch": 4,
+                "seed": 0,
+                "kv_budget": 1024,
+                "kv_block": 32,
+                "preemptions": list(policies),
+            },
+            tier,
+        ),
+        values=tuple(values),
+        detail=detail,
+        raw=results,
+    )
+
+
 # -- figures -----------------------------------------------------------------------------
 def _fig7_output(bench: str, result, policies: tuple[str, ...]) -> BenchOutput:
     values = [

@@ -18,7 +18,7 @@ Subcommands
   over the source tree, ``--explain CODE`` docs, ``--determinism SCENARIO``
   runtime divergence localization)
 * ``list``    -- list registered workloads / systems / policies / throttles /
-  arrivals / schedulers / routers / benches
+  arrivals / schedulers / routers / preemptions / benches
 * ``fig7``  -- regenerate the Fig 7 speedup panels
 * ``fig8``  -- regenerate the Fig 8 mechanism statistics
 * ``fig9``  -- regenerate the Fig 9 cache-size sweep
@@ -75,12 +75,14 @@ from repro.obs.timeline import DEFAULT_METRICS, DEFAULT_WIDTH
 from repro.registry import (
     ARRIVALS,
     POLICIES,
+    PREEMPTIONS,
     ROUTERS,
     SCHEDULERS,
     SYSTEMS,
     THROTTLES,
     WORKLOADS,
 )
+from repro.serve.kvcache import DEFAULT_SWAP_MS
 from repro.serve.metrics import REPORTED_PERCENTILES
 from repro.serve.scenario import DEFAULT_SCHEDULER, ServeScenario
 from repro.serve.schedpolicy import DEFAULT_PREFILL_CHUNK
@@ -98,6 +100,7 @@ LISTABLE_REGISTRIES = {
     "arrivals": ARRIVALS,
     "schedulers": SCHEDULERS,
     "routers": ROUTERS,
+    "preemptions": PREEMPTIONS,
     "benches": BENCHES,
 }
 
@@ -174,6 +177,57 @@ def _add_prefill_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _kv_budget_value(text: str) -> int | str:
+    """Parse a ``--kv-budget`` value: a token count or the literal "system"."""
+
+    if text == "system":
+        return text
+    try:
+        budget = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f'expected a token count or "system", got {text!r}'
+        ) from None
+    if budget <= 0:
+        raise argparse.ArgumentTypeError("KV budget must be a positive token count")
+    return budget
+
+
+def _add_kv_args(parser: argparse.ArgumentParser, *, sweep: bool = False) -> None:
+    """The KV-memory knobs shared by ``serve`` and ``cluster``.
+
+    With ``sweep=True`` the budget / block-size / policy flags become
+    repeatable sweep axes (plural dests matching the sweep-spec fields).
+    """
+
+    axis = " (repeatable sweep axis)" if sweep else ""
+    many: dict = {"action": "append"} if sweep else {}
+    parser.add_argument(
+        "--kv-budget", type=_kv_budget_value, default=None, metavar="TOKENS",
+        dest="kv_budgets" if sweep else "kv_budget",
+        help='KV-cache budget in tokens, or "system" to take the preset\'s '
+             f"device budget; omit to keep KV accounting off{axis}",
+        **many,
+    )
+    parser.add_argument(
+        "--kv-block", type=int, default=None if sweep else 1, metavar="TOKENS",
+        dest="kv_blocks" if sweep else "kv_block",
+        help=f"paged-KV block size in tokens (default 1 = exact accounting){axis}",
+        **many,
+    )
+    parser.add_argument(
+        "--preemption", default=None if sweep else "recompute",
+        dest="preemptions" if sweep else "preemption",
+        help='registered preemption policy, e.g. "recompute", "swap" '
+             f"(used when the KV budget is exhausted){axis}",
+        **many,
+    )
+    parser.add_argument(
+        "--kv-swap-ms", type=float, default=DEFAULT_SWAP_MS,
+        help="one-way KV transfer latency of the swap preemption policy (ms)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="llamcat", description=__doc__)
     parser.add_argument(
@@ -214,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--seed", type=int, default=0)
     serve_p.add_argument("--policy", default="unopt")
     _add_prefill_args(serve_p)
+    _add_kv_args(serve_p)
     serve_p.add_argument("--system", default="table5", help="registered system name")
     serve_p.add_argument("--tier", default="ci")
     serve_p.add_argument("--slo-ttft-ms", type=float, default=None)
@@ -253,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_p.add_argument("--seed", type=int, default=0)
     cluster_p.add_argument("--policy", default="unopt")
     _add_prefill_args(cluster_p)
+    _add_kv_args(cluster_p)
     cluster_p.add_argument(
         "--disaggregated", nargs="?", const="1p1d", default=None, metavar="PpDd",
         help='split the fleet into prefill and decode replicas, e.g. "2p2d" '
@@ -336,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--router", action="append", dest="routers",
         help='repeatable router names; default: "round-robin" (only with --cluster)',
     )
+    _add_kv_args(sweep_p, sweep=True)
     sweep_p.add_argument("--num-requests", type=int, default=32,
                          help="requests per serving point (only with --serve/--cluster)")
     sweep_p.add_argument("--max-batch", type=int, default=4,
@@ -581,6 +638,10 @@ def _serve_command(args: argparse.Namespace) -> int:
         slo_ttft_ms=args.slo_ttft_ms,
         slo_latency_ms=args.slo_latency_ms,
         telemetry_ms=args.telemetry,
+        kv_budget=args.kv_budget,
+        kv_block=args.kv_block,
+        preemption=args.preemption,
+        kv_swap_ms=args.kv_swap_ms,
     ).validate()
     tracer = _make_tracer(args)
     profiler = Profiler()
@@ -602,6 +663,15 @@ def _serve_command(args: argparse.Namespace) -> int:
         f"({metrics.steps} serving steps, "
         f"{metrics.meta.get('step_simulations', 0)} cycle-engine runs)"
     )
+    if "preemptions" in metrics.meta:
+        print(
+            f"KV memory: {metrics.meta['kv_budget_tokens']} tokens in "
+            f"{metrics.meta['kv_block_tokens']}-token blocks, "
+            f"peak utilization {metrics.meta['kv_peak_utilization']:.1%}, "
+            f"{metrics.meta['preemptions']} preemptions "
+            f"({metrics.meta['preemption']}), "
+            f"memory-bound {metrics.meta['kv_memory_bound_frac']:.1%} of the run"
+        )
     if not scenario.slo().is_trivial:
         print(f"SLO attainment: {metrics.slo_attainment:.1%}")
     _finish_obs(args, tracer, metrics)
@@ -648,6 +718,10 @@ def _cluster_command(args: argparse.Namespace) -> int:
         slo_ttft_ms=args.slo_ttft_ms,
         slo_latency_ms=args.slo_latency_ms,
         telemetry_ms=args.telemetry,
+        kv_budget=args.kv_budget,
+        kv_block=args.kv_block,
+        preemption=args.preemption,
+        kv_swap_ms=args.kv_swap_ms,
     ).validate()
     tracer = _make_tracer(args)
     profiler = Profiler()
@@ -683,6 +757,14 @@ def _cluster_command(args: argparse.Namespace) -> int:
         f"{metrics.steps} fleet steps, "
         f"{metrics.meta.get('step_simulations', 0)} cycle-engine runs)"
     )
+    if "preemption_rate" in metrics.meta:
+        peaks = ", ".join(f"{u:.0%}" for u in metrics.meta["kv_peak_utilization"])
+        print(
+            f"KV memory: {metrics.meta['kv_block_tokens']}-token blocks, "
+            f"per-replica peak utilization [{peaks}], "
+            f"{sum(metrics.meta['preemptions'])} preemptions "
+            f"({metrics.meta['preemption']})"
+        )
     if not scenario.slo().is_trivial:
         print(f"SLO attainment: {metrics.slo_attainment:.1%}")
     _finish_obs(args, tracer, metrics)
@@ -711,6 +793,10 @@ def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
         schedulers=tuple(args.schedulers or (DEFAULT_SCHEDULER,)),
         prefill_chunks=tuple(args.prefill_chunks or (DEFAULT_PREFILL_CHUNK,)),
         policies=tuple(args.policies or ("unopt",)),
+        kv_budgets=tuple(args.kv_budgets or (None,)),
+        kv_blocks=tuple(args.kv_blocks or (1,)),
+        preemptions=tuple(args.preemptions or ("recompute",)),
+        kv_swap_ms=args.kv_swap_ms,
         num_requests=args.num_requests,
         max_batch=args.max_batch,
         seed=args.seed,
@@ -725,7 +811,9 @@ def _run_cluster_sweep_command(args: argparse.Namespace) -> int:
         f"{len(spec.arrivals)} arrivals x {len(spec.rates)} rates x "
         f"{len(spec.replica_counts)} fleet sizes x {len(spec.routers)} routers x "
         f"{len(spec.schedulers)} schedulers x {len(spec.prefill_chunks)} chunks x "
-        f"{len(spec.policies)} policies (tier={spec.tier.name}, jobs={args.jobs})"
+        f"{len(spec.policies)} policies x {len(spec.kv_budgets)} KV budgets x "
+        f"{len(spec.kv_blocks)} KV blocks x {len(spec.preemptions)} preemptions "
+        f"(tier={spec.tier.name}, jobs={args.jobs})"
     )
     store = ResultStore(args.store) if args.store else None
     if store is not None and store.completed_count:
@@ -784,6 +872,10 @@ def _run_serve_sweep_command(args: argparse.Namespace) -> int:
         schedulers=tuple(args.schedulers or (DEFAULT_SCHEDULER,)),
         prefill_chunks=tuple(args.prefill_chunks or (DEFAULT_PREFILL_CHUNK,)),
         policies=tuple(args.policies or ("unopt",)),
+        kv_budgets=tuple(args.kv_budgets or (None,)),
+        kv_blocks=tuple(args.kv_blocks or (1,)),
+        preemptions=tuple(args.preemptions or ("recompute",)),
+        kv_swap_ms=args.kv_swap_ms,
         num_requests=args.num_requests,
         max_batch=args.max_batch,
         seed=args.seed,
@@ -797,7 +889,9 @@ def _run_serve_sweep_command(args: argparse.Namespace) -> int:
         f"serve sweep: {len(points)} points = {len(spec.workloads)} workloads x "
         f"{len(spec.arrivals)} arrivals x {len(spec.rates)} rates x "
         f"{len(spec.schedulers)} schedulers x {len(spec.prefill_chunks)} chunks x "
-        f"{len(spec.policies)} policies (tier={spec.tier.name}, jobs={args.jobs})"
+        f"{len(spec.policies)} policies x {len(spec.kv_budgets)} KV budgets x "
+        f"{len(spec.kv_blocks)} KV blocks x {len(spec.preemptions)} preemptions "
+        f"(tier={spec.tier.name}, jobs={args.jobs})"
     )
     store = ResultStore(args.store) if args.store else None
     if store is not None and store.completed_count:
@@ -865,10 +959,12 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         )
     if not (args.serve or args.cluster) and (
         args.rates or args.arrivals or args.schedulers or args.prefill_chunks
+        or args.kv_budgets or args.kv_blocks or args.preemptions
     ):
         raise SystemExit(
-            "--rate/--arrival/--scheduler/--prefill-chunk are serving-sweep "
-            "axes; pass --serve or --cluster to sweep serving points"
+            "--rate/--arrival/--scheduler/--prefill-chunk/--kv-budget/"
+            "--kv-block/--preemption are serving-sweep axes; pass --serve or "
+            "--cluster to sweep serving points"
         )
     if not (args.serve or args.cluster) and args.telemetry is not None:
         raise SystemExit(

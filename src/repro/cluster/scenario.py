@@ -34,6 +34,7 @@ from repro.registry import (
     resolve_system,
     resolve_workload,
 )
+from repro.serve.kvcache import DEFAULT_SWAP_MS, KVCacheConfig
 from repro.serve.metrics import ServeSLO
 from repro.serve.request import (
     DEFAULT_OUTPUT_TOKENS,
@@ -128,6 +129,17 @@ class ClusterScenario:
     #: sampling.  Serialized only when set, so pre-telemetry scenario hashes
     #: (and store resume) stay valid.
     telemetry_ms: float | None = None
+    #: Per-replica KV-cache budget in tokens, ``"system"`` for each replica's
+    #: preset :attr:`~repro.config.system.SystemConfig.kv_budget_tokens`, or
+    #: None to keep KV accounting off fleet-wide.  The KV knobs are serialized
+    #: only when a budget is set, so pre-KV scenario hashes stay valid.
+    kv_budget: int | str | None = None
+    #: Paged-KV block size in tokens (1 = exact token-granular accounting).
+    kv_block: int = 1
+    #: PREEMPTIONS registry name: what eviction under KV pressure costs.
+    preemption: str = "recompute"
+    #: One-way KV swap transfer latency in milliseconds (swap policy only).
+    kv_swap_ms: float = DEFAULT_SWAP_MS
     #: Display label (defaults to "<router>x<replicas>@<arrival>"); never hashed.
     label: str | None = None
 
@@ -178,6 +190,14 @@ class ClusterScenario:
         resolve_policy(self.policy)
         for system in self.systems:
             resolve_system(system)
+        if self.kv_budget is not None:
+            if not self.prefill_cost:
+                raise ConfigError(
+                    "kv_budget needs prefill_cost=True: recompute preemption "
+                    "re-prefills evicted context"
+                )
+            for name in dict.fromkeys(self.replica_systems()):
+                self.kv_config(scale_system(resolve_system(name), self.tier)).validate()
         return self
 
     def replica_systems(self) -> tuple[str, ...]:
@@ -212,6 +232,32 @@ class ClusterScenario:
 
     def slo(self) -> ServeSLO:
         return ServeSLO(ttft_ms=self.slo_ttft_ms, latency_ms=self.slo_latency_ms)
+
+    def kv_config(self, system) -> KVCacheConfig:
+        """The KV memory model of one replica (accounting off when no budget).
+
+        ``kv_budget="system"`` resolves against the replica's own tier-scaled
+        :class:`~repro.config.system.SystemConfig`, so a heterogeneous fleet
+        gives each replica its preset's budget.
+        """
+
+        if self.kv_budget is None:
+            return KVCacheConfig()
+        if self.kv_budget == "system":
+            budget = system.kv_budget_tokens
+        elif isinstance(self.kv_budget, int):
+            budget = self.kv_budget
+        else:
+            raise ConfigError(
+                f'kv_budget must be a token count, "system" or None, '
+                f"got {self.kv_budget!r}"
+            )
+        return KVCacheConfig(
+            budget_tokens=budget,
+            block_tokens=self.kv_block,
+            preemption=self.preemption,
+            swap_ms=self.kv_swap_ms,
+        )
 
     @property
     def display_label(self) -> str:
@@ -267,7 +313,16 @@ class ClusterScenario:
             "slo_latency_ms": self.slo_latency_ms,
             "max_cycles": self.max_cycles,
             "label": self.label,
-        } | ({} if self.telemetry_ms is None else {"telemetry_ms": self.telemetry_ms})
+        } | ({} if self.telemetry_ms is None else {"telemetry_ms": self.telemetry_ms}) | (
+            {}
+            if self.kv_budget is None
+            else {
+                "kv_budget": self.kv_budget,
+                "kv_block": self.kv_block,
+                "preemption": self.preemption,
+                "kv_swap_ms": self.kv_swap_ms,
+            }
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClusterScenario":
@@ -297,6 +352,10 @@ class ClusterScenario:
             slo_latency_ms=data.get("slo_latency_ms"),
             max_cycles=data.get("max_cycles"),
             telemetry_ms=data.get("telemetry_ms"),
+            kv_budget=data.get("kv_budget"),
+            kv_block=data.get("kv_block", 1),
+            preemption=data.get("preemption", "recompute"),
+            kv_swap_ms=data.get("kv_swap_ms", DEFAULT_SWAP_MS),
             label=data.get("label"),
         )
 
@@ -333,9 +392,11 @@ class ClusterScenario:
         # homogeneous fleets simulate each step shape exactly once.
         cost_models: dict[str, SimStepCostModel] = {}
         frequencies: dict[str, float] = {}
+        kv_configs: dict[str, KVCacheConfig] = {}
         for name in dict.fromkeys(self.replica_systems()):
             system = scale_system(resolve_system(name), self.tier)
             frequencies[name] = system.frequency_ghz
+            kv_configs[name] = self.kv_config(system)
             cost_models[name] = SimStepCostModel(
                 system=system,
                 workload=workload,
@@ -349,7 +410,11 @@ class ClusterScenario:
                 replica_id=i,
                 cost_model=cost_models[name],
                 frequency_ghz=frequencies[name],
-                batch=BatchConfig(max_batch=self.max_batch, prefill=self.prefill_cost),
+                batch=BatchConfig(
+                    max_batch=self.max_batch,
+                    prefill=self.prefill_cost,
+                    kv=kv_configs[name],
+                ),
                 system_name=name,
                 role=role,
                 policy=(

@@ -48,7 +48,7 @@ from typing import Sequence
 
 from repro.cluster.metrics import ClusterMetrics, ReplicaMetrics
 from repro.cluster.router import Router
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, LivelockError
 from repro.obs.telemetry import TelemetryRecorder
 from repro.obs.tracer import (
     CAT_HANDOFF,
@@ -72,7 +72,12 @@ from repro.serve.scheduler import (
     HandoffRequest,
     bucket_context,
 )
-from repro.serve.simulator import MAX_STEPS, complete_step, plan_cycles
+from repro.serve.simulator import (
+    MAX_STEPS,
+    build_serve_stall_report,
+    complete_step,
+    plan_cycles,
+)
 from repro.serve.stepcost import StepCostModel
 
 #: The replica roles a fleet may mix: every colocated replica is "mixed";
@@ -130,6 +135,9 @@ class ReplicaSim:
         self.steps = 0
         self.total_cycles = 0
         self.busy_s = 0.0
+        #: Busy time spent with admission stalled on KV memory (or funding
+        #: decode growth through preemption) -- the memory-bound signal.
+        self.mem_bound_s = 0.0
         self.routed = 0
         self.handoffs = 0
         self.completed: list[RequestMetrics] = []
@@ -173,6 +181,10 @@ class ReplicaSim:
         done = [a for a in self.scheduler.running if not a.in_prefill]
         if done:
             self.scheduler.running = [a for a in self.scheduler.running if a.in_prefill]
+            for active in done:
+                # The KV pages travel with the request; this replica's copy is
+                # freed the moment the transfer is initiated.
+                self.scheduler.release_kv(active)
             self.handoffs += len(done)
             self._ready_handoffs.extend(done)
 
@@ -198,6 +210,7 @@ class ReplicaSim:
                 if self.recorder is not None:
                     self.recorder.observe(self.replica_id, now_s, self.queue_depth, 0)
                 return False
+            preempted = self.scheduler.ensure_kv_growth(now_s)
             plan = self.policy.plan(self.scheduler.running)
             cycles = plan_cycles(
                 self.cost_model, plan, self.scheduler.config.seq_bucket_floor
@@ -223,6 +236,8 @@ class ReplicaSim:
                 )
             duration_s = cycles / (self.frequency_ghz * 1e9)
             self.busy_s += duration_s
+            if self.scheduler.kv_blocked or preempted:
+                self.mem_bound_s += duration_s
             self.step_end_s = now_s + duration_s
             self._plan = plan
             # The step's span is fully known at launch, so both sinks record
@@ -471,13 +486,41 @@ class ClusterSimulator:
                 replica.maybe_start_step(now_s)
             collect_handoffs(now_s)
 
-            # Advance the clock to the next event (step end, arrival, handoff).
+            # Advance the clock to the next event (step end, arrival, handoff,
+            # or an idle replica's future re-admission -- a swap-preempted
+            # request waiting out its transfer is an event source too).
             event_times = [r.step_end_s for r in self.replicas if r.step_end_s is not None]
             if pending:
                 event_times.append(pending[0][0])
             if handoffs:
                 event_times.append(handoffs[0][0])
+            for replica in self.replicas:
+                if replica.step_end_s is None:
+                    next_arrival = replica.scheduler.next_arrival_s()
+                    if next_arrival is not None and next_arrival > now_s:
+                        event_times.append(next_arrival)
             if not event_times:
+                stuck = [r for r in self.replicas if r.has_work]
+                if stuck:
+                    # Work remains but no event can ever fire: every stuck
+                    # replica refused admission into an empty batch (a full-KV
+                    # stall).  Raise a structured report instead of silently
+                    # dropping the queued requests.
+                    reports = [
+                        build_serve_stall_report(
+                            r.scheduler,
+                            "admission blocked with an empty batch",
+                            now_s,
+                            r.steps,
+                            len(r.completed),
+                            replica_id=r.replica_id,
+                        )
+                        for r in stuck
+                    ]
+                    raise LivelockError(
+                        "\n".join(report.render() for report in reports),
+                        report=reports[0],
+                    )
                 break  # fleet drained and the stream is exhausted
 
             # Runaway guard, checked only while work remains so a run that
@@ -486,12 +529,21 @@ class ClusterSimulator:
             # its size, matching ServingSimulator per replica).
             fleet_steps = sum(replica.steps for replica in self.replicas)
             if fleet_steps >= MAX_STEPS * len(self.replicas):
-                completed = sum(len(r.completed) for r in self.replicas)
-                outstanding = sum(r.outstanding for r in self.replicas)
-                raise ConfigError(
-                    f"cluster run exceeded {MAX_STEPS * len(self.replicas)} "
-                    f"fleet steps without draining ({completed} completed, "
-                    f"{outstanding} outstanding)"
+                reports = [
+                    build_serve_stall_report(
+                        r.scheduler,
+                        f"fleet exceeded {MAX_STEPS * len(self.replicas)} steps "
+                        f"without draining",
+                        now_s,
+                        r.steps,
+                        len(r.completed),
+                        replica_id=r.replica_id,
+                    )
+                    for r in self.replicas
+                ]
+                raise LivelockError(
+                    "\n".join(report.render() for report in reports),
+                    report=reports[0],
                 )
             now_s = min(event_times)
 
@@ -531,6 +583,22 @@ class ClusterSimulator:
             meta["roles"] = [replica.role for replica in self.replicas]
             meta["handoffs"] = handoff_count
             meta["kv_transfer_s"] = self.kv_transfer_s
+        kv_managers = [m for r in self.replicas if (m := r.scheduler.kv) is not None]
+        if len(kv_managers) == len(self.replicas):
+            # Emitted only when the KV memory model is on fleet-wide, keeping
+            # legacy (unbounded-memory) cluster meta byte-identical.
+            kv_cfg = self.replicas[0].scheduler.config.kv
+            completed_total = sum(len(r.completed) for r in self.replicas)
+            preemptions_total = sum(r.scheduler.preemptions for r in self.replicas)
+            meta["kv_budget_tokens"] = [
+                r.scheduler.config.kv.budget_tokens for r in self.replicas
+            ]
+            meta["kv_block_tokens"] = kv_cfg.block_tokens
+            meta["preemption"] = kv_cfg.preemption
+            meta["preemptions"] = [r.scheduler.preemptions for r in self.replicas]
+            meta["preemption_rate"] = preemptions_total / max(1, completed_total)
+            meta["kv_peak_utilization"] = [m.peak_utilization for m in kv_managers]
+            meta["kv_memory_bound_s"] = [r.mem_bound_s for r in self.replicas]
         # Homogeneous fleets share cost models; report the distinct tables.
         tables = {id(r.cost_model): r.cost_model for r in self.replicas}
         sizes = [getattr(m, "table_size", None) for m in tables.values()]

@@ -21,12 +21,14 @@ from repro.common.errors import ConfigError
 from repro.config.scale import ScaleTier, parse_tier
 from repro.registry import (
     ARRIVALS,
+    PREEMPTIONS,
     ROUTERS,
     SCHEDULERS,
     WORKLOADS,
     resolve_policy,
     resolve_system,
 )
+from repro.serve.kvcache import DEFAULT_SWAP_MS
 from repro.serve.request import DEFAULT_OUTPUT_TOKENS, DEFAULT_PROMPT_TOKENS
 from repro.serve.scenario import DEFAULT_SCHEDULER
 from repro.serve.schedpolicy import DEFAULT_PREFILL_CHUNK
@@ -102,6 +104,14 @@ class ClusterSweepSpec:
     schedulers: tuple[str, ...] = (DEFAULT_SCHEDULER,)
     prefill_chunks: tuple[int, ...] = (DEFAULT_PREFILL_CHUNK,)
     policies: tuple[str, ...] = ("unopt",)
+    #: KV-budget axis: token counts and/or "system"; (None,) keeps KV off.
+    kv_budgets: tuple[int | str | None, ...] = (None,)
+    #: Paged-KV block-size axis (tokens per block).
+    kv_blocks: tuple[int, ...] = (1,)
+    #: Preemption-policy axis (PREEMPTIONS registry names).
+    preemptions: tuple[str, ...] = ("recompute",)
+    #: One-way KV swap transfer latency (ms), applied to every point.
+    kv_swap_ms: float = DEFAULT_SWAP_MS
     num_requests: int = 32
     max_batch: int = 4
     seed: int = 0
@@ -119,7 +129,8 @@ class ClusterSweepSpec:
 
     def validate(self) -> "ClusterSweepSpec":
         for axis in ("workloads", "rates", "replica_counts", "routers", "arrivals",
-                     "schedulers", "prefill_chunks", "policies"):
+                     "schedulers", "prefill_chunks", "policies", "kv_budgets",
+                     "kv_blocks", "preemptions"):
             if not getattr(self, axis):
                 raise ConfigError(f"ClusterSweepSpec.{axis} must be non-empty")
         for workload in self.workloads:
@@ -132,6 +143,20 @@ class ClusterSweepSpec:
             SCHEDULERS.get(scheduler)
         for policy in self.policies:
             resolve_policy(policy)
+        for preemption in self.preemptions:
+            PREEMPTIONS.get(preemption)
+        for budget in self.kv_budgets:
+            if budget is None or budget == "system":
+                continue
+            if not isinstance(budget, int) or budget <= 0:
+                raise ConfigError(
+                    f'kv_budgets entries must be positive token counts, "system" '
+                    f"or None, got {budget!r}"
+                )
+        if any(b <= 0 for b in self.kv_blocks):
+            raise ConfigError("kv_blocks must be positive")
+        if self.kv_swap_ms < 0:
+            raise ConfigError("kv_swap_ms must be non-negative")
         resolve_system(self.system)
         if any(r <= 0 for r in self.rates):
             raise ConfigError("rates must be positive")
@@ -153,6 +178,7 @@ class ClusterSweepSpec:
             len(self.workloads) * len(self.arrivals) * len(self.rates)
             * len(self.replica_counts) * len(self.routers)
             * len(self.schedulers) * len(self.prefill_chunks) * len(self.policies)
+            * len(self.kv_budgets) * len(self.kv_blocks) * len(self.preemptions)
         )
 
     def scenarios(self) -> tuple[ClusterScenario, ...]:
@@ -181,6 +207,10 @@ class ClusterSweepSpec:
                 slo_latency_ms=self.slo_latency_ms,
                 max_cycles=self.max_cycles,
                 telemetry_ms=self.telemetry_ms,
+                kv_budget=kv_budget,
+                kv_block=kv_block,
+                preemption=preemption,
+                kv_swap_ms=self.kv_swap_ms,
             )
             for workload in self.workloads
             for arrival in self.arrivals
@@ -190,6 +220,9 @@ class ClusterSweepSpec:
             for scheduler in self.schedulers
             for chunk in self.prefill_chunks
             for policy in self.policies
+            for kv_budget in self.kv_budgets
+            for kv_block in self.kv_blocks
+            for preemption in self.preemptions
         )
 
     def expand(self) -> tuple[ClusterPoint, ...]:
@@ -207,6 +240,9 @@ class ClusterSweepSpec:
                 "prefill_chunk": scenario.prefill_chunk,
                 "policy": scenario.policy,
                 "tier": scenario.tier.name,
+                "kv_budget": scenario.kv_budget,
+                "kv_block": scenario.kv_block,
+                "preemption": scenario.preemption,
             }
             points.append(
                 ClusterPoint(
@@ -240,6 +276,10 @@ class ClusterSweepSpec:
             "slo_latency_ms": self.slo_latency_ms,
             "max_cycles": self.max_cycles,
             "telemetry_ms": self.telemetry_ms,
+            "kv_budgets": list(self.kv_budgets),
+            "kv_blocks": list(self.kv_blocks),
+            "preemptions": list(self.preemptions),
+            "kv_swap_ms": self.kv_swap_ms,
         }
 
     @classmethod
@@ -265,4 +305,8 @@ class ClusterSweepSpec:
             slo_latency_ms=data.get("slo_latency_ms"),
             max_cycles=data.get("max_cycles"),
             telemetry_ms=data.get("telemetry_ms"),
+            kv_budgets=tuple(data.get("kv_budgets", (None,))),
+            kv_blocks=tuple(data.get("kv_blocks", (1,))),
+            preemptions=tuple(data.get("preemptions", ("recompute",))),
+            kv_swap_ms=data.get("kv_swap_ms", DEFAULT_SWAP_MS),
         ).validate()

@@ -57,6 +57,7 @@ def table5_32core_system() -> SystemConfig:
         base,
         core=replace(base.core, num_cores=32),
         l2=replace(base.l2, size_bytes=32 * MIB, num_slices=16),
+        kv_budget_tokens=32768,
     )
     return system.validate()
 
@@ -79,6 +80,7 @@ def table5_8core_system() -> SystemConfig:
         base,
         core=replace(base.core, num_cores=8),
         l2=replace(base.l2, size_bytes=8 * MIB, num_slices=4),
+        kv_budget_tokens=8192,
     )
     return system.validate()
 

@@ -234,10 +234,18 @@ class SystemConfig:
     l2: L2Config = field(default_factory=L2Config)
     noc: NoCConfig = field(default_factory=NoCConfig)
     dram: DramConfig = field(default_factory=DramConfig)
+    #: Device KV-cache capacity in tokens for the serving layer's memory model
+    #: (:mod:`repro.serve.kvcache`): how many prompt+generated tokens of KV
+    #: state fit on this accelerator.  A serving-level knob -- like request
+    #: streams, it is deliberately untouched by tier scaling -- that only
+    #: binds when a scenario opts in with ``kv_budget="system"``.
+    kv_budget_tokens: int = 16384
 
     def validate(self) -> "SystemConfig":
         if self.frequency_ghz <= 0:
             raise ConfigError("frequency_ghz must be positive")
+        if self.kv_budget_tokens <= 0:
+            raise ConfigError("kv_budget_tokens must be positive")
         self.core.validate()
         self.l1.validate()
         self.l2.validate()

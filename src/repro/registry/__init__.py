@@ -1,6 +1,6 @@
 """Scenario-component registries: the extension point of the whole stack.
 
-Eight global registries name every pluggable piece of a simulation:
+Nine global registries name every pluggable piece of a simulation:
 
 * :data:`WORKLOADS` -- ``name -> builder(seq_len) -> WorkloadConfig``
 * :data:`SYSTEMS`   -- ``name -> builder() -> SystemConfig``
@@ -15,6 +15,8 @@ Eight global registries name every pluggable piece of a simulation:
   (replica dispatch for :mod:`repro.cluster`)
 * :data:`ARBITERS`  -- ``kind -> builder(policy, l2, num_cores) ->
   BaseArbiter`` (LLC-slice request/response arbitration policies)
+* :data:`PREEMPTIONS` -- ``name -> builder(KVCacheConfig) ->
+  PreemptionPolicy`` (KV-pressure eviction policies for :mod:`repro.serve`)
 
 Registering a component makes it usable everywhere at once -- the CLI
 (``llamcat list/run/sweep``), declarative sweep grids, the figure harnesses and
@@ -76,6 +78,11 @@ ROUTERS: Registry = Registry(
 ARBITERS: Registry = Registry(
     "arbiter",
     bootstrap=("repro.arbiter.factory",),
+    normalize=_policy_norm,
+)
+PREEMPTIONS: Registry = Registry(
+    "preemption policy",
+    bootstrap=("repro.serve.kvcache",),
     normalize=_policy_norm,
 )
 
@@ -154,6 +161,19 @@ def register_arbiter(name: str, **kwargs):
     return ARBITERS.register(name, **kwargs)
 
 
+def register_preemption(name: str, **kwargs):
+    """Register a KV-pressure preemption policy builder under ``name``.
+
+    The builder signature is ``(KVCacheConfig) -> PreemptionPolicy`` -- see
+    :mod:`repro.serve.kvcache` for the built-in ``recompute``/``swap``
+    policies.  Every registered policy is pinned by the conformance suite in
+    ``tests/serve/test_preemption_conformance.py`` (request conservation, no
+    preempted-request loss).
+    """
+
+    return PREEMPTIONS.register(name, **kwargs)
+
+
 # -- resolution helpers (name strings -> config objects) ---------------------------------
 def resolve_workload(name: str, seq_len: int | None = None) -> "WorkloadConfig":
     """Build the workload registered under ``name``.
@@ -203,6 +223,12 @@ def resolve_arbiter(name: str):
     return ARBITERS.get(name)
 
 
+def resolve_preemption(name: str):
+    """The KV preemption-policy builder registered under ``name``."""
+
+    return PREEMPTIONS.get(name)
+
+
 def resolve_policy(label: str):
     """Build a policy from a registered label or a compositional one.
 
@@ -219,6 +245,7 @@ __all__ = [
     "ARBITERS",
     "ARRIVALS",
     "POLICIES",
+    "PREEMPTIONS",
     "ROUTERS",
     "Registry",
     "RegistryEntry",
@@ -229,6 +256,7 @@ __all__ = [
     "register_arbiter",
     "register_arrival",
     "register_policy",
+    "register_preemption",
     "register_router",
     "register_scheduler",
     "register_system",
@@ -237,6 +265,7 @@ __all__ = [
     "resolve_arbiter",
     "resolve_arrival",
     "resolve_policy",
+    "resolve_preemption",
     "resolve_router",
     "resolve_scheduler",
     "resolve_system",

@@ -31,6 +31,13 @@ Serving points also sweep through the parallel executor::
 """
 
 from repro.serve.arrival import ArrivalProcess, OpenLoopArrivals
+from repro.serve.kvcache import (
+    KVCacheConfig,
+    KVCacheManager,
+    PreemptionPolicy,
+    RecomputePreemption,
+    SwapPreemption,
+)
 from repro.serve.metrics import RequestMetrics, ServeMetrics, ServeSLO
 from repro.serve.request import Request, RequestSampler
 from repro.serve.scenario import ServeScenario, run_serve_scenario
@@ -48,7 +55,7 @@ from repro.serve.scheduler import (
     HandoffRequest,
     bucket_context,
 )
-from repro.serve.simulator import ServingSimulator
+from repro.serve.simulator import ServeStallReport, ServingSimulator
 from repro.serve.stepcost import LinearStepCostModel, SimStepCostModel, StepCostModel
 from repro.serve.sweep import ServePoint, ServeSweepSpec
 
@@ -59,10 +66,14 @@ __all__ = [
     "ContinuousBatchScheduler",
     "DecodeFirstPolicy",
     "HandoffRequest",
+    "KVCacheConfig",
+    "KVCacheManager",
     "LinearStepCostModel",
     "OpenLoopArrivals",
+    "PreemptionPolicy",
     "PrefillFirstPolicy",
     "PrefillOnlyPolicy",
+    "RecomputePreemption",
     "Request",
     "RequestMetrics",
     "RequestSampler",
@@ -71,8 +82,10 @@ __all__ = [
     "ServePoint",
     "ServeSLO",
     "ServeScenario",
+    "ServeStallReport",
     "ServeSweepSpec",
     "ServingSimulator",
+    "SwapPreemption",
     "SimStepCostModel",
     "StepCostModel",
     "StepPlan",

@@ -296,6 +296,17 @@ class ServeMetrics:
             for point in REPORTED_PERCENTILES:
                 out[f"prefill_p{point:g}_ms"] = self.prefill_percentile_ms(point)
                 out[f"decode_p{point:g}_ms"] = self.decode_percentile_ms(point)
+        # KV-memory aggregates exist only when the run carried a KV budget, so
+        # unbounded-memory runs keep the exact legacy headline (golden compat).
+        if "preemptions" in self.meta:
+            for key in (
+                "preemptions",
+                "preemption_rate",
+                "kv_peak_utilization",
+                "kv_memory_bound_frac",
+            ):
+                if key in self.meta:
+                    out[key] = self.meta[key]
         return out
 
     def summary(self) -> str:
@@ -307,11 +318,17 @@ class ServeMetrics:
             if self.has_prefill_phase
             else ""
         )
+        kv = (
+            f"KV peak {self.meta['kv_peak_utilization']:.0%} "
+            f"({self.meta['preemptions']} preemptions), "
+            if "kv_peak_utilization" in self.meta
+            else ""
+        )
         return (
             f"[{self.label}] {self.workload}: {self.num_requests} requests in "
             f"{self.duration_s * 1e3:.2f} ms ({self.steps} steps), "
             f"latency p50/p95/p99 = {p50:.3f}/{p95:.3f}/{p99:.3f} ms, "
-            f"TTFT p95 {self.ttft_percentile_ms(95):.3f} ms, {prefill}"
+            f"TTFT p95 {self.ttft_percentile_ms(95):.3f} ms, {prefill}{kv}"
             f"TPOT {self.mean_tpot_ms:.4f} ms, "
             f"{self.tokens_per_s:.0f} tokens/s, {self.requests_per_s:.0f} req/s, "
             f"SLO {self.slo_attainment:.1%}"

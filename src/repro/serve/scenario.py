@@ -28,6 +28,7 @@ from repro.registry import (
     resolve_system,
     resolve_workload,
 )
+from repro.serve.kvcache import DEFAULT_SWAP_MS, KVCacheConfig
 from repro.serve.metrics import ServeMetrics, ServeSLO
 from repro.serve.request import (
     DEFAULT_OUTPUT_TOKENS,
@@ -90,6 +91,18 @@ class ServeScenario:
     #: sampling.  Serialized only when set, so pre-telemetry scenario hashes
     #: (and store resume) stay valid.
     telemetry_ms: float | None = None
+    #: KV-cache budget in tokens, ``"system"`` for the system preset's
+    #: :attr:`~repro.config.system.SystemConfig.kv_budget_tokens`, or None to
+    #: keep KV accounting off (the legacy unbounded-memory default).  The KV
+    #: knobs are serialized only when a budget is set, so pre-KV scenario
+    #: hashes (and store resume) stay valid.
+    kv_budget: int | str | None = None
+    #: Paged-KV block size in tokens (1 = exact token-granular accounting).
+    kv_block: int = 1
+    #: PREEMPTIONS registry name: what eviction under KV pressure costs.
+    preemption: str = "recompute"
+    #: One-way KV swap transfer latency in milliseconds (swap policy only).
+    kv_swap_ms: float = DEFAULT_SWAP_MS
     #: Display label (defaults to "<policy>@<arrival>"); never part of the key.
     label: str | None = None
 
@@ -110,7 +123,14 @@ class ServeScenario:
         self.slo().validate()
         resolve_arrival(self.arrival)  # raises ConfigError on unknown names
         resolve_scheduler(self.scheduler)
-        self.resolve()
+        resolved = self.resolve()
+        if self.kv_budget is not None:
+            if not self.prefill_cost:
+                raise ConfigError(
+                    "kv_budget needs prefill_cost=True: recompute preemption "
+                    "re-prefills evicted context"
+                )
+            self.kv_config(resolved.system).validate()
         return self
 
     def resolve(self) -> ResolvedServeScenario:
@@ -128,6 +148,34 @@ class ServeScenario:
 
     def slo(self) -> ServeSLO:
         return ServeSLO(ttft_ms=self.slo_ttft_ms, latency_ms=self.slo_latency_ms)
+
+    def kv_config(self, system: SystemConfig | None = None) -> KVCacheConfig:
+        """The KV memory model of this point (accounting off when no budget).
+
+        ``kv_budget="system"`` resolves to the (tier-scaled) system preset's
+        :attr:`~repro.config.system.SystemConfig.kv_budget_tokens`; pass the
+        already-resolved system to skip a second registry resolution.
+        """
+
+        if self.kv_budget is None:
+            return KVCacheConfig()
+        if self.kv_budget == "system":
+            if system is None:
+                system = self.resolve().system
+            budget = system.kv_budget_tokens
+        elif isinstance(self.kv_budget, int):
+            budget = self.kv_budget
+        else:
+            raise ConfigError(
+                f'kv_budget must be a token count, "system" or None, '
+                f"got {self.kv_budget!r}"
+            )
+        return KVCacheConfig(
+            budget_tokens=budget,
+            block_tokens=self.kv_block,
+            preemption=self.preemption,
+            swap_ms=self.kv_swap_ms,
+        )
 
     @property
     def display_label(self) -> str:
@@ -173,7 +221,16 @@ class ServeScenario:
             "slo_latency_ms": self.slo_latency_ms,
             "max_cycles": self.max_cycles,
             "label": self.label,
-        } | ({} if self.telemetry_ms is None else {"telemetry_ms": self.telemetry_ms})
+        } | ({} if self.telemetry_ms is None else {"telemetry_ms": self.telemetry_ms}) | (
+            {}
+            if self.kv_budget is None
+            else {
+                "kv_budget": self.kv_budget,
+                "kv_block": self.kv_block,
+                "preemption": self.preemption,
+                "kv_swap_ms": self.kv_swap_ms,
+            }
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServeScenario":
@@ -200,6 +257,10 @@ class ServeScenario:
             slo_latency_ms=data.get("slo_latency_ms"),
             max_cycles=data.get("max_cycles"),
             telemetry_ms=data.get("telemetry_ms"),
+            kv_budget=data.get("kv_budget"),
+            kv_block=data.get("kv_block", 1),
+            preemption=data.get("preemption", "recompute"),
+            kv_swap_ms=data.get("kv_swap_ms", DEFAULT_SWAP_MS),
             label=data.get("label"),
         )
 
@@ -228,7 +289,11 @@ class ServeScenario:
             arrival=arrival,
             cost_model=cost_model,
             frequency_ghz=resolved.system.frequency_ghz,
-            batch=BatchConfig(max_batch=self.max_batch, prefill=self.prefill_cost),
+            batch=BatchConfig(
+                max_batch=self.max_batch,
+                prefill=self.prefill_cost,
+                kv=self.kv_config(resolved.system),
+            ),
             policy=resolve_scheduler(self.scheduler)(prefill_chunk=self.prefill_chunk),
             slo=self.slo(),
             label=self.display_label,

@@ -22,9 +22,12 @@ batched decode on real accelerators).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field, fields
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, SimulationError
+from repro.registry import resolve_preemption
+from repro.serve.kvcache import KVCacheConfig, KVCacheManager, PreemptionPolicy
 from repro.serve.request import Request
 
 #: Contexts are never simulated below this many tokens (matches the scale-tier
@@ -78,9 +81,16 @@ class ActiveRequest:
 
     @property
     def prefill_processed(self) -> int:
-        """Prompt tokens already prefilled (the KV cache length mid-prefill)."""
+        """Context tokens already prefilled (the KV cache length mid-prefill).
 
-        return self.request.prompt_tokens - self.prefill_remaining
+        Measured against the full context rather than the prompt alone: a
+        recompute-preempted request re-prefills prompt *plus* already-generated
+        tokens, so its remaining count may exceed ``prompt_tokens``.  For the
+        ordinary first prefill (``generated == 0``) this is exactly the number
+        of prompt tokens processed so far.
+        """
+
+        return self.request.prompt_tokens + self.generated - self.prefill_remaining
 
     @property
     def context_tokens(self) -> int:
@@ -124,6 +134,9 @@ class BatchConfig:
     max_batch: int = 4
     seq_bucket_floor: int = SEQ_BUCKET_FLOOR
     prefill: bool = False
+    #: KV-memory model; the default (budget ``None``) keeps accounting off and
+    #: the scheduler byte-identical to the legacy unbounded-memory behaviour.
+    kv: KVCacheConfig = field(default_factory=KVCacheConfig)
 
     def validate(self) -> "BatchConfig":
         if self.max_batch <= 0:
@@ -132,51 +145,124 @@ class BatchConfig:
             raise ConfigError(
                 f"seq_bucket_floor must be positive, got {self.seq_bucket_floor}"
             )
+        self.kv.validate()
+        if self.kv.enabled and not self.prefill:
+            raise ConfigError(
+                "KV accounting needs the prefill phase modeled (prefill=True): "
+                "recompute preemption re-prefills evicted context"
+            )
         return self
 
     def to_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        # The "kv" key appears only when the memory model is on, so legacy
+        # serialized configs (and their hashes) are untouched by the KV axis.
+        base = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "kv"
+        }
+        return base | ({"kv": self.kv.to_dict()} if self.kv.enabled else {})
 
     @classmethod
     def from_dict(cls, data: dict) -> "BatchConfig":
-        return cls(**{f.name: data[f.name] for f in fields(cls) if f.name in data}).validate()
+        kwargs = {
+            f.name: data[f.name]
+            for f in fields(cls)
+            if f.name in data and f.name != "kv"
+        }
+        if "kv" in data:
+            kwargs["kv"] = KVCacheConfig.from_dict(data["kv"])
+        return cls(**kwargs).validate()
 
 
 @dataclass(slots=True)
 class ContinuousBatchScheduler:
-    """FCFS admission into a bounded, per-iteration re-formed batch."""
+    """FCFS admission into a bounded, per-iteration re-formed batch.
+
+    When the config carries a finite KV budget the scheduler also owns the
+    memory side of admission: a request is admitted only if its current KV
+    footprint fits the free blocks (``kv_blocked`` flags the head-of-line
+    request that arrived in time but found no memory), every decode step's
+    context growth is pre-funded by :meth:`ensure_kv_growth` -- which preempts
+    the *last-admitted* running request (LIFO, so the oldest never starve)
+    under the configured PREEMPTIONS policy until the batch fits -- and blocks
+    are released on finish, handoff and preemption.
+    """
 
     config: BatchConfig = field(default_factory=BatchConfig)
     #: Requests that have arrived but not yet been admitted, FCFS order.
     waiting: list = field(default_factory=list)
     #: The running batch (at most ``config.max_batch`` entries).
     running: list = field(default_factory=list)
+    #: KV block allocator (None whenever accounting is off).
+    kv: KVCacheManager | None = field(default=None, init=False)
+    #: Eviction policy under KV pressure (None whenever accounting is off).
+    preemption: PreemptionPolicy | None = field(default=None, init=False)
+    #: Requests preempted so far (re-admissions do not reset it).
+    preemptions: int = field(default=0, init=False)
+    #: Whether the last :meth:`admit` left an arrived request waiting on
+    #: memory rather than on a batch slot -- the "memory-bound" signal.
+    kv_blocked: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
         self.config.validate()
+        if self.config.kv.enabled:
+            self.kv = KVCacheManager(self.config.kv)
+            self.preemption = resolve_preemption(self.config.kv.preemption)(
+                self.config.kv
+            )
 
     def enqueue(self, request) -> None:
         """Add an arrived request to the admission queue (kept FCFS-sorted).
 
         Accepts plain :class:`~repro.serve.request.Request` objects and
         :class:`HandoffRequest` wrappers (prefilled requests arriving from a
-        prefill replica) -- both expose ``(arrival_s, request_id)``.
+        prefill replica, or preempted requests awaiting re-admission) -- both
+        expose ``(arrival_s, request_id)``.
         """
 
-        self.waiting.append(request)
-        self.waiting.sort(key=lambda r: (r.arrival_s, r.request_id))
+        insort(self.waiting, request, key=lambda r: (r.arrival_s, r.request_id))
+
+    def _kv_demand(self, entry) -> tuple[int, int]:
+        """``(tokens now, lifetime peak tokens)`` KV footprint of an entry."""
+
+        if isinstance(entry, HandoffRequest):
+            active = entry.active
+            return (
+                active.context_tokens,
+                active.request.prompt_tokens + active.request.output_tokens,
+            )
+        return entry.prompt_tokens, entry.prompt_tokens + entry.output_tokens
 
     def admit(self, now_s: float) -> list[ActiveRequest]:
-        """Admit waiting requests with ``arrival_s <= now_s`` into free slots."""
+        """Admit waiting requests with ``arrival_s <= now_s`` into free slots.
+
+        With KV accounting on, admission additionally requires the head
+        request's current footprint to fit the free blocks; a head that
+        arrived in time but does not fit sets :attr:`kv_blocked` and stalls
+        the queue (admission stays strictly FCFS -- no skip-ahead).
+        """
 
         admitted: list[ActiveRequest] = []
+        self.kv_blocked = False
         while self.waiting and len(self.running) < self.config.max_batch:
-            if self.waiting[0].arrival_s > now_s:
+            entry = self.waiting[0]
+            if entry.arrival_s > now_s:
                 break
-            entry = self.waiting.pop(0)
+            if self.kv is not None:
+                tokens_now, tokens_peak = self._kv_demand(entry)
+                if self.kv.blocks_for(tokens_peak) > self.kv.capacity_blocks:
+                    raise ConfigError(
+                        f"request {entry.request_id} needs "
+                        f"{self.kv.blocks_for(tokens_peak)} KV blocks at peak but "
+                        f"the device budget is {self.kv.capacity_blocks} blocks "
+                        f"({self.config.kv.budget_tokens} tokens)"
+                    )
+                if not self.kv.fits(tokens_now):
+                    self.kv_blocked = True
+                    break
+            self.waiting.pop(0)
             if isinstance(entry, HandoffRequest):
-                # Resume the prefill replica's progress record: admission and
-                # prefill timestamps describe the request's first admission.
+                # Resume the prior progress record: admission and prefill
+                # timestamps describe the request's first admission.
                 active = entry.active
             else:
                 active = ActiveRequest(
@@ -184,9 +270,54 @@ class ContinuousBatchScheduler:
                     admitted_s=now_s,
                     prefill_remaining=entry.prompt_tokens if self.config.prefill else 0,
                 )
+            if self.kv is not None:
+                self.kv.reserve(active.request.request_id, active.context_tokens)
             self.running.append(active)
             admitted.append(active)
         return admitted
+
+    def ensure_kv_growth(self, now_s: float) -> list[ActiveRequest]:
+        """Preempt until every decode-ready request can grow by one token.
+
+        Called between admission and step planning: decode grows each
+        non-prefilling request's context by one token, and that growth may
+        need fresh blocks.  While the batch's aggregate growth demand exceeds
+        the free blocks, the last-admitted running request is preempted --
+        its blocks released, its progress record mutated by the PREEMPTIONS
+        policy, and the request re-queued as a :class:`HandoffRequest` at the
+        policy's re-admission time.  Returns the victims (newest first).
+        """
+
+        if self.kv is None:
+            return []
+        preempted: list[ActiveRequest] = []
+        while True:
+            needed = sum(
+                self.kv.growth_blocks(a.request.request_id, a.context_tokens + 1)
+                for a in self.running
+                if not a.in_prefill
+            )
+            if needed <= self.kv.free_blocks:
+                return preempted
+            if len(self.running) <= 1:
+                # Unreachable given the admission-time peak-footprint guard:
+                # a lone request's one-block growth always fits.
+                raise SimulationError(
+                    "sole running request cannot grow within the KV budget"
+                )
+            victim = self.running.pop()
+            self.kv.release(victim.request.request_id)
+            self.preemptions += 1
+            assert self.preemption is not None
+            readmit_s = self.preemption.preempt(victim, now_s)
+            self.enqueue(HandoffRequest(active=victim, arrival_s=readmit_s))
+            preempted.append(victim)
+
+    def release_kv(self, active: ActiveRequest) -> None:
+        """Free an evicted request's KV blocks (finish or replica handoff)."""
+
+        if self.kv is not None:
+            self.kv.release(active.request.request_id)
 
     def evict_finished(self, now_s: float) -> list[ActiveRequest]:
         """Remove requests whose output budget is exhausted; stamp finish time."""
@@ -194,6 +325,7 @@ class ContinuousBatchScheduler:
         finished = [a for a in self.running if a.done]
         for active in finished:
             active.finish_s = now_s
+            self.release_kv(active)
         self.running = [a for a in self.running if not a.done]
         return finished
 

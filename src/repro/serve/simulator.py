@@ -25,8 +25,9 @@ bit-for-bit.
 from __future__ import annotations
 
 import logging
+from dataclasses import dataclass
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, LivelockError
 from repro.obs.telemetry import TelemetryRecorder
 from repro.obs.tracer import CAT_STEP, NULL_TRACER, Tracer, trace_request
 from repro.serve.arrival import ArrivalProcess
@@ -49,6 +50,75 @@ MAX_STEPS = 10_000_000
 REQUESTS_PID = 1
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeStallReport:
+    """Scheduler-occupancy snapshot attached to a serve-loop LivelockError.
+
+    The serve-layer counterpart of :class:`repro.sim.liveness.StallReport`:
+    when the loop trips the :data:`MAX_STEPS` guard or detects a no-progress
+    state (admission blocked on KV memory with an empty batch), the error
+    carries queue, batch and KV occupancy so the stall is diagnosable from
+    the exception alone.
+    """
+
+    reason: str
+    now_s: float
+    steps: int
+    completed: int
+    running: int
+    waiting: int
+    next_arrival_s: float | None
+    kv_blocked: bool = False
+    preemptions: int = 0
+    kv_used_blocks: int | None = None
+    kv_capacity_blocks: int | None = None
+    replica_id: int | None = None
+
+    def render(self) -> str:
+        where = "serve loop" if self.replica_id is None else f"replica {self.replica_id}"
+        lines = [
+            f"{where} stalled ({self.reason}) at t={self.now_s:.6f}s after "
+            f"{self.steps} steps:",
+            f"  completed={self.completed} running={self.running} "
+            f"waiting={self.waiting} next_arrival_s={self.next_arrival_s}",
+        ]
+        if self.kv_capacity_blocks is not None:
+            lines.append(
+                f"  kv: {self.kv_used_blocks}/{self.kv_capacity_blocks} blocks "
+                f"used, admission_blocked={self.kv_blocked}, "
+                f"preemptions={self.preemptions}"
+            )
+        return "\n".join(lines)
+
+
+def build_serve_stall_report(
+    scheduler: ContinuousBatchScheduler,
+    reason: str,
+    now_s: float,
+    steps: int,
+    completed: int,
+    replica_id: int | None = None,
+) -> ServeStallReport:
+    """Snapshot a scheduler's occupancy for a structured stall error."""
+
+    return ServeStallReport(
+        reason=reason,
+        now_s=now_s,
+        steps=steps,
+        completed=completed,
+        running=len(scheduler.running),
+        waiting=len(scheduler.waiting),
+        next_arrival_s=scheduler.next_arrival_s(),
+        kv_blocked=scheduler.kv_blocked,
+        preemptions=scheduler.preemptions,
+        kv_used_blocks=scheduler.kv.used_blocks if scheduler.kv is not None else None,
+        kv_capacity_blocks=(
+            scheduler.kv.capacity_blocks if scheduler.kv is not None else None
+        ),
+        replica_id=replica_id,
+    )
 
 
 def plan_cycles(
@@ -94,11 +164,21 @@ def complete_step(
     """
 
     for active, chunk in plan.prefill:
-        active.prefill_remaining -= chunk
-        if active.prefill_remaining == 0:
+        # Clamp overshooting chunks: a chunk larger than the remaining prompt
+        # (validated plans never carry one, but defend the shared primitive)
+        # must finish the prefill, not drive the counter negative and leave
+        # the request stuck in_prefill forever.
+        active.prefill_remaining = max(0, active.prefill_remaining - chunk)
+        if active.prefill_remaining <= 0 and active.prefill_end_s is None:
+            # Stamp only the first completion: a recompute-preempted request
+            # re-prefills later, but prefill_end_s keeps describing when the
+            # prompt was first fully processed (metrics validation orders it
+            # before first_token_s).
             active.prefill_end_s = end_s
     for active in plan.decode:
         active.generated += 1
+        if scheduler.kv is not None:
+            scheduler.kv.grow(active.request.request_id, active.context_tokens)
         if active.first_token_s is None:
             active.first_token_s = end_s
     finished = []
@@ -186,6 +266,7 @@ class ServingSimulator:
         total_cycles = 0
         prefill_tokens = 0
         prefill_steps = 0
+        kv_memory_bound_s = 0.0
         first_arrival_s = min(r.arrival_s for r in scheduler.waiting)
         completed: list[RequestMetrics] = []
 
@@ -193,19 +274,36 @@ class ServingSimulator:
             scheduler.admit(now_s)
             if not scheduler.running:
                 # Idle: jump straight to the next arrival.
-                if recorder is not None:
-                    recorder.observe(0, now_s, len(scheduler.waiting), 0)
                 next_arrival = scheduler.next_arrival_s()
                 assert next_arrival is not None  # has_work and nothing running
-                now_s = max(now_s, next_arrival)
+                if next_arrival <= now_s:
+                    # An already-arrived request was refused admission into an
+                    # empty batch; jumping to "the next arrival" would never
+                    # advance the clock again.  Raise instead of spinning.
+                    report = build_serve_stall_report(
+                        scheduler,
+                        "admission blocked with an empty batch",
+                        now_s,
+                        steps,
+                        len(completed),
+                    )
+                    raise LivelockError(report.render(), report=report)
+                if recorder is not None:
+                    recorder.observe(0, now_s, len(scheduler.waiting), 0)
+                now_s = next_arrival
                 continue
 
+            preempted = scheduler.ensure_kv_growth(now_s)
+
             if steps >= MAX_STEPS:
-                raise ConfigError(
-                    f"serving run exceeded {MAX_STEPS} steps without draining "
-                    f"({len(completed)} completed, {len(scheduler.running)} running, "
-                    f"{len(scheduler.waiting)} waiting)"
+                report = build_serve_stall_report(
+                    scheduler,
+                    f"exceeded {MAX_STEPS} steps without draining",
+                    now_s,
+                    steps,
+                    len(completed),
                 )
+                raise LivelockError(report.render(), report=report)
 
             plan = self.policy.plan(scheduler.running)
             cycles = plan_cycles(
@@ -240,6 +338,11 @@ class ServingSimulator:
                     cycles=cycles,
                 )
             now_s += self._cycles_to_seconds(cycles)
+            if scheduler.kv_blocked or preempted:
+                # A step whose admission stalled on KV memory (or that had to
+                # preempt to fund decode growth) is time the run spent
+                # memory-bound rather than batch-slot-bound.
+                kv_memory_bound_s += now_s - step_start_s
             if tracer.enabled:
                 args = plan.trace_args()
                 args["cycles"] = cycles
@@ -274,6 +377,24 @@ class ServingSimulator:
             meta.update(self.policy.meta())
             meta["prefill_steps"] = prefill_steps
             meta["prefill_tokens"] = prefill_tokens
+        if self.batch_config.kv.enabled:
+            # Emitted only when the KV memory model is on, keeping the meta of
+            # every legacy (unbounded-memory) run byte-identical.
+            assert scheduler.kv is not None
+            duration_s = max(0.0, now_s - first_arrival_s)
+            meta["kv_budget_tokens"] = self.batch_config.kv.budget_tokens
+            meta["kv_block_tokens"] = self.batch_config.kv.block_tokens
+            meta["preemption"] = self.batch_config.kv.preemption
+            meta["preemptions"] = scheduler.preemptions
+            meta["preemption_rate"] = scheduler.preemptions / max(1, len(completed))
+            meta["kv_peak_utilization"] = scheduler.kv.peak_utilization
+            meta["kv_peak_fragmentation_tokens"] = (
+                scheduler.kv.peak_fragmentation_tokens
+            )
+            meta["kv_memory_bound_s"] = kv_memory_bound_s
+            meta["kv_memory_bound_frac"] = (
+                kv_memory_bound_s / duration_s if duration_s > 0 else 0.0
+            )
         table_size = getattr(self.cost_model, "table_size", None)
         if table_size is not None:
             meta["step_cost_entries"] = table_size

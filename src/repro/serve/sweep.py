@@ -16,7 +16,15 @@ from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigError
 from repro.config.scale import ScaleTier, parse_tier
-from repro.registry import ARRIVALS, SCHEDULERS, WORKLOADS, resolve_policy, resolve_system
+from repro.registry import (
+    ARRIVALS,
+    PREEMPTIONS,
+    SCHEDULERS,
+    WORKLOADS,
+    resolve_policy,
+    resolve_system,
+)
+from repro.serve.kvcache import DEFAULT_SWAP_MS
 from repro.serve.metrics import ServeMetrics
 from repro.serve.request import DEFAULT_OUTPUT_TOKENS, DEFAULT_PROMPT_TOKENS
 from repro.serve.scenario import DEFAULT_SCHEDULER, ServeScenario
@@ -74,10 +82,12 @@ class ServeSweepSpec:
     """A declarative cartesian grid of serving points.
 
     Workloads, arrival processes, schedulers and policies are registry names;
-    ``rates`` is the traffic axis (requests/s open-loop, users closed-loop)
-    and ``schedulers`` x ``prefill_chunks`` the prefill-scheduling axes.
-    Expansion order is workload -> arrival -> rate -> scheduler -> chunk ->
-    policy.
+    ``rates`` is the traffic axis (requests/s open-loop, users closed-loop),
+    ``schedulers`` x ``prefill_chunks`` the prefill-scheduling axes and
+    ``kv_budgets`` x ``kv_blocks`` x ``preemptions`` the KV-memory axes (the
+    defaults keep KV accounting off).  Expansion order is workload -> arrival
+    -> rate -> scheduler -> chunk -> policy -> kv-budget -> kv-block ->
+    preemption.
     """
 
     workloads: tuple[str, ...]
@@ -86,6 +96,14 @@ class ServeSweepSpec:
     schedulers: tuple[str, ...] = (DEFAULT_SCHEDULER,)
     prefill_chunks: tuple[int, ...] = (DEFAULT_PREFILL_CHUNK,)
     policies: tuple[str, ...] = ("unopt",)
+    #: KV-budget axis: token counts and/or "system"; (None,) keeps KV off.
+    kv_budgets: tuple[int | str | None, ...] = (None,)
+    #: Paged-KV block-size axis (tokens per block).
+    kv_blocks: tuple[int, ...] = (1,)
+    #: Preemption-policy axis (PREEMPTIONS registry names).
+    preemptions: tuple[str, ...] = ("recompute",)
+    #: One-way KV swap transfer latency (ms), applied to every point.
+    kv_swap_ms: float = DEFAULT_SWAP_MS
     num_requests: int = 32
     max_batch: int = 4
     seed: int = 0
@@ -103,7 +121,8 @@ class ServeSweepSpec:
 
     def validate(self) -> "ServeSweepSpec":
         for axis in ("workloads", "rates", "arrivals", "schedulers",
-                     "prefill_chunks", "policies"):
+                     "prefill_chunks", "policies", "kv_budgets", "kv_blocks",
+                     "preemptions"):
             if not getattr(self, axis):
                 raise ConfigError(f"ServeSweepSpec.{axis} must be non-empty")
         for workload in self.workloads:
@@ -114,6 +133,20 @@ class ServeSweepSpec:
             SCHEDULERS.get(scheduler)
         for policy in self.policies:
             resolve_policy(policy)
+        for preemption in self.preemptions:
+            PREEMPTIONS.get(preemption)
+        for budget in self.kv_budgets:
+            if budget is None or budget == "system":
+                continue
+            if not isinstance(budget, int) or budget <= 0:
+                raise ConfigError(
+                    f'kv_budgets entries must be positive token counts, "system" '
+                    f"or None, got {budget!r}"
+                )
+        if any(b <= 0 for b in self.kv_blocks):
+            raise ConfigError("kv_blocks must be positive")
+        if self.kv_swap_ms < 0:
+            raise ConfigError("kv_swap_ms must be non-negative")
         resolve_system(self.system)
         if any(r <= 0 for r in self.rates):
             raise ConfigError("rates must be positive")
@@ -132,6 +165,7 @@ class ServeSweepSpec:
         return (
             len(self.workloads) * len(self.arrivals) * len(self.rates)
             * len(self.schedulers) * len(self.prefill_chunks) * len(self.policies)
+            * len(self.kv_budgets) * len(self.kv_blocks) * len(self.preemptions)
         )
 
     def scenarios(self) -> tuple[ServeScenario, ...]:
@@ -158,6 +192,10 @@ class ServeSweepSpec:
                 slo_latency_ms=self.slo_latency_ms,
                 max_cycles=self.max_cycles,
                 telemetry_ms=self.telemetry_ms,
+                kv_budget=kv_budget,
+                kv_block=kv_block,
+                preemption=preemption,
+                kv_swap_ms=self.kv_swap_ms,
             )
             for workload in self.workloads
             for arrival in self.arrivals
@@ -165,6 +203,9 @@ class ServeSweepSpec:
             for scheduler in self.schedulers
             for chunk in self.prefill_chunks
             for policy in self.policies
+            for kv_budget in self.kv_budgets
+            for kv_block in self.kv_blocks
+            for preemption in self.preemptions
         )
 
     def expand(self) -> tuple[ServePoint, ...]:
@@ -180,6 +221,9 @@ class ServeSweepSpec:
                 "prefill_chunk": scenario.prefill_chunk,
                 "policy": scenario.policy,
                 "tier": scenario.tier.name,
+                "kv_budget": scenario.kv_budget,
+                "kv_block": scenario.kv_block,
+                "preemption": scenario.preemption,
             }
             points.append(
                 ServePoint(
@@ -211,6 +255,10 @@ class ServeSweepSpec:
             "slo_latency_ms": self.slo_latency_ms,
             "max_cycles": self.max_cycles,
             "telemetry_ms": self.telemetry_ms,
+            "kv_budgets": list(self.kv_budgets),
+            "kv_blocks": list(self.kv_blocks),
+            "preemptions": list(self.preemptions),
+            "kv_swap_ms": self.kv_swap_ms,
         }
 
     @classmethod
@@ -234,4 +282,8 @@ class ServeSweepSpec:
             slo_latency_ms=data.get("slo_latency_ms"),
             max_cycles=data.get("max_cycles"),
             telemetry_ms=data.get("telemetry_ms"),
+            kv_budgets=tuple(data.get("kv_budgets", (None,))),
+            kv_blocks=tuple(data.get("kv_blocks", (1,))),
+            preemptions=tuple(data.get("preemptions", ("recompute",))),
+            kv_swap_ms=data.get("kv_swap_ms", DEFAULT_SWAP_MS),
         ).validate()

@@ -4,11 +4,15 @@ import pytest
 
 from repro.common.errors import ConfigError
 from repro.serve.request import Request
+from repro.serve.schedpolicy import StepPlan
 from repro.serve.scheduler import (
+    ActiveRequest,
     BatchConfig,
     ContinuousBatchScheduler,
+    HandoffRequest,
     bucket_context,
 )
+from repro.serve.simulator import complete_step
 
 
 def request(rid: int, arrival: float = 0.0, prompt: int = 100, output: int = 4) -> Request:
@@ -62,6 +66,73 @@ class TestAdmission:
         assert [a.request.request_id for a in scheduler.evict_finished(1.0)] == [0]
         admitted = scheduler.admit(1.0)
         assert [a.request.request_id for a in admitted] == [1]
+
+
+class TestTiedArrivals:
+    def test_handoff_and_fresh_request_tiebreak_by_id(self):
+        # A re-admitted handoff and a fresh arrival with the same arrival_s
+        # must admit in request-id order, whichever was enqueued first.
+        scheduler = make_scheduler(max_batch=2)
+        handoff = HandoffRequest(
+            active=ActiveRequest(request=request(3), admitted_s=0.0),
+            arrival_s=1.0,
+        )
+        scheduler.enqueue(request(1, arrival=1.0))
+        scheduler.enqueue(handoff)
+        assert [r.request_id for r in scheduler.waiting] == [1, 3]
+        admitted = scheduler.admit(now_s=1.0)
+        assert [a.request.request_id for a in admitted] == [1, 3]
+        # The handoff resumed the same progress record, not a fresh one.
+        assert admitted[1] is handoff.active
+
+    def test_enqueue_order_matches_a_full_sort(self):
+        # bisect.insort must reproduce exactly what re-sorting the whole list
+        # produced, including ties on arrival_s.
+        arrivals = [(5, 0.2), (1, 0.1), (4, 0.1), (2, 0.2), (0, 0.1), (3, 0.0)]
+        scheduler = make_scheduler()
+        for rid, arrival in arrivals:
+            scheduler.enqueue(request(rid, arrival=arrival))
+        expected = sorted(
+            (request(rid, arrival=arrival) for rid, arrival in arrivals),
+            key=lambda r: (r.arrival_s, r.request_id),
+        )
+        assert [r.request_id for r in scheduler.waiting] == [
+            r.request_id for r in expected
+        ]
+
+
+class TestCompleteStep:
+    def prefilling(self, remaining: int = 10) -> ActiveRequest:
+        active = ActiveRequest(
+            request=request(0, prompt=remaining, output=4), admitted_s=0.0
+        )
+        active.prefill_remaining = remaining
+        return active
+
+    def test_overshooting_chunk_clamps_and_finishes_prefill(self):
+        # Regression: a chunk larger than the remaining prompt used to drive
+        # prefill_remaining negative, so `== 0` never stamped prefill_end_s
+        # and the request sat in_prefill forever.
+        scheduler = make_scheduler()
+        active = self.prefilling(remaining=10)
+        scheduler.running.append(active)
+        complete_step(scheduler, StepPlan(prefill=((active, 16),)), end_s=1.0)
+        assert active.prefill_remaining == 0
+        assert not active.in_prefill
+        assert active.prefill_end_s == 1.0
+
+    def test_prefill_end_is_stamped_once(self):
+        # A recompute-preempted request re-prefills later; prefill_end_s must
+        # keep describing the first completion (metrics order it before
+        # first_token_s).
+        scheduler = make_scheduler()
+        active = self.prefilling(remaining=10)
+        scheduler.running.append(active)
+        complete_step(scheduler, StepPlan(prefill=((active, 10),)), end_s=1.0)
+        assert active.prefill_end_s == 1.0
+        active.prefill_remaining = 10                  # recompute re-prefill
+        complete_step(scheduler, StepPlan(prefill=((active, 10),)), end_s=5.0)
+        assert active.prefill_end_s == 1.0             # first stamp survives
 
 
 class TestEviction:
